@@ -1,0 +1,17 @@
+//! Ablation A1: what the SR layers' added functionality (duplicate handling,
+//! advertisement management, histories) costs compared to the raw wire.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ski_rental::{invocation_time, Flavor};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("raw_wire_no_dedup", |b| b.iter(|| invocation_time(Flavor::JxtaWire, 1, 10, 7)));
+    group.bench_function("sr_jxta_with_dedup", |b| b.iter(|| invocation_time(Flavor::SrJxta, 1, 10, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation A3: subscriber fan-out sweep beyond the paper's 5-peer JXTA 1.0
+//! limit (invocation time as the listener count grows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ski_rental::{Flavor, Scenario};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fanout");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for subs in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("sr_tps_subscribers", subs), &subs, |b, &subs| {
+            b.iter_batched(
+                || {
+                    let mut scenario = Scenario::build(Flavor::SrTps, 1, subs, 2002);
+                    scenario.warm_up();
+                    scenario
+                },
+                |mut scenario| {
+                    scenario.publish_one(0);
+                    scenario
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

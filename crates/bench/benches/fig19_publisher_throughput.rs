@@ -1,0 +1,21 @@
+//! Figure 19: publisher throughput, per flavour and subscriber count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ski_rental::{publisher_throughput, Flavor};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_publisher_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for flavor in [Flavor::JxtaWire, Flavor::SrJxta, Flavor::SrTps] {
+        for subs in [1usize, 4] {
+            group.bench_with_input(BenchmarkId::new(flavor.label(), subs), &subs, |b, &subs| {
+                b.iter(|| publisher_throughput(flavor, subs, 20, 2, 2002))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

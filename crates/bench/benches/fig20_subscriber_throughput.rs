@@ -1,0 +1,21 @@
+//! Figure 20: subscriber throughput under flooding publishers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ski_rental::{subscriber_throughput, Flavor};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_subscriber_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for flavor in [Flavor::JxtaWire, Flavor::SrJxta, Flavor::SrTps] {
+        for pubs in [1usize, 4] {
+            group.bench_with_input(BenchmarkId::new(flavor.label(), pubs), &pubs, |b, &pubs| {
+                b.iter(|| subscriber_throughput(flavor, pubs, 10, 2002))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

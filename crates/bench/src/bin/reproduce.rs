@@ -1,0 +1,95 @@
+//! Regenerates every table and figure of the paper's evaluation section and
+//! prints paper-reference vs measured values.
+//!
+//! ```text
+//! cargo run -p tps-bench --bin reproduce --release            # everything
+//! cargo run -p tps-bench --bin reproduce --release -- fig18   # one figure
+//! ```
+
+use ski_rental::{invocation_time, loc_report, publisher_throughput, subscriber_throughput, Flavor};
+use tps_bench::{figure_header, SeriesReport, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    println!("Reproduction of 'OS Support for P2P Programming: a Case for TPS' (ICDCS 2002)");
+    println!("seed = {DEFAULT_SEED}; all times are virtual (simulated JXTA 1.0 testbed)");
+
+    if wanted("fig18") {
+        fig18();
+    }
+    if wanted("fig19") {
+        fig19();
+    }
+    if wanted("fig20") {
+        fig20();
+    }
+    if wanted("loc") {
+        loc();
+    }
+}
+
+fn fig18() {
+    println!("{}", figure_header("Figure 18 - Invocation time (ms per sendMessage call, 50 events)"));
+    let paper: &[(&str, Flavor, usize)] = &[
+        ("~150-450 (1 sub)", Flavor::JxtaWire, 1),
+        ("~200-500 (1 sub)", Flavor::SrJxta, 1),
+        ("~200-500 (1 sub)", Flavor::SrTps, 1),
+        ("~400-1100 (4 subs)", Flavor::JxtaWire, 4),
+        ("~450-1200 (4 subs)", Flavor::SrJxta, 4),
+        ("~450-1200 (4 subs)", Flavor::SrTps, 4),
+    ];
+    for (reference, flavor, subs) in paper {
+        let series = invocation_time(*flavor, *subs, 50, DEFAULT_SEED);
+        let report = SeriesReport::new(format!("{flavor}, {subs} sub(s)"), *reference, series);
+        println!("{}", report.row("ms/msg"));
+    }
+    println!("shape checks: JXTA-WIRE < SR-JXTA ~= SR-TPS; 4 subscribers slower than 1; large std-dev");
+}
+
+fn fig19() {
+    println!("{}", figure_header("Figure 19 - Publisher throughput (events sent/sec, 100 events, 10 epochs)"));
+    let paper: &[(&str, Flavor, usize)] = &[
+        ("~9-11 ev/s (1 sub)", Flavor::JxtaWire, 1),
+        ("~7-9 ev/s (1 sub)", Flavor::SrJxta, 1),
+        ("~7-9 ev/s (1 sub)", Flavor::SrTps, 1),
+        ("~2-4 ev/s (4 subs)", Flavor::JxtaWire, 4),
+        ("~2-4 ev/s (4 subs)", Flavor::SrJxta, 4),
+        ("~2-4 ev/s (4 subs)", Flavor::SrTps, 4),
+    ];
+    for (reference, flavor, subs) in paper {
+        let series = publisher_throughput(*flavor, *subs, 100, 10, DEFAULT_SEED);
+        let report = SeriesReport::new(format!("{flavor}, {subs} sub(s)"), *reference, series);
+        println!("{}", report.row("ev/s"));
+    }
+    println!("shape checks: wire fastest at 1 sub; differences shrink as subscribers increase");
+}
+
+fn fig20() {
+    println!("{}", figure_header("Figure 20 - Subscriber throughput (events received/sec over 50s of flooding)"));
+    let paper: &[(&str, Flavor, usize)] = &[
+        ("~7.8 ev/s (1 pub)", Flavor::JxtaWire, 1),
+        ("~6.1 ev/s (1 pub)", Flavor::SrJxta, 1),
+        ("~6.0 ev/s (1 pub)", Flavor::SrTps, 1),
+        ("~2-3 ev/s (4 pubs)", Flavor::JxtaWire, 4),
+        ("~2 ev/s (4 pubs)", Flavor::SrJxta, 4),
+        ("~2 ev/s (4 pubs)", Flavor::SrTps, 4),
+    ];
+    for (reference, flavor, pubs) in paper {
+        let series = subscriber_throughput(*flavor, *pubs, 50, DEFAULT_SEED);
+        let report = SeriesReport::new(format!("{flavor}, {pubs} pub(s)"), *reference, series);
+        println!("{}", report.row("ev/s"));
+    }
+    println!("shape checks: wire >= SR layers at 1 publisher; per-layer rates drop with 4 publishers");
+}
+
+fn loc() {
+    println!("{}", figure_header("Section 4.4 - Programming effort (non-blank, non-comment lines)"));
+    let report = loc_report();
+    println!("code a TPS user writes (type + SR-TPS app):        {:>6}", report.tps_user_loc);
+    println!("code a direct-JXTA user writes (SR-JXTA app):      {:>6}", report.jxta_user_loc);
+    println!("TPS library functionality the JXTA user forgoes:   {:>6}", report.tps_library_loc);
+    println!("savings, minimal functionality (paper: >= 900):    {:>6}", report.minimal_savings());
+    println!("savings, full API functionality (paper: ~5000):    {:>6}", report.full_api_savings());
+}

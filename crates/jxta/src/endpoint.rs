@@ -1,0 +1,397 @@
+//! The endpoint layer: transport-level framing of JXTA traffic and the
+//! per-peer route table.
+//!
+//! Everything a peer puts on the simulated network is one [`WireMessage`]
+//! encoded into a [`Message`] and then into bytes. The [`EndpointService`]
+//! keeps what the peer has learned about how to reach other peers (from peer
+//! advertisements, pipe-binding responses and route advertisements) and picks
+//! the best address for a destination, falling back to relaying via a
+//! rendezvous when no direct route exists (Endpoint Routing Protocol).
+
+use crate::adv::{Advertisement, PeerAdvertisement, RouteAdvertisement};
+use crate::error::JxtaError;
+use crate::id::{PeerId, PipeId, Uuid};
+use crate::message::{Message, MessageElement};
+use crate::protocols::prp::{ResolverQuery, ResolverResponse};
+use crate::protocols::ProtocolPayload;
+use bytes::Bytes;
+use simnet::{SimAddress, TransportKind};
+use std::collections::HashMap;
+
+/// Namespace for endpoint-layer message elements.
+pub const NAMESPACE: &str = "jxta";
+/// Element carrying the wire message discriminator.
+pub const TYPE_ELEMENT: &str = "MsgType";
+
+/// A packet travelling on a many-to-many ("wire") pipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePacket {
+    /// The pipe this packet belongs to.
+    pub pipe_id: PipeId,
+    /// Unique id used for duplicate suppression during propagation.
+    pub msg_id: Uuid,
+    /// The peer that originally published the packet.
+    pub src_peer: PeerId,
+    /// Remaining propagation hops.
+    pub ttl: u8,
+    /// The encoded application [`Message`].
+    pub payload: Bytes,
+}
+
+/// Everything a peer can put on the network, classified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// A resolver query (PRP), carrying PDP/PIP/PMP/PBP/ERP bodies.
+    ResolverQuery(ResolverQuery),
+    /// A resolver response (PRP).
+    ResolverResponse(ResolverResponse),
+    /// A client asking a rendezvous for a lease.
+    RendezvousConnect {
+        /// The connecting peer's advertisement (id + endpoints).
+        peer: PeerAdvertisement,
+    },
+    /// A rendezvous granting (or refusing) a lease.
+    RendezvousLease {
+        /// The rendezvous peer granting the lease.
+        rdv: PeerId,
+        /// Whether the lease was granted.
+        granted: bool,
+        /// Lease duration in virtual milliseconds.
+        lease_ms: u64,
+    },
+    /// An unsolicited advertisement push (`remotePublish`).
+    Publish {
+        /// The advertisement being pushed, as XML.
+        adv_xml: String,
+        /// The publishing peer.
+        src_peer: PeerId,
+    },
+    /// Data on a many-to-many wire pipe.
+    WireData(WirePacket),
+    /// A relay envelope: "please forward `inner` to `dest`" (ERP).
+    Relay {
+        /// The peer the inner message is destined for.
+        dest: PeerId,
+        /// The encoded inner [`Message`].
+        inner: Bytes,
+    },
+}
+
+impl WireMessage {
+    fn type_tag(&self) -> &'static str {
+        match self {
+            WireMessage::ResolverQuery(_) => "resolver-query",
+            WireMessage::ResolverResponse(_) => "resolver-response",
+            WireMessage::RendezvousConnect { .. } => "rdv-connect",
+            WireMessage::RendezvousLease { .. } => "rdv-lease",
+            WireMessage::Publish { .. } => "publish",
+            WireMessage::WireData(_) => "wire-data",
+            WireMessage::Relay { .. } => "relay",
+        }
+    }
+
+    /// Encodes into a transport [`Message`].
+    pub fn to_message(&self) -> Message {
+        let mut msg = Message::new();
+        msg.add(MessageElement::text(NAMESPACE, TYPE_ELEMENT, self.type_tag()));
+        match self {
+            WireMessage::ResolverQuery(q) => {
+                msg.add(MessageElement::xml(NAMESPACE, "ResolverQuery", q.to_xml_string()));
+            }
+            WireMessage::ResolverResponse(r) => {
+                msg.add(MessageElement::xml(NAMESPACE, "ResolverResponse", r.to_xml_string()));
+            }
+            WireMessage::RendezvousConnect { peer } => {
+                msg.add(MessageElement::xml(NAMESPACE, "PeerAdv", peer.to_xml().to_xml()));
+            }
+            WireMessage::RendezvousLease { rdv, granted, lease_ms } => {
+                msg.add(MessageElement::text(NAMESPACE, "Rdv", rdv.to_string()));
+                msg.add(MessageElement::text(NAMESPACE, "Granted", if *granted { "true" } else { "false" }));
+                msg.add(MessageElement::text(NAMESPACE, "LeaseMs", lease_ms.to_string()));
+            }
+            WireMessage::Publish { adv_xml, src_peer } => {
+                msg.add(MessageElement::xml(NAMESPACE, "Adv", adv_xml.clone()));
+                msg.add(MessageElement::text(NAMESPACE, "SrcPeer", src_peer.to_string()));
+            }
+            WireMessage::WireData(packet) => {
+                msg.add(MessageElement::text(NAMESPACE, "PipeId", packet.pipe_id.to_string()));
+                msg.add(MessageElement::text(NAMESPACE, "MsgId", packet.msg_id.to_hex()));
+                msg.add(MessageElement::text(NAMESPACE, "SrcPeer", packet.src_peer.to_string()));
+                msg.add(MessageElement::text(NAMESPACE, "Ttl", packet.ttl.to_string()));
+                msg.add(MessageElement::binary(NAMESPACE, "Payload", packet.payload.clone()));
+            }
+            WireMessage::Relay { dest, inner } => {
+                msg.add(MessageElement::text(NAMESPACE, "Dest", dest.to_string()));
+                msg.add(MessageElement::binary(NAMESPACE, "Inner", inner.clone()));
+            }
+        }
+        msg
+    }
+
+    /// Encodes straight to bytes (the datagram payload).
+    pub fn to_bytes(&self) -> Bytes {
+        self.to_message().to_bytes()
+    }
+
+    /// Decodes from a transport [`Message`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JxtaError`] if the discriminator or any required element is
+    /// missing or malformed.
+    pub fn from_message(msg: &Message) -> Result<WireMessage, JxtaError> {
+        let tag = msg
+            .element_text(NAMESPACE, TYPE_ELEMENT)
+            .ok_or_else(|| JxtaError::MissingElement(TYPE_ELEMENT.to_owned()))?;
+        let text = |name: &str| -> Result<String, JxtaError> {
+            msg.element_text(NAMESPACE, name).ok_or_else(|| JxtaError::MissingElement(name.to_owned()))
+        };
+        match tag.as_str() {
+            "resolver-query" => Ok(WireMessage::ResolverQuery(ResolverQuery::from_xml_string(&text(
+                "ResolverQuery",
+            )?)?)),
+            "resolver-response" => Ok(WireMessage::ResolverResponse(ResolverResponse::from_xml_string(
+                &text("ResolverResponse")?,
+            )?)),
+            "rdv-connect" => {
+                let xml = crate::xml::XmlElement::parse(&text("PeerAdv")?)?;
+                Ok(WireMessage::RendezvousConnect { peer: PeerAdvertisement::from_xml(&xml)? })
+            }
+            "rdv-lease" => Ok(WireMessage::RendezvousLease {
+                rdv: text("Rdv")?.parse().map_err(|e| JxtaError::BadXml(format!("bad rdv id: {e}")))?,
+                granted: text("Granted")? == "true",
+                lease_ms: text("LeaseMs")?.parse().map_err(|_| JxtaError::BadXml("bad lease".into()))?,
+            }),
+            "publish" => Ok(WireMessage::Publish {
+                adv_xml: text("Adv")?,
+                src_peer: text("SrcPeer")?
+                    .parse()
+                    .map_err(|e| JxtaError::BadXml(format!("bad src peer: {e}")))?,
+            }),
+            "wire-data" => {
+                let payload = msg
+                    .element(NAMESPACE, "Payload")
+                    .ok_or_else(|| JxtaError::MissingElement("Payload".to_owned()))?
+                    .body
+                    .clone();
+                Ok(WireMessage::WireData(WirePacket {
+                    pipe_id: text("PipeId")?
+                        .parse()
+                        .map_err(|e| JxtaError::BadXml(format!("bad pipe id: {e}")))?,
+                    msg_id: Uuid::from_hex(&text("MsgId")?)
+                        .map_err(|e| JxtaError::BadXml(format!("bad msg id: {e}")))?,
+                    src_peer: text("SrcPeer")?
+                        .parse()
+                        .map_err(|e| JxtaError::BadXml(format!("bad src peer: {e}")))?,
+                    ttl: text("Ttl")?.parse().map_err(|_| JxtaError::BadXml("bad ttl".into()))?,
+                    payload,
+                }))
+            }
+            "relay" => Ok(WireMessage::Relay {
+                dest: text("Dest")?.parse().map_err(|e| JxtaError::BadXml(format!("bad dest: {e}")))?,
+                inner: msg
+                    .element(NAMESPACE, "Inner")
+                    .ok_or_else(|| JxtaError::MissingElement("Inner".to_owned()))?
+                    .body
+                    .clone(),
+            }),
+            other => Err(JxtaError::BadXml(format!("unknown wire message type {other}"))),
+        }
+    }
+
+    /// Decodes from raw datagram bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JxtaError`] on framing or payload errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<WireMessage, JxtaError> {
+        let msg = Message::from_bytes(bytes)?;
+        Self::from_message(&msg)
+    }
+}
+
+/// What the peer currently knows about reaching another peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerRoute {
+    /// Known endpoint addresses, in preference order.
+    pub endpoints: Vec<SimAddress>,
+    /// A relay peer to go through if the endpoints do not work.
+    pub relay: Option<PeerId>,
+}
+
+/// The per-peer route table.
+#[derive(Debug, Default)]
+pub struct EndpointService {
+    routes: HashMap<PeerId, PeerRoute>,
+}
+
+impl EndpointService {
+    /// Creates an empty route table.
+    pub fn new() -> Self {
+        EndpointService::default()
+    }
+
+    /// Records (or refreshes) a peer's endpoints from its advertisement.
+    pub fn learn_from_peer_adv(&mut self, adv: &PeerAdvertisement) {
+        let entry = self.routes.entry(adv.peer_id).or_insert_with(|| PeerRoute {
+            endpoints: Vec::new(),
+            relay: None,
+        });
+        entry.endpoints = adv.endpoints.clone();
+    }
+
+    /// Records endpoints learned from a pipe-binding response or rendezvous
+    /// connect.
+    pub fn learn_endpoints(&mut self, peer: PeerId, endpoints: Vec<SimAddress>) {
+        let entry = self
+            .routes
+            .entry(peer)
+            .or_insert_with(|| PeerRoute { endpoints: Vec::new(), relay: None });
+        entry.endpoints = endpoints;
+    }
+
+    /// Records a route advertisement (possibly relayed).
+    pub fn learn_route(&mut self, route: &RouteAdvertisement) {
+        let entry = self
+            .routes
+            .entry(route.dest)
+            .or_insert_with(|| PeerRoute { endpoints: Vec::new(), relay: None });
+        if !route.endpoints.is_empty() {
+            entry.endpoints = route.endpoints.clone();
+        }
+        entry.relay = route.relay;
+    }
+
+    /// Forgets everything known about a peer.
+    pub fn forget(&mut self, peer: PeerId) {
+        self.routes.remove(&peer);
+    }
+
+    /// The best direct address for a peer, given the transports available
+    /// locally: first matching endpoint in the peer's preference order.
+    pub fn best_address(&self, peer: PeerId, local_transports: &[TransportKind]) -> Option<SimAddress> {
+        self.routes.get(&peer).and_then(|route| {
+            route
+                .endpoints
+                .iter()
+                .copied()
+                .find(|addr| local_transports.contains(&addr.transport))
+        })
+    }
+
+    /// The relay recorded for a peer, if any.
+    pub fn relay_for(&self, peer: PeerId) -> Option<PeerId> {
+        self.routes.get(&peer).and_then(|r| r.relay)
+    }
+
+    /// Whether anything at all is known about the peer.
+    pub fn knows(&self, peer: PeerId) -> bool {
+        self.routes.contains_key(&peer)
+    }
+
+    /// Number of peers with known routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the route table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::PeerGroupId;
+
+    fn adv(name: &str, addrs: Vec<SimAddress>) -> PeerAdvertisement {
+        PeerAdvertisement::new(PeerId::derive(name), name, PeerGroupId::world()).with_endpoints(addrs)
+    }
+
+    #[test]
+    fn wire_messages_roundtrip() {
+        let samples = vec![
+            WireMessage::RendezvousConnect {
+                peer: adv("alice", vec![SimAddress::new(TransportKind::Tcp, 1, 9701)]),
+            },
+            WireMessage::RendezvousLease { rdv: PeerId::derive("rdv"), granted: true, lease_ms: 30_000 },
+            WireMessage::Publish { adv_xml: "<jxta:PipeAdvertisement><Id>urn:jxta:pipe-00000000000000000000000000000000</Id><Type>JxtaWire</Type><Name>x</Name></jxta:PipeAdvertisement>".into(), src_peer: PeerId::derive("p") },
+            WireMessage::WireData(WirePacket {
+                pipe_id: PipeId::derive("ski"),
+                msg_id: Uuid::derive("m1"),
+                src_peer: PeerId::derive("pub"),
+                ttl: 3,
+                payload: Bytes::from_static(b"event bytes"),
+            }),
+            WireMessage::Relay { dest: PeerId::derive("carol"), inner: Bytes::from_static(b"inner") },
+        ];
+        for sample in samples {
+            let decoded = WireMessage::from_bytes(&sample.to_bytes()).unwrap();
+            assert_eq!(decoded, sample);
+        }
+    }
+
+    #[test]
+    fn resolver_messages_roundtrip_through_wire() {
+        let q = ResolverQuery::new("urn:jxta:handler-PDP", crate::id::QueryId(3), PeerId::derive("a"), "<Q/>".into());
+        let wrapped = WireMessage::ResolverQuery(q.clone());
+        match WireMessage::from_bytes(&wrapped.to_bytes()).unwrap() {
+            WireMessage::ResolverQuery(decoded) => assert_eq!(decoded, q),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_and_missing() {
+        let mut msg = Message::new();
+        msg.add(MessageElement::text(NAMESPACE, TYPE_ELEMENT, "quantum-entanglement"));
+        assert!(WireMessage::from_message(&msg).is_err());
+        assert!(WireMessage::from_message(&Message::new()).is_err());
+        assert!(WireMessage::from_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn endpoint_service_prefers_usable_transports() {
+        let mut es = EndpointService::new();
+        let peer = PeerId::derive("bob");
+        es.learn_endpoints(
+            peer,
+            vec![
+                SimAddress::new(TransportKind::Http, 5, 9702),
+                SimAddress::new(TransportKind::Tcp, 5, 9701),
+            ],
+        );
+        // Preference order is the peer's own: http first here.
+        assert_eq!(
+            es.best_address(peer, &[TransportKind::Tcp, TransportKind::Http]).unwrap().transport,
+            TransportKind::Http
+        );
+        // If we only have TCP locally, fall back to the TCP endpoint.
+        assert_eq!(
+            es.best_address(peer, &[TransportKind::Tcp]).unwrap().transport,
+            TransportKind::Tcp
+        );
+        // No usable transport in common.
+        assert_eq!(es.best_address(peer, &[TransportKind::Bluetooth]), None);
+    }
+
+    #[test]
+    fn endpoint_service_learns_and_forgets() {
+        let mut es = EndpointService::new();
+        let alice = adv("alice", vec![SimAddress::new(TransportKind::Tcp, 1, 9701)]);
+        es.learn_from_peer_adv(&alice);
+        assert!(es.knows(alice.peer_id));
+        assert_eq!(es.len(), 1);
+
+        let route = RouteAdvertisement::via_relay(alice.peer_id, PeerId::derive("rdv"), vec![]);
+        es.learn_route(&route);
+        assert_eq!(es.relay_for(alice.peer_id), Some(PeerId::derive("rdv")));
+        // Endpoints from the adv survive an endpoint-less route adv.
+        assert!(es.best_address(alice.peer_id, &[TransportKind::Tcp]).is_some());
+
+        es.forget(alice.peer_id);
+        assert!(!es.knows(alice.peer_id));
+        assert!(es.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Upcalls from the JXTA platform to the application (or TPS) layer.
+//!
+//! The peer platform is written sans-I/O-callback style: handling a datagram
+//! or timer produces a list of [`JxtaEvent`]s that the owning node drains with
+//! [`crate::peer::JxtaPeer::take_events`] and interprets — the Rust equivalent
+//! of JXTA's listener interfaces (`DiscoveryListener`, pipe `InputStream`s,
+//! rendezvous events, ...).
+
+use crate::adv::{AnyAdvertisement, RouteAdvertisement};
+use crate::id::{PeerGroupId, PeerId, PipeId};
+use crate::message::Message;
+use crate::protocols::pip::PeerInfoResponse;
+use crate::protocols::pmp::MembershipVerdict;
+
+/// An event produced by the JXTA platform for its application layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JxtaEvent {
+    /// A new (previously unseen) advertisement was learned, through discovery
+    /// responses, pushes or rendezvous connections.
+    AdvertisementDiscovered {
+        /// The advertisement.
+        adv: AnyAdvertisement,
+        /// The peer it was learned from.
+        source: PeerId,
+    },
+    /// A message arrived on a wire (many-to-many) pipe this peer listens on.
+    WireMessageReceived {
+        /// The pipe the message arrived on.
+        pipe_id: PipeId,
+        /// The peer that originally published the message.
+        src_peer: PeerId,
+        /// The application message.
+        message: Message,
+    },
+    /// A pipe-binding response arrived: `peer` hosts an input pipe for
+    /// `pipe_id` and has been bound to the local output pipe.
+    PipeResolved {
+        /// The pipe that was resolved.
+        pipe_id: PipeId,
+        /// The listening peer.
+        peer: PeerId,
+    },
+    /// This peer obtained (or renewed) a lease with a rendezvous.
+    RendezvousConnected {
+        /// The rendezvous peer.
+        rdv: PeerId,
+    },
+    /// A membership response arrived for a group this peer applied to.
+    MembershipResult {
+        /// The group concerned.
+        group: PeerGroupId,
+        /// The verdict.
+        verdict: MembershipVerdict,
+    },
+    /// A Peer Information Protocol response arrived.
+    PeerInfoReceived {
+        /// The reported status.
+        info: PeerInfoResponse,
+    },
+    /// An Endpoint Routing Protocol response arrived and was recorded.
+    RouteLearned {
+        /// The learned route.
+        route: RouteAdvertisement,
+    },
+}
+
+impl JxtaEvent {
+    /// Convenience predicate used by application event loops.
+    pub fn is_wire_message(&self) -> bool {
+        matches!(self, JxtaEvent::WireMessageReceived { .. })
+    }
+
+    /// Convenience predicate used by application event loops.
+    pub fn is_advertisement(&self) -> bool {
+        matches!(self, JxtaEvent::AdvertisementDiscovered { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_classify_events() {
+        let adv_event = JxtaEvent::RendezvousConnected { rdv: PeerId::derive("r") };
+        assert!(!adv_event.is_wire_message());
+        assert!(!adv_event.is_advertisement());
+        let wire = JxtaEvent::WireMessageReceived {
+            pipe_id: PipeId::derive("p"),
+            src_peer: PeerId::derive("s"),
+            message: Message::new(),
+        };
+        assert!(wire.is_wire_message());
+    }
+}

@@ -1,0 +1,333 @@
+//! JXTA messages.
+//!
+//! A JXTA message is an ordered collection of named elements, each carrying a
+//! MIME type and an opaque body. Protocols add their own elements (a resolver
+//! query, a wire header, a serialized event ...) and messages are copied with
+//! [`Message::dup`] before being handed to an output pipe, exactly as the
+//! paper's `WireServiceFinder.publish()` does (`myOutputPipe.send(msg.dup())`).
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A single named element of a [`Message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageElement {
+    /// The namespace of the element (`"jxta"` for protocol elements,
+    /// application-chosen otherwise).
+    pub namespace: String,
+    /// The element name.
+    pub name: String,
+    /// The MIME type of the body.
+    pub mime_type: String,
+    /// The element body.
+    pub body: Bytes,
+}
+
+impl MessageElement {
+    /// Creates an element with an explicit MIME type.
+    pub fn new(
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        mime_type: impl Into<String>,
+        body: impl Into<Bytes>,
+    ) -> Self {
+        MessageElement {
+            namespace: namespace.into(),
+            name: name.into(),
+            mime_type: mime_type.into(),
+            body: body.into(),
+        }
+    }
+
+    /// Creates a UTF-8 text element (`text/plain`).
+    pub fn text(namespace: impl Into<String>, name: impl Into<String>, body: impl Into<String>) -> Self {
+        MessageElement::new(namespace, name, "text/plain", Bytes::from(body.into().into_bytes()))
+    }
+
+    /// Creates an XML element (`text/xml`).
+    pub fn xml(namespace: impl Into<String>, name: impl Into<String>, body: impl Into<String>) -> Self {
+        MessageElement::new(namespace, name, "text/xml", Bytes::from(body.into().into_bytes()))
+    }
+
+    /// Creates a binary element (`application/octet-stream`).
+    pub fn binary(namespace: impl Into<String>, name: impl Into<String>, body: impl Into<Bytes>) -> Self {
+        MessageElement::new(namespace, name, "application/octet-stream", body)
+    }
+
+    /// The body interpreted as UTF-8 text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The size of the element when encoded on the wire.
+    pub fn wire_size(&self) -> usize {
+        // 3 length-prefixed strings + 1 length-prefixed body + fixed header
+        self.namespace.len() + self.name.len() + self.mime_type.len() + self.body.len() + 16
+    }
+}
+
+/// A JXTA message: an ordered list of named [`MessageElement`]s.
+///
+/// # Examples
+///
+/// ```
+/// use jxta::message::{Message, MessageElement};
+///
+/// let mut msg = Message::new();
+/// msg.add(MessageElement::text("jxta", "SrcPeer", "urn:jxta:peer-1234"));
+/// msg.add(MessageElement::binary("app", "payload", vec![1u8, 2, 3]));
+/// assert_eq!(msg.element("jxta", "SrcPeer").unwrap().body_text(), "urn:jxta:peer-1234");
+///
+/// let copy = msg.dup();
+/// let bytes = copy.to_bytes();
+/// let decoded = Message::from_bytes(&bytes).unwrap();
+/// assert_eq!(decoded, msg);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    elements: Vec<MessageElement>,
+}
+
+impl Message {
+    /// Creates an empty message.
+    pub fn new() -> Self {
+        Message { elements: Vec::new() }
+    }
+
+    /// Adds an element to the end of the message.
+    pub fn add(&mut self, element: MessageElement) -> &mut Self {
+        self.elements.push(element);
+        self
+    }
+
+    /// Builder-style [`Message::add`].
+    pub fn with(mut self, element: MessageElement) -> Self {
+        self.elements.push(element);
+        self
+    }
+
+    /// Removes all elements with the given namespace and name, returning how
+    /// many were removed.
+    pub fn remove(&mut self, namespace: &str, name: &str) -> usize {
+        let before = self.elements.len();
+        self.elements.retain(|e| !(e.namespace == namespace && e.name == name));
+        before - self.elements.len()
+    }
+
+    /// The first element matching namespace and name.
+    pub fn element(&self, namespace: &str, name: &str) -> Option<&MessageElement> {
+        self.elements.iter().find(|e| e.namespace == namespace && e.name == name)
+    }
+
+    /// The text body of the first matching element, if present.
+    pub fn element_text(&self, namespace: &str, name: &str) -> Option<String> {
+        self.element(namespace, name).map(MessageElement::body_text)
+    }
+
+    /// All elements, in order.
+    pub fn elements(&self) -> &[MessageElement] {
+        &self.elements
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the message has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// A deep copy of the message (JXTA's `Message.dup()`); elements share
+    /// their immutable bodies cheaply.
+    pub fn dup(&self) -> Message {
+        self.clone()
+    }
+
+    /// The total encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.elements.iter().map(MessageElement::wire_size).sum::<usize>()
+    }
+
+    /// Encodes the message to its wire representation.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.wire_size());
+        out.extend_from_slice(b"JXM1");
+        out.extend_from_slice(&(self.elements.len() as u32).to_be_bytes());
+        for element in &self.elements {
+            write_string(&mut out, &element.namespace);
+            write_string(&mut out, &element.name);
+            write_string(&mut out, &element.mime_type);
+            out.extend_from_slice(&(element.body.len() as u32).to_be_bytes());
+            out.extend_from_slice(&element.body);
+        }
+        Bytes::from(out)
+    }
+
+    /// Decodes a message from its wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageDecodeError`] if the magic, counts or lengths are
+    /// inconsistent with the buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Message, MessageDecodeError> {
+        let mut cursor = Cursor { buf: bytes, pos: 0 };
+        let magic = cursor.take(4)?;
+        if magic != b"JXM1" {
+            return Err(MessageDecodeError::BadMagic);
+        }
+        let count = cursor.read_u32()? as usize;
+        if count > 0xFFFF {
+            return Err(MessageDecodeError::TooManyElements(count));
+        }
+        let mut elements = Vec::with_capacity(count);
+        for _ in 0..count {
+            let namespace = cursor.read_string()?;
+            let name = cursor.read_string()?;
+            let mime_type = cursor.read_string()?;
+            let len = cursor.read_u32()? as usize;
+            let body = Bytes::copy_from_slice(cursor.take(len)?);
+            elements.push(MessageElement { namespace, name, mime_type, body });
+        }
+        if cursor.pos != bytes.len() {
+            return Err(MessageDecodeError::TrailingBytes);
+        }
+        Ok(Message { elements })
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Message[{} elements, {} bytes]", self.elements.len(), self.wire_size())
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MessageDecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(MessageDecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, MessageDecodeError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn read_string(&mut self) -> Result<String, MessageDecodeError> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| MessageDecodeError::BadUtf8)
+    }
+}
+
+/// Errors produced by [`Message::from_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageDecodeError {
+    /// The 4-byte magic prefix was not `JXM1`.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// The element count is implausibly large.
+    TooManyElements(usize),
+    /// Bytes remained after the last declared element.
+    TrailingBytes,
+}
+
+impl fmt::Display for MessageDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageDecodeError::BadMagic => f.write_str("bad message magic"),
+            MessageDecodeError::Truncated => f.write_str("truncated message"),
+            MessageDecodeError::BadUtf8 => f.write_str("message string is not valid utf-8"),
+            MessageDecodeError::TooManyElements(n) => write!(f, "implausible element count {n}"),
+            MessageDecodeError::TrailingBytes => f.write_str("trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for MessageDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Message {
+        Message::new()
+            .with(MessageElement::text("jxta", "SrcPeer", "urn:jxta:peer-1"))
+            .with(MessageElement::xml("jxta", "Adv", "<Adv><Name>x</Name></Adv>"))
+            .with(MessageElement::binary("app", "payload", vec![0u8, 1, 2, 255]))
+    }
+
+    #[test]
+    fn roundtrip_encoding() {
+        let msg = sample();
+        let decoded = Message::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.len(), 3);
+    }
+
+    #[test]
+    fn dup_is_deep_equal() {
+        let msg = sample();
+        let copy = msg.dup();
+        assert_eq!(copy, msg);
+    }
+
+    #[test]
+    fn element_lookup_and_removal() {
+        let mut msg = sample();
+        assert!(msg.element("jxta", "SrcPeer").is_some());
+        assert!(msg.element("jxta", "missing").is_none());
+        assert_eq!(msg.element_text("jxta", "SrcPeer").unwrap(), "urn:jxta:peer-1");
+        assert_eq!(msg.remove("jxta", "SrcPeer"), 1);
+        assert_eq!(msg.remove("jxta", "SrcPeer"), 0);
+        assert_eq!(msg.len(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let msg = sample();
+        let bytes = msg.to_bytes().to_vec();
+        assert_eq!(Message::from_bytes(b"nope"), Err(MessageDecodeError::BadMagic));
+        assert_eq!(Message::from_bytes(&bytes[..bytes.len() - 1]), Err(MessageDecodeError::Truncated));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(Message::from_bytes(&trailing), Err(MessageDecodeError::TrailingBytes));
+        let mut huge_count = bytes.clone();
+        huge_count[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(Message::from_bytes(&huge_count), Err(MessageDecodeError::TooManyElements(u32::MAX as usize)));
+    }
+
+    #[test]
+    fn wire_size_matches_encoding_length_roughly() {
+        let msg = sample();
+        let encoded = msg.to_bytes().len();
+        // wire_size is an upper-bound estimate used for charging CPU/bandwidth.
+        assert!(msg.wire_size() >= encoded);
+        assert!(msg.wire_size() < encoded + 64);
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        let msg = Message::new();
+        assert!(msg.is_empty());
+        assert_eq!(Message::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+}

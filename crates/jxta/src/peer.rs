@@ -1,0 +1,1217 @@
+//! The peer platform: one `JxtaPeer` per simulated device, assembling the
+//! endpoint layer, the six protocols and the services into a working stack.
+//!
+//! The peer is deliberately *not* a [`simnet::SimNode`] itself: applications
+//! (the ski-rental apps, the TPS engine) own a `JxtaPeer` and forward their
+//! node's `on_start` / `on_datagram` / `on_timer` hooks to it, then drain the
+//! [`JxtaEvent`]s it produced. This sans-I/O composition keeps the layering of
+//! the paper's Figure 9 (application → TPS → JXTA → network) explicit in the
+//! code.
+
+use crate::adv::{AdvKind, AnyAdvertisement, PeerAdvertisement, PeerGroupAdvertisement, PipeAdvertisement};
+use crate::cm::SearchFilter;
+use crate::endpoint::{EndpointService, WireMessage, WirePacket};
+use crate::error::JxtaError;
+use crate::events::JxtaEvent;
+use crate::id::{PeerGroupId, PeerId, PipeId, QueryId, Uuid};
+use crate::message::Message;
+use crate::protocols::pbp::{PipeBindQuery, PipeBindResponse};
+use crate::protocols::pdp::{DiscoveryQuery, DiscoveryResponse};
+use crate::protocols::pip::{PeerInfoResponse, PingQuery};
+use crate::protocols::pmp::{Credential, MembershipOp, MembershipQuery, MembershipResponse, MembershipVerdict};
+use crate::protocols::prp::{ResolverQuery, ResolverResponse};
+use crate::protocols::erp::{RouteQuery, RouteResponse};
+use crate::protocols::{handlers, ProtocolPayload};
+use crate::services::{
+    DiscoveryService, MembershipService, MembershipState, PeerInfoService, RendezvousService, WireService,
+};
+use rand::Rng;
+use simnet::{NodeContext, SimAddress, SimDuration, SimTime, TransportKind};
+
+/// Timer tag used by the peer's periodic housekeeping.
+pub const TIMER_HOUSEKEEPING: u64 = 0x4A58_0001;
+
+/// Whether a timer tag belongs to the JXTA platform (the owning node should
+/// forward it to [`JxtaPeer::on_timer`]).
+pub fn is_jxta_timer(tag: u64) -> bool {
+    (tag >> 16) == 0x4A58
+}
+
+/// Per-message CPU cost model, calibrated so that the reproduced figures land
+/// in the same order of magnitude as the paper's JXTA 1.0 / JDK 1.4-beta /
+/// Sun Ultra 10 testbed (hundreds of milliseconds per published event, with
+/// a large variance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of decoding any received message.
+    pub decode_fixed: SimDuration,
+    /// Additional decode cost per payload byte, in microseconds.
+    pub decode_per_byte_us: u64,
+    /// Fixed cost of encoding and handing a message to the transport.
+    pub send_fixed: SimDuration,
+    /// Additional send cost per payload byte, in microseconds.
+    pub send_per_byte_us: u64,
+    /// Cost of servicing one resolved listener connection during a wire
+    /// publish (dominates the paper's invocation time).
+    pub wire_listener_fixed: SimDuration,
+    /// Cost of handling a resolver query (cache search, XML work).
+    pub resolver_handle_fixed: SimDuration,
+    /// Relative jitter applied to every charged cost (`0.25` = ±25 %).
+    pub jitter_fraction: f64,
+}
+
+impl CostModel {
+    /// The JXTA 1.0-era defaults used by the paper reproduction.
+    pub fn jxta_1_0() -> Self {
+        CostModel {
+            decode_fixed: SimDuration::from_millis(3),
+            decode_per_byte_us: 2,
+            send_fixed: SimDuration::from_millis(9),
+            send_per_byte_us: 4,
+            wire_listener_fixed: SimDuration::from_millis(150),
+            resolver_handle_fixed: SimDuration::from_millis(6),
+            jitter_fraction: 0.25,
+        }
+    }
+
+    /// A free cost model for functional unit tests where virtual CPU time is
+    /// irrelevant.
+    pub fn free() -> Self {
+        CostModel {
+            decode_fixed: SimDuration::ZERO,
+            decode_per_byte_us: 0,
+            send_fixed: SimDuration::ZERO,
+            send_per_byte_us: 0,
+            wire_listener_fixed: SimDuration::ZERO,
+            resolver_handle_fixed: SimDuration::ZERO,
+            jitter_fraction: 0.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::jxta_1_0()
+    }
+}
+
+/// Static configuration of a peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerConfig {
+    /// Human-readable peer name.
+    pub name: String,
+    /// Whether this peer offers rendezvous (and relay) service.
+    pub rendezvous: bool,
+    /// Addresses of seed rendezvous peers an edge peer connects to.
+    pub seed_rendezvous: Vec<SimAddress>,
+    /// Whether the peer is behind a firewall (it then advertises only its
+    /// HTTP endpoint, since inbound TCP would be dropped anyway).
+    pub behind_firewall: bool,
+    /// The peer group this peer boots into.
+    pub default_group: PeerGroupId,
+    /// Per-message CPU costs.
+    pub costs: CostModel,
+    /// Interval of the housekeeping timer (cache expiry, lease renewal,
+    /// advertisement re-publication).
+    pub housekeeping_interval: SimDuration,
+    /// Propagation hop budget for queries and wire packets.
+    pub default_ttl: u8,
+}
+
+impl PeerConfig {
+    /// Configuration of an ordinary ("edge") peer.
+    pub fn edge(name: impl Into<String>) -> Self {
+        PeerConfig {
+            name: name.into(),
+            rendezvous: false,
+            seed_rendezvous: Vec::new(),
+            behind_firewall: false,
+            default_group: PeerGroupId::net(),
+            costs: CostModel::jxta_1_0(),
+            housekeeping_interval: SimDuration::from_secs(30),
+            default_ttl: 3,
+        }
+    }
+
+    /// Configuration of a rendezvous/router peer.
+    pub fn rendezvous(name: impl Into<String>) -> Self {
+        PeerConfig { rendezvous: true, ..PeerConfig::edge(name) }
+    }
+
+    /// Builder-style seed rendezvous addresses.
+    pub fn with_seeds(mut self, seeds: Vec<SimAddress>) -> Self {
+        self.seed_rendezvous = seeds;
+        self
+    }
+
+    /// Builder-style firewall flag.
+    pub fn with_firewalled(mut self, behind_firewall: bool) -> Self {
+        self.behind_firewall = behind_firewall;
+        self
+    }
+
+    /// Builder-style cost-model override.
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+}
+
+/// The JXTA peer platform.
+#[derive(Debug)]
+pub struct JxtaPeer {
+    config: PeerConfig,
+    peer_id: PeerId,
+    discovery: DiscoveryService,
+    rendezvous: RendezvousService,
+    wire: WireService,
+    membership: MembershipService,
+    endpoint: EndpointService,
+    info: PeerInfoService,
+    next_query: QueryId,
+    events: Vec<JxtaEvent>,
+    started: bool,
+    local_transports: Vec<TransportKind>,
+}
+
+impl JxtaPeer {
+    /// Creates a peer whose id is derived deterministically from its name.
+    pub fn new(config: PeerConfig) -> Self {
+        let peer_id = PeerId::derive(&config.name);
+        Self::with_id(config, peer_id)
+    }
+
+    /// Creates a peer with an explicit id.
+    pub fn with_id(config: PeerConfig, peer_id: PeerId) -> Self {
+        let rendezvous = RendezvousService::new(config.rendezvous, config.seed_rendezvous.clone());
+        JxtaPeer {
+            peer_id,
+            discovery: DiscoveryService::new(),
+            rendezvous,
+            wire: WireService::new(),
+            membership: MembershipService::new(),
+            endpoint: EndpointService::new(),
+            info: PeerInfoService::new(),
+            next_query: QueryId(0),
+            events: Vec::new(),
+            started: false,
+            local_transports: Vec::new(),
+            config,
+        }
+    }
+
+    /// The peer's stable identifier.
+    pub fn peer_id(&self) -> PeerId {
+        self.peer_id
+    }
+
+    /// The peer's configuration.
+    pub fn config(&self) -> &PeerConfig {
+        &self.config
+    }
+
+    /// Whether `on_start` has run.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// The discovery service (read access).
+    pub fn discovery(&self) -> &DiscoveryService {
+        &self.discovery
+    }
+
+    /// The wire service (read access).
+    pub fn wire(&self) -> &WireService {
+        &self.wire
+    }
+
+    /// The rendezvous service (read access).
+    pub fn rendezvous(&self) -> &RendezvousService {
+        &self.rendezvous
+    }
+
+    /// The membership service (read access).
+    pub fn membership(&self) -> &MembershipService {
+        &self.membership
+    }
+
+    /// The endpoint/route table (read access).
+    pub fn endpoint(&self) -> &EndpointService {
+        &self.endpoint
+    }
+
+    /// The peer information service (read access).
+    pub fn info(&self) -> &PeerInfoService {
+        &self.info
+    }
+
+    /// Drains the events produced since the last call.
+    pub fn take_events(&mut self) -> Vec<JxtaEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The peer's own advertisement, reflecting its current addresses.
+    pub fn peer_advertisement(&self, ctx: &NodeContext<'_>) -> PeerAdvertisement {
+        let endpoints: Vec<SimAddress> = ctx
+            .local_addresses()
+            .iter()
+            .copied()
+            .filter(|a| a.transport.is_point_to_point())
+            .filter(|a| !self.config.behind_firewall || a.transport == TransportKind::Http)
+            .collect();
+        PeerAdvertisement::new(self.peer_id, self.config.name.clone(), self.config.default_group)
+            .with_endpoints(endpoints)
+            .with_rendezvous(self.config.rendezvous)
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle hooks (called by the owning SimNode)
+    // ------------------------------------------------------------------
+
+    /// Must be called from the owning node's `on_start`.
+    pub fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        self.started = true;
+        self.info.start(ctx.now());
+        self.local_transports = ctx.local_addresses().iter().map(|a| a.transport).collect();
+        let own_adv: AnyAdvertisement = self.peer_advertisement(ctx).into();
+        self.discovery.publish_local(own_adv, ctx.now());
+        self.connect_to_rendezvous(ctx);
+        ctx.set_timer(self.config.housekeeping_interval, TIMER_HOUSEKEEPING);
+    }
+
+    /// Must be called from the owning node's `on_timer` for JXTA timer tags
+    /// (see [`is_jxta_timer`]). Returns `true` if the tag was consumed.
+    pub fn on_timer(&mut self, ctx: &mut NodeContext<'_>, tag: u64) -> bool {
+        if tag != TIMER_HOUSEKEEPING {
+            return false;
+        }
+        let now = ctx.now();
+        self.discovery.expire(now);
+        self.rendezvous.prune(now);
+        self.wire.housekeeping(now);
+        // Refresh our own advertisement locally so it never ages out.
+        let own_adv: AnyAdvertisement = self.peer_advertisement(ctx).into();
+        self.discovery.publish_local(own_adv, now);
+        if self.rendezvous.needs_renewal(now, self.config.housekeeping_interval) {
+            self.connect_to_rendezvous(ctx);
+        }
+        ctx.set_timer(self.config.housekeeping_interval, TIMER_HOUSEKEEPING);
+        true
+    }
+
+    /// Must be called from the owning node's `on_address_changed`.
+    ///
+    /// Re-publishes the peer advertisement (locally and to the network) so
+    /// that other peers' pipe bindings converge on the new addresses — the
+    /// Pipe Binding Protocol scenario of the paper's Figure 5.
+    pub fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, _old: SimAddress, _new: SimAddress) {
+        let adv = self.peer_advertisement(ctx);
+        self.discovery.publish_local(adv.clone().into(), ctx.now());
+        let wm = WireMessage::Publish { adv_xml: AnyAdvertisement::from(adv).to_xml_string(), src_peer: self.peer_id };
+        self.propagate(ctx, &wm, None);
+        // Re-establish the rendezvous lease from the new address.
+        self.connect_to_rendezvous(ctx);
+    }
+
+    /// Must be called from the owning node's `on_datagram`.
+    pub fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, datagram: &simnet::Datagram) {
+        self.info.note_received(datagram.payload.len());
+        self.charge_decode(ctx, datagram.payload.len());
+        let message = match WireMessage::from_bytes(&datagram.payload) {
+            Ok(message) => message,
+            Err(_) => return, // not JXTA traffic; ignore, as a real stack would
+        };
+        let reply_addr = if datagram.src_addr.is_multicast() { None } else { Some(datagram.src_addr) };
+        self.handle_wire_message(ctx, message, reply_addr);
+    }
+
+    // ------------------------------------------------------------------
+    // public operations (discovery)
+    // ------------------------------------------------------------------
+
+    /// Publishes an advertisement to the local cache only
+    /// (`DiscoveryService.publish`).
+    pub fn publish_local(&mut self, ctx: &NodeContext<'_>, adv: AnyAdvertisement) -> bool {
+        self.discovery.publish_local(adv, ctx.now())
+    }
+
+    /// Publishes an advertisement locally *and* pushes it to the network
+    /// (`DiscoveryService.remotePublish`).
+    pub fn remote_publish(&mut self, ctx: &mut NodeContext<'_>, adv: AnyAdvertisement) {
+        self.discovery.publish_local(adv.clone(), ctx.now());
+        let wm = WireMessage::Publish { adv_xml: adv.to_xml_string(), src_peer: self.peer_id };
+        self.propagate(ctx, &wm, None);
+    }
+
+    /// Searches the local cache (`getLocalAdvertisements`).
+    pub fn local_advertisements(
+        &self,
+        ctx: &NodeContext<'_>,
+        kind: AdvKind,
+        filter: &SearchFilter,
+    ) -> Vec<AnyAdvertisement> {
+        self.discovery.local(kind, filter, ctx.now())
+    }
+
+    /// Sends a remote discovery query (`getRemoteAdvertisements`), returning
+    /// the query id. Matching advertisements arrive later as
+    /// [`JxtaEvent::AdvertisementDiscovered`] events.
+    pub fn discover_remote(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        kind: AdvKind,
+        filter: SearchFilter,
+        threshold: usize,
+    ) -> QueryId {
+        self.next_query = self.next_query.next();
+        let query_id = self.next_query;
+        let dq = DiscoveryQuery::new(kind, filter, threshold, self.peer_advertisement(ctx));
+        let mut rq = ResolverQuery::new(handlers::PDP, query_id, self.peer_id, dq.to_xml_string());
+        rq.hops_left = self.config.default_ttl;
+        self.discovery.note_query_sent();
+        let wm = WireMessage::ResolverQuery(rq);
+        self.propagate(ctx, &wm, None);
+        query_id
+    }
+
+    /// Discards cached advertisements (`flushAdvertisements`).
+    pub fn flush_advertisements(&mut self, kind: Option<AdvKind>) {
+        self.discovery.flush(kind);
+    }
+
+    // ------------------------------------------------------------------
+    // public operations (groups, membership)
+    // ------------------------------------------------------------------
+
+    /// Registers a group this peer created: it becomes the group's membership
+    /// authority and the advertisement is published locally.
+    pub fn author_group(&mut self, ctx: &NodeContext<'_>, adv: &PeerGroupAdvertisement) {
+        self.membership.author_group(adv);
+        self.discovery.publish_local(adv.clone().into(), ctx.now());
+    }
+
+    /// Applies for membership of a group (PMP `apply`): asks the group's
+    /// creator for its credential requirements.
+    pub fn membership_apply(&mut self, ctx: &mut NodeContext<'_>, group: &PeerGroupAdvertisement) -> QueryId {
+        self.membership_request(ctx, group, MembershipOp::Apply, MembershipState::Applied)
+    }
+
+    /// Joins a group (PMP `join`) presenting a credential.
+    pub fn membership_join(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        group: &PeerGroupAdvertisement,
+        credential: Credential,
+    ) -> QueryId {
+        self.membership_request(ctx, group, MembershipOp::Join(credential), MembershipState::Joining)
+    }
+
+    /// Leaves a group (PMP `leave`).
+    pub fn membership_leave(&mut self, ctx: &mut NodeContext<'_>, group: &PeerGroupAdvertisement) -> QueryId {
+        self.membership_request(ctx, group, MembershipOp::Leave, MembershipState::Applied)
+    }
+
+    fn membership_request(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        group: &PeerGroupAdvertisement,
+        op: MembershipOp,
+        pending: MembershipState,
+    ) -> QueryId {
+        self.next_query = self.next_query.next();
+        let query_id = self.next_query;
+        let query = MembershipQuery { group_id: group.group_id, applicant: self.peer_id, op };
+        // If we are the authority ourselves, short-circuit locally.
+        if self.membership.is_authority_for(group.group_id) {
+            let verdict = self.evaluate_membership(&query);
+            self.apply_membership_verdict(ctx.now(), group.group_id, &verdict);
+            self.events.push(JxtaEvent::MembershipResult { group: group.group_id, verdict });
+            return query_id;
+        }
+        self.membership.set_state(group.group_id, pending, ctx.now());
+        let rq = ResolverQuery::new(handlers::PMP, query_id, self.peer_id, query.to_xml_string());
+        let wm = WireMessage::ResolverQuery(rq);
+        if !self.send_to_peer(ctx, group.creator, &wm) {
+            self.propagate(ctx, &wm, None);
+        }
+        query_id
+    }
+
+    // ------------------------------------------------------------------
+    // public operations (pipes / wire)
+    // ------------------------------------------------------------------
+
+    /// Creates a local input (listening) end of a wire pipe and publishes the
+    /// pipe advertisement locally so PBP queries can find it.
+    pub fn create_wire_input_pipe(&mut self, ctx: &NodeContext<'_>, pipe: &PipeAdvertisement) -> bool {
+        self.discovery.publish_local(pipe.clone().into(), ctx.now());
+        self.wire.create_input_pipe(pipe.pipe_id)
+    }
+
+    /// Closes the local input end of a wire pipe.
+    pub fn close_wire_input_pipe(&mut self, pipe_id: PipeId) {
+        self.wire.close_input_pipe(pipe_id);
+    }
+
+    /// Creates (or refreshes) the output end of a wire pipe and launches a
+    /// Pipe Binding Protocol resolution for its current listeners; resolved
+    /// listeners arrive as [`JxtaEvent::PipeResolved`] events.
+    pub fn resolve_wire_output_pipe(&mut self, ctx: &mut NodeContext<'_>, pipe: &PipeAdvertisement) -> QueryId {
+        self.wire.output_pipe_mut(pipe.pipe_id);
+        self.discovery.publish_local(pipe.clone().into(), ctx.now());
+        self.next_query = self.next_query.next();
+        let query_id = self.next_query;
+        let query = PipeBindQuery { pipe_id: pipe.pipe_id, requester: self.peer_id };
+        let mut rq = ResolverQuery::new(handlers::PBP, query_id, self.peer_id, query.to_xml_string());
+        rq.hops_left = self.config.default_ttl;
+        let wm = WireMessage::ResolverQuery(rq);
+        self.propagate(ctx, &wm, None);
+        query_id
+    }
+
+    /// The number of listeners currently bound to an output pipe.
+    pub fn wire_listener_count(&self, pipe_id: PipeId) -> usize {
+        self.wire.output_pipe(pipe_id).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Publishes an application [`Message`] on a wire pipe.
+    ///
+    /// One copy is sent to every resolved listener (each copy charged with
+    /// the per-listener connection cost — the dominant term of the paper's
+    /// invocation time); if no listener is resolved yet, the packet is
+    /// propagated through the rendezvous infrastructure instead.
+    ///
+    /// Returns the number of direct copies sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JxtaError::UnknownPipe`] if no output pipe was created for
+    /// `pipe_id`.
+    pub fn wire_send(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        pipe_id: PipeId,
+        message: &Message,
+    ) -> Result<usize, JxtaError> {
+        let listeners = match self.wire.output_pipe(pipe_id) {
+            Some(state) => state.listeners.clone(),
+            None => return Err(JxtaError::UnknownPipe(pipe_id.to_string())),
+        };
+        let packet = WirePacket {
+            pipe_id,
+            msg_id: Uuid::generate(ctx.rng()),
+            src_peer: self.peer_id,
+            ttl: self.config.default_ttl,
+            payload: message.to_bytes(),
+        };
+        let wm = WireMessage::WireData(packet);
+        self.wire.note_sent();
+        let mut sent = 0;
+        for (peer, endpoints) in &listeners {
+            let listener_cost = self.jittered(ctx, self.config.costs.wire_listener_fixed);
+            ctx.charge(listener_cost);
+            // Prefer the freshest route (kept up to date by re-published peer
+            // advertisements after address changes) over the endpoints frozen
+            // in the pipe binding, so that pipes survive peers moving.
+            let addr = self
+                .endpoint
+                .best_address(*peer, &self.local_transports)
+                .or_else(|| endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport)));
+            match addr {
+                Some(addr) => {
+                    self.transmit(ctx, addr, &wm);
+                    sent += 1;
+                }
+                None => {
+                    // No usable direct address: fall back to relaying.
+                    if self.send_to_peer(ctx, *peer, &wm) {
+                        sent += 1;
+                    }
+                }
+            }
+        }
+        if sent == 0 {
+            // Nothing resolved yet: propagate so early subscribers still hear us.
+            self.propagate(ctx, &wm, None);
+        }
+        Ok(sent)
+    }
+
+    // ------------------------------------------------------------------
+    // public operations (PIP / ERP)
+    // ------------------------------------------------------------------
+
+    /// Queries another peer's status (PIP); the answer arrives as a
+    /// [`JxtaEvent::PeerInfoReceived`] event.
+    pub fn query_peer_info(&mut self, ctx: &mut NodeContext<'_>, target: PeerId) -> QueryId {
+        self.next_query = self.next_query.next();
+        let query_id = self.next_query;
+        let query = PingQuery { target };
+        let rq = ResolverQuery::new(handlers::PIP, query_id, self.peer_id, query.to_xml_string());
+        let wm = WireMessage::ResolverQuery(rq);
+        if !self.send_to_peer(ctx, target, &wm) {
+            self.propagate(ctx, &wm, None);
+        }
+        query_id
+    }
+
+    /// Queries the routing infrastructure for a route to `dest` (ERP); the
+    /// answer arrives as a [`JxtaEvent::RouteLearned`] event.
+    pub fn query_route(&mut self, ctx: &mut NodeContext<'_>, dest: PeerId) -> QueryId {
+        self.next_query = self.next_query.next();
+        let query_id = self.next_query;
+        let query = RouteQuery { dest, requester: self.peer_id };
+        let rq = ResolverQuery::new(handlers::ERP, query_id, self.peer_id, query.to_xml_string());
+        let wm = WireMessage::ResolverQuery(rq);
+        self.propagate(ctx, &wm, None);
+        query_id
+    }
+
+    /// This peer's own PIP snapshot (uptime, traffic).
+    pub fn info_snapshot(&self, ctx: &NodeContext<'_>) -> PeerInfoResponse {
+        self.info.snapshot(self.peer_id, ctx.now())
+    }
+
+    // ------------------------------------------------------------------
+    // internals: cost charging and transmission
+    // ------------------------------------------------------------------
+
+    fn jittered(&self, ctx: &mut NodeContext<'_>, base: SimDuration) -> SimDuration {
+        let f = self.config.costs.jitter_fraction;
+        if f <= 0.0 || base == SimDuration::ZERO {
+            return base;
+        }
+        let u: f64 = ctx.rng().gen_range(0.0..1.0);
+        base.mul_f64(1.0 - f + 2.0 * f * u)
+    }
+
+    fn charge_decode(&mut self, ctx: &mut NodeContext<'_>, bytes: usize) {
+        let base = self.config.costs.decode_fixed
+            + SimDuration::from_micros(self.config.costs.decode_per_byte_us * bytes as u64);
+        let cost = self.jittered(ctx, base);
+        ctx.charge(cost);
+    }
+
+    fn charge_send(&mut self, ctx: &mut NodeContext<'_>, bytes: usize) {
+        let base = self.config.costs.send_fixed
+            + SimDuration::from_micros(self.config.costs.send_per_byte_us * bytes as u64);
+        let cost = self.jittered(ctx, base);
+        ctx.charge(cost);
+    }
+
+    fn transmit(&mut self, ctx: &mut NodeContext<'_>, addr: SimAddress, wm: &WireMessage) {
+        let bytes = wm.to_bytes();
+        self.charge_send(ctx, bytes.len());
+        self.info.note_sent(bytes.len());
+        let _ = ctx.send(addr, bytes);
+    }
+
+    fn transmit_multicast(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage) {
+        let bytes = wm.to_bytes();
+        self.charge_send(ctx, bytes.len());
+        self.info.note_sent(bytes.len());
+        let _ = ctx.send_multicast(bytes);
+    }
+
+    /// Sends to a specific peer using the best route known: direct endpoint,
+    /// rendezvous client table, relay via our rendezvous, or a multicast
+    /// relay envelope. Returns `false` if no route at all was available.
+    fn send_to_peer(&mut self, ctx: &mut NodeContext<'_>, dest: PeerId, wm: &WireMessage) -> bool {
+        if dest == self.peer_id {
+            return false;
+        }
+        if let Some(addr) = self.endpoint.best_address(dest, &self.local_transports) {
+            self.transmit(ctx, addr, wm);
+            return true;
+        }
+        if let Some(endpoints) = self.rendezvous.client_endpoints(dest).map(<[SimAddress]>::to_vec) {
+            if let Some(addr) = endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport)) {
+                self.transmit(ctx, addr, wm);
+                return true;
+            }
+        }
+        // Try a relay through a peer that might know the destination.
+        if let Some(relay) = self.endpoint.relay_for(dest) {
+            if let Some(addr) = self.endpoint.best_address(relay, &self.local_transports) {
+                let envelope = WireMessage::Relay { dest, inner: wm.to_bytes() };
+                self.transmit(ctx, addr, &envelope);
+                return true;
+            }
+        }
+        if let Some(connection) = self.rendezvous.connection().cloned() {
+            let envelope = WireMessage::Relay { dest, inner: wm.to_bytes() };
+            self.transmit(ctx, connection.address, &envelope);
+            return true;
+        }
+        if self.local_transports.contains(&TransportKind::Multicast) {
+            let envelope = WireMessage::Relay { dest, inner: wm.to_bytes() };
+            self.transmit_multicast(ctx, &envelope);
+            return true;
+        }
+        false
+    }
+
+    /// Propagates a message to the neighbourhood: subnet multicast, our
+    /// rendezvous (if we are an edge peer), and all connected clients (if we
+    /// are a rendezvous), excluding `exclude`.
+    fn propagate(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage, exclude: Option<PeerId>) {
+        self.rendezvous.note_propagated();
+        if self.local_transports.contains(&TransportKind::Multicast) {
+            self.transmit_multicast(ctx, wm);
+        }
+        if let Some(connection) = self.rendezvous.connection().cloned() {
+            if Some(connection.peer) != exclude {
+                self.transmit(ctx, connection.address, wm);
+            }
+        }
+        if self.rendezvous.is_rendezvous() {
+            for (peer, lease) in self.rendezvous.clients() {
+                if Some(peer) == exclude || peer == self.peer_id {
+                    continue;
+                }
+                if let Some(addr) =
+                    lease.endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport))
+                {
+                    self.transmit(ctx, addr, wm);
+                }
+            }
+        }
+    }
+
+    fn connect_to_rendezvous(&mut self, ctx: &mut NodeContext<'_>) {
+        if self.rendezvous.is_rendezvous() {
+            return;
+        }
+        let seeds = self.rendezvous.seed_addresses().to_vec();
+        if seeds.is_empty() {
+            return;
+        }
+        let wm = WireMessage::RendezvousConnect { peer: self.peer_advertisement(ctx) };
+        for seed in seeds {
+            if self.local_transports.contains(&seed.transport) {
+                self.transmit(ctx, seed, &wm);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals: inbound dispatch
+    // ------------------------------------------------------------------
+
+    fn handle_wire_message(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        message: WireMessage,
+        reply_addr: Option<SimAddress>,
+    ) {
+        match message {
+            WireMessage::ResolverQuery(query) => self.handle_resolver_query(ctx, query),
+            WireMessage::ResolverResponse(response) => self.handle_resolver_response(ctx, response),
+            WireMessage::RendezvousConnect { peer } => self.handle_rdv_connect(ctx, peer, reply_addr),
+            WireMessage::RendezvousLease { rdv, granted, lease_ms } => {
+                self.handle_rdv_lease(ctx, rdv, granted, lease_ms, reply_addr)
+            }
+            WireMessage::Publish { adv_xml, src_peer } => self.handle_publish(ctx, &adv_xml, src_peer),
+            WireMessage::WireData(packet) => self.handle_wire_data(ctx, packet),
+            WireMessage::Relay { dest, inner } => self.handle_relay(ctx, dest, inner),
+        }
+    }
+
+    fn handle_rdv_connect(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        peer: PeerAdvertisement,
+        reply_addr: Option<SimAddress>,
+    ) {
+        if !self.rendezvous.is_rendezvous() {
+            return;
+        }
+        let lease = self.rendezvous.register_client(peer.peer_id, peer.endpoints.clone(), ctx.now());
+        self.endpoint.learn_from_peer_adv(&peer);
+        let fresh = self.discovery.absorb(vec![peer.clone().into()], ctx.now());
+        for adv in fresh {
+            self.events.push(JxtaEvent::AdvertisementDiscovered { adv, source: peer.peer_id });
+        }
+        let response = WireMessage::RendezvousLease {
+            rdv: self.peer_id,
+            granted: true,
+            lease_ms: lease.as_millis(),
+        };
+        let target = peer
+            .endpoints
+            .iter()
+            .copied()
+            .find(|a| self.local_transports.contains(&a.transport))
+            .or(reply_addr);
+        if let Some(addr) = target {
+            self.transmit(ctx, addr, &response);
+        }
+    }
+
+    fn handle_rdv_lease(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        rdv: PeerId,
+        granted: bool,
+        lease_ms: u64,
+        reply_addr: Option<SimAddress>,
+    ) {
+        if !granted {
+            return;
+        }
+        let Some(addr) = reply_addr else { return };
+        self.rendezvous.set_connection(rdv, addr, SimDuration::from_millis(lease_ms), ctx.now());
+        self.endpoint.learn_endpoints(rdv, vec![addr]);
+        self.events.push(JxtaEvent::RendezvousConnected { rdv });
+    }
+
+    fn handle_publish(&mut self, ctx: &mut NodeContext<'_>, adv_xml: &str, src_peer: PeerId) {
+        let Ok(adv) = AnyAdvertisement::parse(adv_xml) else { return };
+        if let Some(peer_adv) = adv.as_peer() {
+            self.endpoint.learn_from_peer_adv(peer_adv);
+        }
+        let fresh = self.discovery.absorb(vec![adv.clone()], ctx.now());
+        for adv in fresh {
+            self.events.push(JxtaEvent::AdvertisementDiscovered { adv, source: src_peer });
+        }
+        // Rendezvous peers re-propagate pushes to their clients.
+        if self.rendezvous.is_rendezvous() {
+            let wm = WireMessage::Publish { adv_xml: adv_xml.to_owned(), src_peer };
+            self.propagate_to_clients_only(ctx, &wm, Some(src_peer));
+        }
+    }
+
+    fn propagate_to_clients_only(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage, exclude: Option<PeerId>) {
+        for (peer, lease) in self.rendezvous.clients() {
+            if Some(peer) == exclude {
+                continue;
+            }
+            if let Some(addr) =
+                lease.endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport))
+            {
+                self.transmit(ctx, addr, wm);
+            }
+        }
+    }
+
+    fn handle_wire_data(&mut self, ctx: &mut NodeContext<'_>, packet: WirePacket) {
+        let first_sight = !self.rendezvous.seen_before(packet.msg_id, ctx.now());
+        if packet.src_peer != self.peer_id && self.wire.has_input_pipe(packet.pipe_id) && first_sight {
+            if let Ok(message) = Message::from_bytes(&packet.payload) {
+                self.wire.note_received();
+                self.events.push(JxtaEvent::WireMessageReceived {
+                    pipe_id: packet.pipe_id,
+                    src_peer: packet.src_peer,
+                    message,
+                });
+            }
+        }
+        if self.rendezvous.is_rendezvous() && packet.ttl > 0 && first_sight {
+            let forwarded = WireMessage::WireData(WirePacket { ttl: packet.ttl - 1, ..packet.clone() });
+            self.propagate_to_clients_only(ctx, &forwarded, Some(packet.src_peer));
+        }
+    }
+
+    fn handle_relay(&mut self, ctx: &mut NodeContext<'_>, dest: PeerId, inner: bytes::Bytes) {
+        if dest == self.peer_id {
+            if let Ok(inner_message) = WireMessage::from_bytes(&inner) {
+                self.handle_wire_message(ctx, inner_message, None);
+            }
+            return;
+        }
+        // Forward if we know how to reach the destination; otherwise drop.
+        let addr = self
+            .rendezvous
+            .client_endpoints(dest)
+            .and_then(|eps| eps.iter().copied().find(|a| self.local_transports.contains(&a.transport)))
+            .or_else(|| self.endpoint.best_address(dest, &self.local_transports));
+        if let Some(addr) = addr {
+            let wm = WireMessage::Relay { dest, inner };
+            self.transmit(ctx, addr, &wm);
+        }
+    }
+
+    fn handle_resolver_query(&mut self, ctx: &mut NodeContext<'_>, query: ResolverQuery) {
+        let handle_cost = self.jittered(ctx, self.config.costs.resolver_handle_fixed);
+        ctx.charge(handle_cost);
+        // Rendezvous peers forward queries onward (scoped by the hop budget).
+        if self.rendezvous.is_rendezvous() && query.hops_left > 0 {
+            let mut forwarded = query.clone();
+            forwarded.hops_left -= 1;
+            let wm = WireMessage::ResolverQuery(forwarded);
+            self.propagate_to_clients_only(ctx, &wm, Some(query.src_peer));
+        }
+        let response_body = match query.handler.as_str() {
+            handlers::PDP => self.answer_pdp(ctx, &query),
+            handlers::PIP => self.answer_pip(ctx, &query),
+            handlers::PMP => self.answer_pmp(ctx, &query),
+            handlers::PBP => self.answer_pbp(ctx, &query),
+            handlers::ERP => self.answer_erp(ctx, &query),
+            _ => None,
+        };
+        if let Some(body) = response_body {
+            let response = ResolverResponse::answering(&query, self.peer_id, body);
+            let wm = WireMessage::ResolverResponse(response);
+            self.send_to_peer(ctx, query.src_peer, &wm);
+        }
+    }
+
+    fn answer_pdp(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
+        let dq = DiscoveryQuery::from_xml_string(&query.body).ok()?;
+        // Learn about the requester from the advertisement it embedded.
+        self.endpoint.learn_from_peer_adv(&dq.requester);
+        let fresh = self.discovery.absorb(vec![dq.requester.clone().into()], ctx.now());
+        for adv in fresh {
+            self.events.push(JxtaEvent::AdvertisementDiscovered { adv, source: dq.requester.peer_id });
+        }
+        let hits = self.discovery.answer(&dq, ctx.now());
+        if hits.is_empty() {
+            return None;
+        }
+        let my_adv = self.peer_advertisement(ctx);
+        Some(DiscoveryResponse::new(dq.kind, hits, my_adv).to_xml_string())
+    }
+
+    fn answer_pip(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
+        let ping = PingQuery::from_xml_string(&query.body).ok()?;
+        if ping.target != self.peer_id {
+            return None;
+        }
+        Some(self.info.snapshot(self.peer_id, ctx.now()).to_xml_string())
+    }
+
+    fn answer_pmp(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
+        let mq = MembershipQuery::from_xml_string(&query.body).ok()?;
+        if !self.membership.is_authority_for(mq.group_id) {
+            return None;
+        }
+        let _ = ctx;
+        let verdict = self.evaluate_membership(&mq);
+        Some(MembershipResponse { group_id: mq.group_id, verdict }.to_xml_string())
+    }
+
+    fn evaluate_membership(&mut self, query: &MembershipQuery) -> MembershipVerdict {
+        match &query.op {
+            MembershipOp::Apply => match self.membership.requirements(query.group_id) {
+                Some(req) => MembershipVerdict::Requirements(req),
+                None => MembershipVerdict::Rejected("unknown group".to_owned()),
+            },
+            MembershipOp::Join(credential) => {
+                self.membership.evaluate_join(query.group_id, query.applicant, credential)
+            }
+            MembershipOp::Renew => {
+                if self.membership.admitted(query.group_id).contains(&query.applicant) {
+                    MembershipVerdict::Accepted
+                } else {
+                    MembershipVerdict::Rejected("not a member".to_owned())
+                }
+            }
+            MembershipOp::Leave => self.membership.evaluate_leave(query.group_id, query.applicant),
+        }
+    }
+
+    fn answer_pbp(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
+        let bind = PipeBindQuery::from_xml_string(&query.body).ok()?;
+        if !self.wire.has_input_pipe(bind.pipe_id) {
+            return None;
+        }
+        let endpoints = self.peer_advertisement(ctx).endpoints;
+        Some(PipeBindResponse { pipe_id: bind.pipe_id, peer: self.peer_id, endpoints }.to_xml_string())
+    }
+
+    fn answer_erp(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
+        let rq = RouteQuery::from_xml_string(&query.body).ok()?;
+        let _ = ctx;
+        if rq.dest == self.peer_id {
+            return None; // the requester already reached us; nothing to add
+        }
+        let known_endpoints = self
+            .rendezvous
+            .client_endpoints(rq.dest)
+            .map(<[SimAddress]>::to_vec)
+            .or_else(|| {
+                self.endpoint
+                    .best_address(rq.dest, &self.local_transports)
+                    .map(|a| vec![a])
+            })?;
+        let route = if self.rendezvous.is_rendezvous() {
+            crate::adv::RouteAdvertisement::via_relay(rq.dest, self.peer_id, known_endpoints)
+        } else {
+            crate::adv::RouteAdvertisement::direct(rq.dest, known_endpoints)
+        };
+        Some(RouteResponse { route }.to_xml_string())
+    }
+
+    fn handle_resolver_response(&mut self, ctx: &mut NodeContext<'_>, response: ResolverResponse) {
+        match response.handler.as_str() {
+            handlers::PDP => {
+                if let Ok(dr) = DiscoveryResponse::from_xml_string(&response.body) {
+                    self.endpoint.learn_from_peer_adv(&dr.responder);
+                    let fresh = self.discovery.absorb_response(&dr, ctx.now());
+                    for adv in fresh {
+                        if let Some(peer_adv) = adv.as_peer() {
+                            self.endpoint.learn_from_peer_adv(peer_adv);
+                        }
+                        self.events
+                            .push(JxtaEvent::AdvertisementDiscovered { adv, source: response.src_peer });
+                    }
+                }
+            }
+            handlers::PIP => {
+                if let Ok(info) = PeerInfoResponse::from_xml_string(&response.body) {
+                    self.events.push(JxtaEvent::PeerInfoReceived { info });
+                }
+            }
+            handlers::PMP => {
+                if let Ok(mr) = MembershipResponse::from_xml_string(&response.body) {
+                    self.apply_membership_verdict(ctx.now(), mr.group_id, &mr.verdict);
+                    self.events.push(JxtaEvent::MembershipResult { group: mr.group_id, verdict: mr.verdict });
+                }
+            }
+            handlers::PBP => {
+                if let Ok(bind) = PipeBindResponse::from_xml_string(&response.body) {
+                    self.endpoint.learn_endpoints(bind.peer, bind.endpoints.clone());
+                    self.wire.output_pipe_mut(bind.pipe_id).bind(bind.peer, bind.endpoints);
+                    self.events.push(JxtaEvent::PipeResolved { pipe_id: bind.pipe_id, peer: bind.peer });
+                }
+            }
+            handlers::ERP => {
+                if let Ok(rr) = RouteResponse::from_xml_string(&response.body) {
+                    self.endpoint.learn_route(&rr.route);
+                    self.events.push(JxtaEvent::RouteLearned { route: rr.route });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_membership_verdict(&mut self, now: SimTime, group: PeerGroupId, verdict: &MembershipVerdict) {
+        match verdict {
+            MembershipVerdict::Accepted => self.membership.set_state(group, MembershipState::Member, now),
+            MembershipVerdict::Rejected(_) => self.membership.set_state(group, MembershipState::Rejected, now),
+            MembershipVerdict::Requirements(_) => self.membership.set_state(group, MembershipState::Applied, now),
+            MembershipVerdict::Left => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peergroup::PeerGroup;
+    use crate::message::MessageElement;
+    use simnet::{Datagram, Network, NetworkBuilder, NodeConfig, NodeId, SimNode, SubnetId, TimerToken};
+
+    /// Minimal application node wrapping a bare `JxtaPeer`, used to exercise
+    /// the platform end-to-end on a simulated network.
+    struct TestApp {
+        peer: JxtaPeer,
+        events: Vec<JxtaEvent>,
+    }
+
+    impl TestApp {
+        fn new(config: PeerConfig) -> Self {
+            TestApp { peer: JxtaPeer::new(config.with_costs(CostModel::free())), events: Vec::new() }
+        }
+        fn drain(&mut self) {
+            self.events.extend(self.peer.take_events());
+        }
+    }
+
+    impl SimNode for TestApp {
+        fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+            self.peer.on_start(ctx);
+            self.drain();
+        }
+        fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dg: Datagram) {
+            self.peer.on_datagram(ctx, &dg);
+            self.drain();
+        }
+        fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _token: TimerToken, tag: u64) {
+            if is_jxta_timer(tag) {
+                self.peer.on_timer(ctx, tag);
+            }
+            self.drain();
+        }
+        fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, old: SimAddress, new: SimAddress) {
+            self.peer.on_address_changed(ctx, old, new);
+            self.drain();
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Builds a network with one rendezvous and `edges` edge peers, all on
+    /// the same subnet, seeded to the rendezvous.
+    fn build_network(edges: usize) -> (Network, NodeId, Vec<NodeId>) {
+        let mut builder = NetworkBuilder::new(42);
+        let rdv_id = builder.add_node(
+            Box::new(TestApp::new(PeerConfig::rendezvous("rdv"))),
+            NodeConfig::lan_peer(SubnetId(0)),
+        );
+        let mut net_partial = Vec::new();
+        // The rendezvous is node 0 and gets host 10.0.0.1 / TCP 9701.
+        let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
+        for i in 0..edges {
+            let config = PeerConfig::edge(format!("edge-{i}")).with_seeds(vec![rdv_addr]);
+            let id = builder.add_node(Box::new(TestApp::new(config)), NodeConfig::lan_peer(SubnetId(0)));
+            net_partial.push(id);
+        }
+        (builder.build(), rdv_id, net_partial)
+    }
+
+    fn events_of(net: &Network, node: NodeId) -> Vec<JxtaEvent> {
+        net.node_ref::<TestApp>(node).unwrap().events.clone()
+    }
+
+    #[test]
+    fn edge_peers_obtain_rendezvous_leases() {
+        let (mut net, rdv, edges) = build_network(2);
+        net.run_for(SimDuration::from_secs(2));
+        for edge in &edges {
+            let connected = events_of(&net, *edge)
+                .iter()
+                .any(|e| matches!(e, JxtaEvent::RendezvousConnected { .. }));
+            assert!(connected, "edge peer {edge} never connected to the rendezvous");
+        }
+        let rdv_app = net.node_ref::<TestApp>(rdv).unwrap();
+        assert_eq!(rdv_app.peer.rendezvous().counters().2, 2);
+    }
+
+    #[test]
+    fn remote_discovery_finds_advertisements_published_elsewhere() {
+        let (mut net, _rdv, edges) = build_network(2);
+        net.run_for(SimDuration::from_secs(2));
+        let publisher = edges[0];
+        let searcher = edges[1];
+
+        // The publisher creates and remote-publishes a ps- group advertisement.
+        let group = PeerGroup::for_event_type("SkiRental", PeerId::derive("edge-0"));
+        net.invoke::<TestApp, _>(publisher, |app, ctx| {
+            app.peer.author_group(ctx, group.advertisement());
+        });
+        // The searcher issues a remote discovery query for ps-* groups.
+        net.invoke::<TestApp, _>(searcher, |app, ctx| {
+            app.peer.discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-*"), 10);
+        });
+        net.run_for(SimDuration::from_secs(5));
+
+        let found = events_of(&net, searcher).iter().any(|e| match e {
+            JxtaEvent::AdvertisementDiscovered { adv, .. } => adv.display_name() == "ps-SkiRental",
+            _ => false,
+        });
+        assert!(found, "searcher never discovered the ps-SkiRental group advertisement");
+    }
+
+    #[test]
+    fn wire_pipe_resolution_and_publication_deliver_events() {
+        let (mut net, _rdv, edges) = build_network(2);
+        net.run_for(SimDuration::from_secs(2));
+        let subscriber = edges[0];
+        let publisher = edges[1];
+        let group = PeerGroup::for_event_type("SkiRental", PeerId::derive("edge-1"));
+        let pipe = group.wire_pipe().unwrap().clone();
+
+        net.invoke::<TestApp, _>(subscriber, |app, ctx| {
+            app.peer.create_wire_input_pipe(ctx, &pipe);
+        });
+        net.invoke::<TestApp, _>(publisher, |app, ctx| {
+            app.peer.resolve_wire_output_pipe(ctx, &pipe);
+        });
+        net.run_for(SimDuration::from_secs(5));
+
+        // The publisher resolved the subscriber as a listener.
+        let resolved = events_of(&net, publisher)
+            .iter()
+            .any(|e| matches!(e, JxtaEvent::PipeResolved { .. }));
+        assert!(resolved, "output pipe never resolved a listener");
+        assert_eq!(net.node_ref::<TestApp>(publisher).unwrap().peer.wire_listener_count(pipe.pipe_id), 1);
+
+        // Publishing reaches the subscriber.
+        let mut message = Message::new();
+        message.add(MessageElement::text("app", "offer", "Salomon, 14 CHF/day"));
+        let sent = net.invoke::<TestApp, _>(publisher, |app, ctx| {
+            app.peer.wire_send(ctx, pipe.pipe_id, &message).unwrap()
+        });
+        assert_eq!(sent, 1);
+        net.run_for(SimDuration::from_secs(3));
+        let received = events_of(&net, subscriber).iter().any(|e| match e {
+            JxtaEvent::WireMessageReceived { message: m, .. } => {
+                m.element_text("app", "offer").as_deref() == Some("Salomon, 14 CHF/day")
+            }
+            _ => false,
+        });
+        assert!(received, "subscriber never received the wire message");
+    }
+
+    #[test]
+    fn membership_join_against_remote_authority() {
+        let (mut net, _rdv, edges) = build_network(2);
+        net.run_for(SimDuration::from_secs(2));
+        let authority = edges[0];
+        let applicant = edges[1];
+        let group = PeerGroup::for_event_type("Private", PeerId::derive("edge-0"));
+
+        net.invoke::<TestApp, _>(authority, |app, ctx| {
+            app.peer.author_group(ctx, group.advertisement());
+        });
+        // The applicant needs to know the authority's endpoints; discovery
+        // via the rendezvous provides them.
+        net.invoke::<TestApp, _>(applicant, |app, ctx| {
+            app.peer.discover_remote(ctx, AdvKind::Peer, SearchFilter::any(), 10);
+        });
+        net.run_for(SimDuration::from_secs(3));
+        net.invoke::<TestApp, _>(applicant, |app, ctx| {
+            app.peer.membership_join(ctx, group.advertisement(), Credential::None);
+        });
+        net.run_for(SimDuration::from_secs(3));
+
+        let accepted = events_of(&net, applicant).iter().any(|e| {
+            matches!(e, JxtaEvent::MembershipResult { verdict: MembershipVerdict::Accepted, .. })
+        });
+        assert!(accepted, "membership join was never accepted");
+        assert!(net.node_ref::<TestApp>(applicant).unwrap().peer.membership().is_member(group.group_id()));
+    }
+
+    #[test]
+    fn peer_info_query_returns_uptime() {
+        let (mut net, rdv, edges) = build_network(1);
+        net.run_for(SimDuration::from_secs(2));
+        let asker = edges[0];
+        let rdv_peer_id = net.node_ref::<TestApp>(rdv).unwrap().peer.peer_id();
+        net.invoke::<TestApp, _>(asker, |app, ctx| {
+            app.peer.query_peer_info(ctx, rdv_peer_id);
+        });
+        net.run_for(SimDuration::from_secs(2));
+        let info = events_of(&net, asker).iter().find_map(|e| match e {
+            JxtaEvent::PeerInfoReceived { info } => Some(info.clone()),
+            _ => None,
+        });
+        let info = info.expect("no PIP response received");
+        assert_eq!(info.peer, rdv_peer_id);
+        assert!(info.messages_received > 0);
+    }
+
+    #[test]
+    fn housekeeping_timer_keeps_running() {
+        let (mut net, rdv, _edges) = build_network(0);
+        net.run_until(SimTime::from_secs(120));
+        // After two minutes the housekeeping timer has fired several times.
+        assert!(net.stats_of(rdv).timers_fired >= 3);
+    }
+
+    #[test]
+    fn wire_send_without_output_pipe_errors() {
+        let (mut net, _rdv, edges) = build_network(1);
+        net.run_for(SimDuration::from_secs(1));
+        let publisher = edges[0];
+        let err = net.invoke::<TestApp, _>(publisher, |app, ctx| {
+            app.peer.wire_send(ctx, PipeId::derive("nope"), &Message::new())
+        });
+        assert!(matches!(err, Err(JxtaError::UnknownPipe(_))));
+    }
+}

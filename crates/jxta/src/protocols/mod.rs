@@ -1,0 +1,97 @@
+//! The six JXTA protocols.
+//!
+//! Mirroring the JXTA specification (and the paper's Section 2.2):
+//!
+//! * **PRP** — Peer Resolver Protocol ([`prp`]): generic query/response
+//!   envelopes dispatched to named handlers; everything below rides on it.
+//! * **PDP** — Peer Discovery Protocol ([`pdp`]): find advertisements.
+//! * **PIP** — Peer Information Protocol ([`pip`]): peer status/uptime.
+//! * **PMP** — Peer Membership Protocol ([`pmp`]): apply / join / leave.
+//! * **PBP** — Pipe Binding Protocol ([`pbp`]): bind pipe ids to the peers
+//!   and addresses that currently host them.
+//! * **ERP** — Endpoint Routing Protocol ([`erp`]): find routes (possibly
+//!   through relays) to peers that cannot be reached directly.
+//!
+//! Each protocol defines plain-data query/response types that serialise to
+//! XML; the XML rides inside [`prp`] envelopes, which in turn ride inside
+//! [`crate::message::Message`]s on the simulated network.
+
+pub mod erp;
+pub mod pbp;
+pub mod pdp;
+pub mod pip;
+pub mod pmp;
+pub mod prp;
+
+use crate::error::JxtaError;
+use crate::xml::XmlElement;
+
+/// Well-known resolver handler names, one per protocol that rides on PRP.
+pub mod handlers {
+    /// The Peer Discovery Protocol handler.
+    pub const PDP: &str = "urn:jxta:handler-PDP";
+    /// The Peer Information Protocol handler.
+    pub const PIP: &str = "urn:jxta:handler-PIP";
+    /// The Peer Membership Protocol handler.
+    pub const PMP: &str = "urn:jxta:handler-PMP";
+    /// The Pipe Binding Protocol handler.
+    pub const PBP: &str = "urn:jxta:handler-PBP";
+    /// The Endpoint Routing Protocol handler.
+    pub const ERP: &str = "urn:jxta:handler-ERP";
+}
+
+/// Shared behaviour of protocol payloads: conversion to and from XML.
+pub trait ProtocolPayload: Sized {
+    /// The XML root element name.
+    const ROOT: &'static str;
+
+    /// Serialises the payload to XML.
+    fn to_xml(&self) -> XmlElement;
+
+    /// Parses the payload from XML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JxtaError`] when required elements are missing or malformed.
+    fn from_xml(xml: &XmlElement) -> Result<Self, JxtaError>;
+
+    /// Serialises to an XML string (convenience for resolver bodies).
+    fn to_xml_string(&self) -> String {
+        self.to_xml().to_xml()
+    }
+
+    /// Parses from an XML string (convenience for resolver bodies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JxtaError`] when the text is not valid XML or not a valid
+    /// payload of this type.
+    fn from_xml_string(text: &str) -> Result<Self, JxtaError> {
+        let xml = XmlElement::parse(text)?;
+        Self::from_xml(&xml)
+    }
+}
+
+pub(crate) fn required_child<'a>(xml: &'a XmlElement, name: &str) -> Result<&'a str, JxtaError> {
+    xml.child_text(name).ok_or_else(|| JxtaError::MissingElement(name.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_names_are_distinct() {
+        let all = [handlers::PDP, handlers::PIP, handlers::PMP, handlers::PBP, handlers::ERP];
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn required_child_reports_missing_elements() {
+        let xml = XmlElement::new("X").text_child("Present", "yes");
+        assert_eq!(required_child(&xml, "Present").unwrap(), "yes");
+        let err = required_child(&xml, "Absent").unwrap_err();
+        assert!(err.to_string().contains("Absent"));
+    }
+}

@@ -1,0 +1,205 @@
+//! The membership service (Peer Membership Protocol state).
+//!
+//! Each peer tracks the groups it has joined; peers that *created* a group
+//! act as its membership authority and evaluate apply/join requests against
+//! the group's [`MembershipPolicy`].
+
+use crate::adv::{MembershipPolicy, PeerGroupAdvertisement};
+use crate::id::{PeerGroupId, PeerId};
+use crate::protocols::pmp::{Credential, CredentialRequirement, MembershipVerdict};
+use simnet::SimTime;
+use std::collections::HashMap;
+
+/// This peer's standing in one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipState {
+    /// An apply has been sent; requirements not yet known.
+    Applied,
+    /// A join has been sent; verdict not yet received.
+    Joining,
+    /// Joined.
+    Member,
+    /// The authority rejected us.
+    Rejected,
+}
+
+/// Per-peer membership state, for both the applicant and the authority role.
+#[derive(Debug, Default)]
+pub struct MembershipService {
+    /// Groups this peer administers (it created them), with their policies.
+    authored: HashMap<PeerGroupId, MembershipPolicy>,
+    /// Members admitted by this peer, per authored group.
+    admitted: HashMap<PeerGroupId, Vec<PeerId>>,
+    /// This peer's own standing in groups it applied to.
+    memberships: HashMap<PeerGroupId, (MembershipState, SimTime)>,
+}
+
+impl MembershipService {
+    /// Creates an empty membership service.
+    pub fn new() -> Self {
+        MembershipService::default()
+    }
+
+    /// Registers a group this peer created and will act as authority for.
+    pub fn author_group(&mut self, adv: &PeerGroupAdvertisement) {
+        self.authored.insert(adv.group_id, adv.membership.clone());
+        self.admitted.entry(adv.group_id).or_default();
+    }
+
+    /// Whether this peer is the membership authority for `group`.
+    pub fn is_authority_for(&self, group: PeerGroupId) -> bool {
+        self.authored.contains_key(&group)
+    }
+
+    /// The credential requirements of an authored group.
+    pub fn requirements(&self, group: PeerGroupId) -> Option<CredentialRequirement> {
+        self.authored.get(&group).map(|policy| match policy {
+            MembershipPolicy::Open => CredentialRequirement::None,
+            MembershipPolicy::Password(_) => CredentialRequirement::Password,
+        })
+    }
+
+    /// Evaluates a join request against an authored group's policy.
+    pub fn evaluate_join(&mut self, group: PeerGroupId, applicant: PeerId, credential: &Credential) -> MembershipVerdict {
+        let Some(policy) = self.authored.get(&group) else {
+            return MembershipVerdict::Rejected("not the membership authority for this group".to_owned());
+        };
+        let ok = match (policy, credential) {
+            (MembershipPolicy::Open, _) => true,
+            (MembershipPolicy::Password(expected), Credential::Password(given)) => expected == given,
+            (MembershipPolicy::Password(_), Credential::None) => false,
+        };
+        if ok {
+            let members = self.admitted.entry(group).or_default();
+            if !members.contains(&applicant) {
+                members.push(applicant);
+            }
+            MembershipVerdict::Accepted
+        } else {
+            MembershipVerdict::Rejected("invalid credential".to_owned())
+        }
+    }
+
+    /// Removes an admitted member (leave).
+    pub fn evaluate_leave(&mut self, group: PeerGroupId, applicant: PeerId) -> MembershipVerdict {
+        if let Some(members) = self.admitted.get_mut(&group) {
+            members.retain(|m| *m != applicant);
+        }
+        MembershipVerdict::Left
+    }
+
+    /// The members this authority has admitted to `group`.
+    pub fn admitted(&self, group: PeerGroupId) -> &[PeerId] {
+        self.admitted.get(&group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Records this peer's own standing in a group it applied to.
+    pub fn set_state(&mut self, group: PeerGroupId, state: MembershipState, now: SimTime) {
+        self.memberships.insert(group, (state, now));
+    }
+
+    /// This peer's standing in a group, if it ever applied.
+    pub fn state(&self, group: PeerGroupId) -> Option<MembershipState> {
+        self.memberships.get(&group).map(|(s, _)| *s)
+    }
+
+    /// Whether this peer is a member of `group` (either it joined, or it
+    /// authored the group).
+    pub fn is_member(&self, group: PeerGroupId) -> bool {
+        self.is_authority_for(group) || matches!(self.state(group), Some(MembershipState::Member))
+    }
+
+    /// The groups this peer belongs to (authored or joined), in
+    /// deterministic order.
+    pub fn groups(&self) -> Vec<PeerGroupId> {
+        let mut groups: Vec<PeerGroupId> = self
+            .authored
+            .keys()
+            .copied()
+            .chain(self.memberships.iter().filter(|(_, (s, _))| *s == MembershipState::Member).map(|(g, _)| *g))
+            .collect();
+        groups.sort();
+        groups.dedup();
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_group(name: &str) -> PeerGroupAdvertisement {
+        PeerGroupAdvertisement::new(PeerGroupId::derive(name), name, PeerId::derive("author"))
+    }
+
+    fn password_group(name: &str, pw: &str) -> PeerGroupAdvertisement {
+        open_group(name).with_membership(MembershipPolicy::Password(pw.to_owned()))
+    }
+
+    #[test]
+    fn open_groups_admit_anyone() {
+        let mut ms = MembershipService::new();
+        let adv = open_group("g");
+        ms.author_group(&adv);
+        assert!(ms.is_authority_for(adv.group_id));
+        assert_eq!(ms.requirements(adv.group_id), Some(CredentialRequirement::None));
+        let verdict = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::None);
+        assert_eq!(verdict, MembershipVerdict::Accepted);
+        assert_eq!(ms.admitted(adv.group_id).len(), 1);
+    }
+
+    #[test]
+    fn password_groups_check_credentials() {
+        let mut ms = MembershipService::new();
+        let adv = password_group("secret", "hunter2");
+        ms.author_group(&adv);
+        assert_eq!(ms.requirements(adv.group_id), Some(CredentialRequirement::Password));
+        let denied = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::Password("wrong".into()));
+        assert!(matches!(denied, MembershipVerdict::Rejected(_)));
+        let denied = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::None);
+        assert!(matches!(denied, MembershipVerdict::Rejected(_)));
+        let ok = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::Password("hunter2".into()));
+        assert_eq!(ok, MembershipVerdict::Accepted);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_leave_removes() {
+        let mut ms = MembershipService::new();
+        let adv = open_group("g");
+        ms.author_group(&adv);
+        let peer = PeerId::derive("x");
+        ms.evaluate_join(adv.group_id, peer, &Credential::None);
+        ms.evaluate_join(adv.group_id, peer, &Credential::None);
+        assert_eq!(ms.admitted(adv.group_id).len(), 1);
+        assert_eq!(ms.evaluate_leave(adv.group_id, peer), MembershipVerdict::Left);
+        assert!(ms.admitted(adv.group_id).is_empty());
+    }
+
+    #[test]
+    fn non_authority_rejects_joins() {
+        let mut ms = MembershipService::new();
+        let verdict = ms.evaluate_join(PeerGroupId::derive("unknown"), PeerId::derive("x"), &Credential::None);
+        assert!(matches!(verdict, MembershipVerdict::Rejected(_)));
+    }
+
+    #[test]
+    fn own_membership_state_tracking() {
+        let mut ms = MembershipService::new();
+        let group = PeerGroupId::derive("g");
+        assert!(!ms.is_member(group));
+        ms.set_state(group, MembershipState::Applied, SimTime::ZERO);
+        assert_eq!(ms.state(group), Some(MembershipState::Applied));
+        ms.set_state(group, MembershipState::Member, SimTime::from_secs(1));
+        assert!(ms.is_member(group));
+        assert_eq!(ms.groups(), vec![group]);
+    }
+
+    #[test]
+    fn authored_groups_count_as_memberships() {
+        let mut ms = MembershipService::new();
+        let adv = open_group("mine");
+        ms.author_group(&adv);
+        assert!(ms.is_member(adv.group_id));
+        assert_eq!(ms.groups(), vec![adv.group_id]);
+    }
+}

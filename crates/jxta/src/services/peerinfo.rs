@@ -1,0 +1,97 @@
+//! The peer information service (Peer Information Protocol state).
+//!
+//! Tracks how long the peer has been up and how much traffic it has handled,
+//! and answers PIP queries with that information.
+
+use crate::id::PeerId;
+use crate::protocols::pip::PeerInfoResponse;
+use simnet::SimTime;
+
+/// Uptime and traffic counters for one peer.
+#[derive(Debug, Default)]
+pub struct PeerInfoService {
+    started_at: Option<SimTime>,
+    messages_sent: u64,
+    messages_received: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl PeerInfoService {
+    /// Creates the service (not yet started).
+    pub fn new() -> Self {
+        PeerInfoService::default()
+    }
+
+    /// Records the peer's start time.
+    pub fn start(&mut self, now: SimTime) {
+        self.started_at = Some(now);
+    }
+
+    /// Records an outgoing message of `bytes` bytes.
+    pub fn note_sent(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Records an incoming message of `bytes` bytes.
+    pub fn note_received(&mut self, bytes: usize) {
+        self.messages_received += 1;
+        self.bytes_received += bytes as u64;
+    }
+
+    /// The peer's uptime at `now` (zero if never started).
+    pub fn uptime_ms(&self, now: SimTime) -> u64 {
+        match self.started_at {
+            Some(start) => now.saturating_since(start).as_millis(),
+            None => 0,
+        }
+    }
+
+    /// Builds the PIP response describing this peer at `now`.
+    pub fn snapshot(&self, peer: PeerId, now: SimTime) -> PeerInfoResponse {
+        PeerInfoResponse {
+            peer,
+            uptime_ms: self.uptime_ms(now),
+            messages_sent: self.messages_sent,
+            messages_received: self.messages_received,
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.bytes_received,
+        }
+    }
+
+    /// Counters: `(messages_sent, messages_received, bytes_sent, bytes_received)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.messages_sent, self.messages_received, self.bytes_sent, self.bytes_received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uptime_and_counters() {
+        let mut info = PeerInfoService::new();
+        assert_eq!(info.uptime_ms(SimTime::from_secs(5)), 0);
+        info.start(SimTime::from_secs(1));
+        info.note_sent(100);
+        info.note_sent(50);
+        info.note_received(10);
+        assert_eq!(info.uptime_ms(SimTime::from_secs(5)), 4_000);
+        assert_eq!(info.counters(), (2, 1, 150, 10));
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut info = PeerInfoService::new();
+        info.start(SimTime::ZERO);
+        info.note_received(42);
+        let snap = info.snapshot(PeerId::derive("me"), SimTime::from_millis(500));
+        assert_eq!(snap.peer, PeerId::derive("me"));
+        assert_eq!(snap.uptime_ms, 500);
+        assert_eq!(snap.messages_received, 1);
+        assert_eq!(snap.bytes_received, 42);
+        assert_eq!(snap.messages_sent, 0);
+    }
+}

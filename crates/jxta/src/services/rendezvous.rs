@@ -1,0 +1,241 @@
+//! The rendezvous service.
+//!
+//! Rendezvous peers "keep track of information about peers that are
+//! connected" and "are mainly used to dispatch information and discovery
+//! queries between peers" (paper, Section 2.1). Ordinary (edge) peers connect
+//! to a rendezvous, obtain a lease, renew it periodically, and use the
+//! rendezvous to propagate queries, advertisement pushes and wire traffic
+//! beyond their own subnet.
+
+use crate::id::{PeerId, Uuid};
+use simnet::{SimAddress, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Default lease granted to connected clients.
+pub const DEFAULT_LEASE: SimDuration = SimDuration::from_secs(120);
+/// How many ids the duplicate-suppression window remembers.
+pub const SEEN_WINDOW: usize = 4096;
+
+/// A client registered with a rendezvous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientLease {
+    /// The client's endpoints at connect time.
+    pub endpoints: Vec<SimAddress>,
+    /// When the lease expires unless renewed.
+    pub expires_at: SimTime,
+}
+
+/// The rendezvous this (edge) peer is connected to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RendezvousConnection {
+    /// The rendezvous peer's id.
+    pub peer: PeerId,
+    /// The address we talk to it at.
+    pub address: SimAddress,
+    /// When our lease expires.
+    pub lease_expires_at: SimTime,
+}
+
+/// Per-peer rendezvous state (both roles: edge client and rendezvous).
+#[derive(Debug)]
+pub struct RendezvousService {
+    is_rendezvous: bool,
+    seed_addresses: Vec<SimAddress>,
+    clients: HashMap<PeerId, ClientLease>,
+    connection: Option<RendezvousConnection>,
+    seen: HashMap<Uuid, SimTime>,
+    seen_order: Vec<Uuid>,
+    propagated: u64,
+    duplicates_dropped: u64,
+}
+
+impl RendezvousService {
+    /// Creates the service. `is_rendezvous` selects the role; edge peers pass
+    /// the addresses of seed rendezvous peers they should connect to.
+    pub fn new(is_rendezvous: bool, seed_addresses: Vec<SimAddress>) -> Self {
+        RendezvousService {
+            is_rendezvous,
+            seed_addresses,
+            clients: HashMap::new(),
+            connection: None,
+            seen: HashMap::new(),
+            seen_order: Vec::new(),
+            propagated: 0,
+            duplicates_dropped: 0,
+        }
+    }
+
+    /// Whether this peer offers rendezvous service.
+    pub fn is_rendezvous(&self) -> bool {
+        self.is_rendezvous
+    }
+
+    /// The seed rendezvous addresses this edge peer should connect to.
+    pub fn seed_addresses(&self) -> &[SimAddress] {
+        &self.seed_addresses
+    }
+
+    /// Registers (or refreshes) a client lease; returns the lease duration.
+    pub fn register_client(
+        &mut self,
+        peer: PeerId,
+        endpoints: Vec<SimAddress>,
+        now: SimTime,
+    ) -> SimDuration {
+        self.clients.insert(peer, ClientLease { endpoints, expires_at: now + DEFAULT_LEASE });
+        DEFAULT_LEASE
+    }
+
+    /// Drops a client lease.
+    pub fn unregister_client(&mut self, peer: PeerId) {
+        self.clients.remove(&peer);
+    }
+
+    /// The currently connected clients (rendezvous role), in deterministic
+    /// (peer-id) order.
+    pub fn clients(&self) -> Vec<(PeerId, ClientLease)> {
+        let mut all: Vec<_> = self.clients.iter().map(|(p, l)| (*p, l.clone())).collect();
+        all.sort_by_key(|(p, _)| *p);
+        all
+    }
+
+    /// Whether `peer` currently holds a client lease.
+    pub fn has_client(&self, peer: PeerId) -> bool {
+        self.clients.contains_key(&peer)
+    }
+
+    /// The endpoints a connected client registered, if it is connected.
+    pub fn client_endpoints(&self, peer: PeerId) -> Option<&[SimAddress]> {
+        self.clients.get(&peer).map(|l| l.endpoints.as_slice())
+    }
+
+    /// Removes expired client leases; returns how many were dropped.
+    pub fn prune(&mut self, now: SimTime) -> usize {
+        let before = self.clients.len();
+        self.clients.retain(|_, lease| lease.expires_at > now);
+        before - self.clients.len()
+    }
+
+    /// Records that this edge peer obtained a lease from a rendezvous.
+    pub fn set_connection(&mut self, peer: PeerId, address: SimAddress, lease: SimDuration, now: SimTime) {
+        self.connection = Some(RendezvousConnection { peer, address, lease_expires_at: now + lease });
+    }
+
+    /// The rendezvous this edge peer is connected to, if any.
+    pub fn connection(&self) -> Option<&RendezvousConnection> {
+        self.connection.as_ref()
+    }
+
+    /// Whether the edge peer's lease needs renewing (expired or expiring
+    /// within the given margin).
+    pub fn needs_renewal(&self, now: SimTime, margin: SimDuration) -> bool {
+        match &self.connection {
+            Some(conn) => conn.lease_expires_at <= now + margin,
+            None => !self.seed_addresses.is_empty(),
+        }
+    }
+
+    /// Duplicate suppression for propagated messages: returns `true` when the
+    /// id has already been seen (and counts it), `false` the first time.
+    pub fn seen_before(&mut self, id: Uuid, now: SimTime) -> bool {
+        if self.seen.contains_key(&id) {
+            self.duplicates_dropped += 1;
+            return true;
+        }
+        self.seen.insert(id, now);
+        self.seen_order.push(id);
+        if self.seen_order.len() > SEEN_WINDOW {
+            let oldest = self.seen_order.remove(0);
+            self.seen.remove(&oldest);
+        }
+        false
+    }
+
+    /// Counts a propagation.
+    pub fn note_propagated(&mut self) {
+        self.propagated += 1;
+    }
+
+    /// Counters: `(propagated, duplicates_dropped, connected_clients)`.
+    pub fn counters(&self) -> (u64, u64, usize) {
+        (self.propagated, self.duplicates_dropped, self.clients.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::TransportKind;
+
+    fn addr(host: u32) -> SimAddress {
+        SimAddress::new(TransportKind::Tcp, host, 9701)
+    }
+
+    #[test]
+    fn client_leases_register_and_expire() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        let lease = rdv.register_client(PeerId::derive("a"), vec![addr(1)], SimTime::ZERO);
+        assert_eq!(lease, DEFAULT_LEASE);
+        assert!(rdv.has_client(PeerId::derive("a")));
+        assert_eq!(rdv.client_endpoints(PeerId::derive("a")).unwrap().len(), 1);
+        assert_eq!(rdv.prune(SimTime::from_secs(60)), 0);
+        assert_eq!(rdv.prune(SimTime::from_secs(121)), 1);
+        assert!(!rdv.has_client(PeerId::derive("a")));
+    }
+
+    #[test]
+    fn unregister_removes_clients() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        rdv.register_client(PeerId::derive("a"), vec![], SimTime::ZERO);
+        rdv.unregister_client(PeerId::derive("a"));
+        assert!(rdv.clients().is_empty());
+    }
+
+    #[test]
+    fn edge_peer_renewal_logic() {
+        let mut edge = RendezvousService::new(false, vec![addr(9)]);
+        // Not connected yet, but has seeds: should try.
+        assert!(edge.needs_renewal(SimTime::ZERO, SimDuration::from_secs(10)));
+        edge.set_connection(PeerId::derive("rdv"), addr(9), DEFAULT_LEASE, SimTime::ZERO);
+        assert!(!edge.needs_renewal(SimTime::from_secs(10), SimDuration::from_secs(10)));
+        assert!(edge.needs_renewal(SimTime::from_secs(115), SimDuration::from_secs(10)));
+        assert_eq!(edge.connection().unwrap().peer, PeerId::derive("rdv"));
+    }
+
+    #[test]
+    fn peer_without_seeds_never_renews() {
+        let isolated = RendezvousService::new(false, vec![]);
+        assert!(!isolated.needs_renewal(SimTime::from_secs(1_000), SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn duplicate_suppression_window() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        let id = Uuid::derive("msg-1");
+        assert!(!rdv.seen_before(id, SimTime::ZERO));
+        assert!(rdv.seen_before(id, SimTime::ZERO));
+        let (_, dups, _) = rdv.counters();
+        assert_eq!(dups, 1);
+    }
+
+    #[test]
+    fn seen_window_is_bounded() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        for i in 0..(SEEN_WINDOW + 10) {
+            rdv.seen_before(Uuid::derive(&format!("m{i}")), SimTime::ZERO);
+        }
+        // The very first id fell out of the window, so it is "new" again.
+        assert!(!rdv.seen_before(Uuid::derive("m0"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn clients_listing_is_deterministic() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        rdv.register_client(PeerId::derive("b"), vec![], SimTime::ZERO);
+        rdv.register_client(PeerId::derive("a"), vec![], SimTime::ZERO);
+        let first = rdv.clients();
+        let second = rdv.clients();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 2);
+    }
+}

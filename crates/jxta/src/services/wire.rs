@@ -1,0 +1,212 @@
+//! The wire service: many-to-many pipes.
+//!
+//! The paper's applications communicate exclusively through the JXTA-WIRE
+//! service: a named pipe that any number of publishers send on and any number
+//! of subscribers listen on. An output pipe keeps one connection per resolved
+//! listener — which is why the paper's invocation time grows with the number
+//! of subscribers — and propagated copies are de-duplicated by message id at
+//! the receivers.
+
+use crate::id::{PeerId, PipeId, Uuid};
+use simnet::{SimAddress, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// How many message ids each input pipe remembers for duplicate suppression.
+pub const DEDUP_WINDOW: usize = 8192;
+
+/// The resolved listeners of one output ("sending") end of a wire pipe.
+#[derive(Debug, Clone, Default)]
+pub struct OutputPipeState {
+    /// Listener peers and the endpoints they were resolved at, in
+    /// deterministic (peer-id) order.
+    pub listeners: BTreeMap<PeerId, Vec<SimAddress>>,
+}
+
+impl OutputPipeState {
+    /// Adds or refreshes a listener binding.
+    pub fn bind(&mut self, peer: PeerId, endpoints: Vec<SimAddress>) {
+        self.listeners.insert(peer, endpoints);
+    }
+
+    /// Removes a listener binding (e.g. after repeated delivery failures).
+    pub fn unbind(&mut self, peer: PeerId) {
+        self.listeners.remove(&peer);
+    }
+
+    /// Number of currently bound listeners.
+    pub fn len(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Whether no listener is bound.
+    pub fn is_empty(&self) -> bool {
+        self.listeners.is_empty()
+    }
+}
+
+/// Per-peer wire service state.
+#[derive(Debug, Default)]
+pub struct WireService {
+    input_pipes: HashSet<PipeId>,
+    output_pipes: HashMap<PipeId, OutputPipeState>,
+    seen: HashMap<PipeId, (HashSet<Uuid>, Vec<Uuid>)>,
+    messages_sent: u64,
+    messages_received: u64,
+    duplicates_dropped: u64,
+}
+
+impl WireService {
+    /// Creates an empty wire service.
+    pub fn new() -> Self {
+        WireService::default()
+    }
+
+    /// Registers a local input (listening) pipe. Returns `true` if it was not
+    /// already registered.
+    pub fn create_input_pipe(&mut self, pipe: PipeId) -> bool {
+        self.input_pipes.insert(pipe)
+    }
+
+    /// Closes a local input pipe.
+    pub fn close_input_pipe(&mut self, pipe: PipeId) {
+        self.input_pipes.remove(&pipe);
+    }
+
+    /// Whether this peer listens on the given pipe.
+    pub fn has_input_pipe(&self, pipe: PipeId) -> bool {
+        self.input_pipes.contains(&pipe)
+    }
+
+    /// All local input pipes, in deterministic order.
+    pub fn input_pipes(&self) -> Vec<PipeId> {
+        let mut pipes: Vec<_> = self.input_pipes.iter().copied().collect();
+        pipes.sort();
+        pipes
+    }
+
+    /// Creates (or returns the existing) output pipe for `pipe`.
+    pub fn output_pipe_mut(&mut self, pipe: PipeId) -> &mut OutputPipeState {
+        self.output_pipes.entry(pipe).or_default()
+    }
+
+    /// The output pipe for `pipe`, if one has been created.
+    pub fn output_pipe(&self, pipe: PipeId) -> Option<&OutputPipeState> {
+        self.output_pipes.get(&pipe)
+    }
+
+    /// Duplicate suppression per input pipe: returns `true` if the message id
+    /// has already been delivered on that pipe.
+    pub fn seen_before(&mut self, pipe: PipeId, msg_id: Uuid) -> bool {
+        let (set, order) = self.seen.entry(pipe).or_default();
+        if set.contains(&msg_id) {
+            self.duplicates_dropped += 1;
+            return true;
+        }
+        set.insert(msg_id);
+        order.push(msg_id);
+        if order.len() > DEDUP_WINDOW {
+            let oldest = order.remove(0);
+            set.remove(&oldest);
+        }
+        false
+    }
+
+    /// Counts an outgoing wire message (one per publish, not per copy).
+    pub fn note_sent(&mut self) {
+        self.messages_sent += 1;
+    }
+
+    /// Counts a delivered (non-duplicate) wire message.
+    pub fn note_received(&mut self) {
+        self.messages_received += 1;
+    }
+
+    /// Counters: `(sent, received, duplicates_dropped)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.messages_sent, self.messages_received, self.duplicates_dropped)
+    }
+
+    /// Forgets a peer from every output pipe (e.g. when its lease lapsed).
+    pub fn forget_peer(&mut self, peer: PeerId) {
+        for state in self.output_pipes.values_mut() {
+            state.unbind(peer);
+        }
+    }
+
+    /// Removes dedup state older than needed; cheap housekeeping hook.
+    pub fn housekeeping(&mut self, _now: SimTime) {
+        // The dedup windows are already bounded; nothing else to do, but the
+        // hook keeps the service's interface uniform with the others.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::TransportKind;
+
+    fn addr(host: u32) -> SimAddress {
+        SimAddress::new(TransportKind::Tcp, host, 9701)
+    }
+
+    #[test]
+    fn input_pipes_register_once() {
+        let mut wire = WireService::new();
+        let pipe = PipeId::derive("ski");
+        assert!(wire.create_input_pipe(pipe));
+        assert!(!wire.create_input_pipe(pipe));
+        assert!(wire.has_input_pipe(pipe));
+        assert_eq!(wire.input_pipes(), vec![pipe]);
+        wire.close_input_pipe(pipe);
+        assert!(!wire.has_input_pipe(pipe));
+    }
+
+    #[test]
+    fn output_pipe_bindings() {
+        let mut wire = WireService::new();
+        let pipe = PipeId::derive("ski");
+        let sub1 = PeerId::derive("sub1");
+        let sub2 = PeerId::derive("sub2");
+        wire.output_pipe_mut(pipe).bind(sub1, vec![addr(1)]);
+        wire.output_pipe_mut(pipe).bind(sub2, vec![addr(2)]);
+        wire.output_pipe_mut(pipe).bind(sub1, vec![addr(3)]); // refresh
+        assert_eq!(wire.output_pipe(pipe).unwrap().len(), 2);
+        assert_eq!(wire.output_pipe(pipe).unwrap().listeners[&sub1], vec![addr(3)]);
+
+        wire.forget_peer(sub1);
+        assert_eq!(wire.output_pipe(pipe).unwrap().len(), 1);
+        wire.output_pipe_mut(pipe).unbind(sub2);
+        assert!(wire.output_pipe(pipe).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_suppression_is_per_pipe() {
+        let mut wire = WireService::new();
+        let pipe_a = PipeId::derive("a");
+        let pipe_b = PipeId::derive("b");
+        let msg = Uuid::derive("m");
+        assert!(!wire.seen_before(pipe_a, msg));
+        assert!(wire.seen_before(pipe_a, msg));
+        assert!(!wire.seen_before(pipe_b, msg));
+        assert_eq!(wire.counters().2, 1);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded() {
+        let mut wire = WireService::new();
+        let pipe = PipeId::derive("a");
+        for i in 0..(DEDUP_WINDOW + 5) {
+            wire.seen_before(pipe, Uuid::derive(&format!("m{i}")));
+        }
+        assert!(!wire.seen_before(pipe, Uuid::derive("m0")));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut wire = WireService::new();
+        wire.note_sent();
+        wire.note_sent();
+        wire.note_received();
+        assert_eq!(wire.counters(), (2, 1, 0));
+    }
+}

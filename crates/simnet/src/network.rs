@@ -1,0 +1,856 @@
+//! The discrete-event simulation kernel: event queue, address resolution,
+//! link modelling and node lifecycle.
+
+use crate::address::{SimAddress, TransportKind};
+use crate::datagram::Datagram;
+use crate::firewall::FirewallPolicy;
+use crate::id::{NodeId, SubnetId, TimerToken};
+use crate::link::{LinkSpec, LinkTable};
+use crate::node::{Command, NodeConfig, NodeContext, SimNode};
+use crate::stats::{DropReason, TrafficStats};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceBuffer, TraceEvent};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Default upper bound on a single datagram's payload (1 MiB); JXTA messages
+/// in the paper are ~2 KB, so this is generous while still catching runaway
+/// serialisation bugs.
+pub const DEFAULT_MAX_DATAGRAM: usize = 1 << 20;
+
+#[derive(Debug)]
+enum EventKind {
+    Start { node: NodeId },
+    Deliver { dst: NodeId, datagram: Datagram },
+    Timer { node: NodeId, token: TimerToken, tag: u64 },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot {
+    node: Option<Box<dyn SimNode>>,
+    subnet: SubnetId,
+    firewall: FirewallPolicy,
+    interfaces: Vec<SimAddress>,
+    rx_overhead: SimDuration,
+    tx_overhead: SimDuration,
+    rng: StdRng,
+    stats: TrafficStats,
+    alive: bool,
+}
+
+/// Builds a [`Network`]: nodes, topology, link characteristics and tracing.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{NetworkBuilder, NodeConfig, SimNode, NodeContext, Datagram, SubnetId};
+///
+/// struct Silent;
+/// impl SimNode for Silent {
+///     fn on_datagram(&mut self, _ctx: &mut NodeContext<'_>, _dg: Datagram) {}
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut builder = NetworkBuilder::new(42);
+/// let a = builder.add_node(Box::new(Silent), NodeConfig::lan_peer(SubnetId(0)));
+/// let mut net = builder.build();
+/// net.run_until_idle();
+/// assert!(net.is_alive(a));
+/// ```
+pub struct NetworkBuilder {
+    seed: u64,
+    links: LinkTable,
+    trace_capacity: Option<usize>,
+    max_datagram: usize,
+    nodes: Vec<(Box<dyn SimNode>, NodeConfig)>,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder; `seed` drives every random decision of the run
+    /// (loss, jitter, per-node RNGs), so equal seeds give equal runs.
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            seed,
+            links: LinkTable::new(LinkSpec::lan()),
+            trace_capacity: None,
+            max_datagram: DEFAULT_MAX_DATAGRAM,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node; returns the id it will have in the built network.
+    pub fn add_node(&mut self, node: Box<dyn SimNode>, config: NodeConfig) -> NodeId {
+        assert!(!config.transports.is_empty(), "a node needs at least one transport");
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.nodes.push((node, config));
+        id
+    }
+
+    /// Replaces the default link spec used between any pair of subnets
+    /// without an explicit override.
+    pub fn default_link(&mut self, spec: LinkSpec) -> &mut Self {
+        self.links.set_default(spec);
+        self
+    }
+
+    /// Sets the link spec between two subnets, both directions.
+    pub fn link(&mut self, a: SubnetId, b: SubnetId, spec: LinkSpec) -> &mut Self {
+        self.links.set_symmetric(a, b, spec);
+        self
+    }
+
+    /// Enables tracing with the given record capacity.
+    pub fn enable_trace(&mut self, capacity: usize) -> &mut Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the maximum accepted datagram payload size.
+    pub fn max_datagram(&mut self, bytes: usize) -> &mut Self {
+        self.max_datagram = bytes;
+        self
+    }
+
+    /// Finalises the network. Every node's `on_start` is scheduled at time 0
+    /// in node-id order.
+    pub fn build(self) -> Network {
+        let mut addr_map = HashMap::new();
+        let mut slots = Vec::with_capacity(self.nodes.len());
+        let mut next_host: u32 = 0x0A00_0001; // 10.0.0.1
+        for (idx, (node, config)) in self.nodes.into_iter().enumerate() {
+            let host = next_host;
+            next_host += 1;
+            let mut interfaces = Vec::new();
+            for transport in &config.transports {
+                let port = match transport {
+                    TransportKind::Tcp => 9701,
+                    TransportKind::Http => 9702,
+                    TransportKind::Multicast => 0,
+                    TransportKind::Bluetooth => 9703,
+                };
+                let addr = SimAddress::new(*transport, host, port);
+                if *transport != TransportKind::Multicast {
+                    addr_map.insert(addr, NodeId::from_raw(idx as u32));
+                }
+                interfaces.push(addr);
+            }
+            slots.push(NodeSlot {
+                node: Some(node),
+                subnet: config.subnet,
+                firewall: config.firewall,
+                interfaces,
+                rx_overhead: config.rx_overhead,
+                tx_overhead: config.tx_overhead,
+                rng: StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(idx as u64)),
+                stats: TrafficStats::default(),
+                alive: true,
+            });
+        }
+        let mut network = Network {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots,
+            addr_map,
+            links: self.links,
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            master_rng: StdRng::seed_from_u64(self.seed),
+            trace: match self.trace_capacity {
+                Some(cap) => TraceBuffer::with_capacity(cap),
+                None => TraceBuffer::disabled(),
+            },
+            drop_counts: HashMap::new(),
+            max_datagram: self.max_datagram,
+            next_host,
+        };
+        for idx in 0..network.slots.len() {
+            network.push_event(SimTime::ZERO, EventKind::Start { node: NodeId::from_raw(idx as u32) });
+        }
+        network
+    }
+}
+
+/// The simulation kernel.
+///
+/// Owns the nodes, the virtual clock and the event queue. Drive it with
+/// [`Network::run_until`], [`Network::run_for`] or [`Network::run_until_idle`],
+/// and interact with node state through [`Network::invoke`] /
+/// [`Network::node_ref`].
+pub struct Network {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    slots: Vec<NodeSlot>,
+    addr_map: HashMap<SimAddress, NodeId>,
+    links: LinkTable,
+    cancelled_timers: HashSet<TimerToken>,
+    next_timer: u64,
+    master_rng: StdRng,
+    trace: TraceBuffer,
+    drop_counts: HashMap<DropReason, u64>,
+    max_datagram: usize,
+    next_host: u32,
+}
+
+impl Network {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of nodes ever added (including shut-down ones).
+    pub fn num_nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether a node is still running.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.slots.get(node.index()).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// The node's current interface addresses.
+    pub fn addresses_of(&self, node: NodeId) -> &[SimAddress] {
+        &self.slots[node.index()].interfaces
+    }
+
+    /// The subnet a node lives in.
+    pub fn subnet_of(&self, node: NodeId) -> SubnetId {
+        self.slots[node.index()].subnet
+    }
+
+    /// Per-node traffic counters.
+    pub fn stats_of(&self, node: NodeId) -> TrafficStats {
+        self.slots[node.index()].stats
+    }
+
+    /// Network-wide traffic counters (sum over nodes).
+    pub fn total_stats(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for slot in &self.slots {
+            total.merge(&slot.stats);
+        }
+        total
+    }
+
+    /// How many datagrams were dropped for `reason`.
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drop_counts.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// The trace buffer (empty unless tracing was enabled on the builder).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable access to the link table, for scenarios that degrade or
+    /// partition the network mid-run.
+    pub fn links_mut(&mut self) -> &mut LinkTable {
+        &mut self.links
+    }
+
+    /// Immutable access to the link table.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// Shuts a node down: pending deliveries and timers addressed to it are
+    /// discarded when they come up.
+    pub fn shutdown_node(&mut self, node: NodeId) {
+        if let Some(slot) = self.slots.get_mut(node.index()) {
+            if slot.alive {
+                slot.alive = false;
+                self.trace.push(self.now, TraceEvent::NodeStopped { node });
+            }
+        }
+    }
+
+    /// Re-assigns fresh host addresses to all unicast interfaces of `node`,
+    /// simulating a DHCP change / network move. Datagrams already in flight to
+    /// the old addresses, and any future sends to them, are dropped with
+    /// [`DropReason::UnknownAddress`]. Returns the new addresses.
+    pub fn reassign_addresses(&mut self, node: NodeId) -> Vec<SimAddress> {
+        let new_host = self.next_host;
+        self.next_host += 1;
+        let slot = &mut self.slots[node.index()];
+        let mut changes = Vec::new();
+        for addr in slot.interfaces.iter_mut() {
+            if addr.transport == TransportKind::Multicast {
+                continue;
+            }
+            let old = *addr;
+            let new = SimAddress::new(old.transport, new_host, old.port);
+            self.addr_map.remove(&old);
+            self.addr_map.insert(new, node);
+            *addr = new;
+            changes.push((old, new));
+        }
+        let new_addrs: Vec<SimAddress> = slot.interfaces.clone();
+        for (old, new) in changes {
+            self.trace.push(self.now, TraceEvent::AddressChanged { node, old, new });
+            self.dispatch_address_change(node, old, new);
+        }
+        new_addrs
+    }
+
+    /// Runs the event loop until the queue is empty or `horizon` is reached,
+    /// whichever comes first. The clock ends at `min(horizon, last event)`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+
+    /// Runs for `duration` of virtual time from the current instant.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let horizon = self.now + duration;
+        self.run_until(horizon);
+    }
+
+    /// Runs until no events remain. Returns the number of events processed.
+    ///
+    /// Protocol layers typically keep periodic timers alive forever, so most
+    /// callers want [`Network::run_until`] instead; this is useful for small
+    /// unit-test topologies.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut processed = 0;
+        while self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "event queue went backwards");
+        self.now = event.at;
+        match event.kind {
+            EventKind::Start { node } => self.handle_start(node),
+            EventKind::Deliver { dst, datagram } => self.handle_deliver(dst, datagram),
+            EventKind::Timer { node, token, tag } => self.handle_timer(node, token, tag),
+        }
+        true
+    }
+
+    /// Calls `f` with mutable access to the concrete node `T` and a fresh
+    /// [`NodeContext`] at the current virtual time; commands queued by `f`
+    /// (sends, timers) are applied as if a handler had run.
+    ///
+    /// This is how applications and test harnesses drive peers "from the
+    /// outside" (e.g. a user clicking *publish*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist, has been shut down, or is not of
+    /// type `T`.
+    pub fn invoke<T: SimNode, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeContext<'_>) -> R,
+    ) -> R {
+        let slot_alive = self.slots[node.index()].alive;
+        assert!(slot_alive, "invoke on a node that has been shut down: {node}");
+        let mut boxed = self.slots[node.index()].node.take().expect("node is re-entrantly borrowed");
+        let (result, commands, charged) = {
+            let slot = &mut self.slots[node.index()];
+            let mut ctx = NodeContext {
+                node_id: node,
+                now: self.now,
+                subnet: slot.subnet,
+                interfaces: &slot.interfaces,
+                rng: &mut slot.rng,
+                next_timer: &mut self.next_timer,
+                charged: SimDuration::ZERO,
+                commands: Vec::new(),
+            };
+            let concrete = boxed
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .unwrap_or_else(|| panic!("node {node} is not of the requested concrete type"));
+            let result = f(concrete, &mut ctx);
+            (result, std::mem::take(&mut ctx.commands), ctx.charged)
+        };
+        self.slots[node.index()].node = Some(boxed);
+        let _ = charged;
+        self.apply_commands(node, commands);
+        result
+    }
+
+    /// Immutable access to the concrete node type, for assertions.
+    ///
+    /// Returns `None` if the node is of a different type.
+    pub fn node_ref<T: SimNode>(&self, node: NodeId) -> Option<&T> {
+        self.slots[node.index()].node.as_ref().and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to the concrete node type **without** a context; the
+    /// closure cannot send or set timers. Prefer [`Network::invoke`].
+    pub fn node_mut<T: SimNode>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.slots[node.index()].node.as_mut().and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq: self.seq, kind }));
+    }
+
+    fn handle_start(&mut self, node: NodeId) {
+        if !self.slots[node.index()].alive {
+            return;
+        }
+        self.trace.push(self.now, TraceEvent::NodeStarted { node });
+        let commands = self.run_handler(node, |n, ctx| n.on_start(ctx));
+        self.apply_commands(node, commands);
+    }
+
+    fn handle_deliver(&mut self, dst: NodeId, datagram: Datagram) {
+        let slot = &mut self.slots[dst.index()];
+        if !slot.alive {
+            *self.drop_counts.entry(DropReason::NodeDown).or_insert(0) += 1;
+            return;
+        }
+        slot.stats.datagrams_delivered += 1;
+        slot.stats.bytes_delivered += datagram.payload.len() as u64;
+        self.trace.push(
+            self.now,
+            TraceEvent::DatagramDelivered { from: datagram.src_node, to: dst, bytes: datagram.payload.len() },
+        );
+        let commands = self.run_handler(dst, |n, ctx| n.on_datagram(ctx, datagram));
+        self.apply_commands(dst, commands);
+    }
+
+    fn handle_timer(&mut self, node: NodeId, token: TimerToken, tag: u64) {
+        if self.cancelled_timers.remove(&token) {
+            return;
+        }
+        if !self.slots[node.index()].alive {
+            return;
+        }
+        self.slots[node.index()].stats.timers_fired += 1;
+        self.trace.push(self.now, TraceEvent::TimerFired { node, tag });
+        let commands = self.run_handler(node, |n, ctx| n.on_timer(ctx, token, tag));
+        self.apply_commands(node, commands);
+    }
+
+    fn dispatch_address_change(&mut self, node: NodeId, old: SimAddress, new: SimAddress) {
+        let commands = self.run_handler(node, |n, ctx| n.on_address_changed(ctx, old, new));
+        self.apply_commands(node, commands);
+    }
+
+    fn run_handler(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn SimNode, &mut NodeContext<'_>),
+    ) -> Vec<Command> {
+        let mut boxed = self.slots[node.index()].node.take().expect("node is re-entrantly borrowed");
+        let commands = {
+            let slot = &mut self.slots[node.index()];
+            let mut ctx = NodeContext {
+                node_id: node,
+                now: self.now,
+                subnet: slot.subnet,
+                interfaces: &slot.interfaces,
+                rng: &mut slot.rng,
+                next_timer: &mut self.next_timer,
+                charged: SimDuration::ZERO,
+                commands: Vec::new(),
+            };
+            f(boxed.as_mut(), &mut ctx);
+            std::mem::take(&mut ctx.commands)
+        };
+        self.slots[node.index()].node = Some(boxed);
+        commands
+    }
+
+    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command>) {
+        for command in commands {
+            match command {
+                Command::Send { local_delay, dst, payload } => {
+                    self.process_send(node, local_delay, dst, payload);
+                }
+                Command::SetTimer { token, at, tag } => {
+                    self.push_event(at.max(self.now), EventKind::Timer { node, token, tag });
+                }
+                Command::CancelTimer { token } => {
+                    self.cancelled_timers.insert(token);
+                }
+                Command::Trace { text } => {
+                    self.trace.push(self.now, TraceEvent::Annotation { node, text });
+                }
+                Command::Shutdown => {
+                    self.shutdown_node(node);
+                }
+            }
+        }
+    }
+
+    fn record_drop(&mut self, from: NodeId, to_addr: SimAddress, reason: DropReason, dst: Option<NodeId>) {
+        *self.drop_counts.entry(reason).or_insert(0) += 1;
+        if let Some(dst) = dst {
+            self.slots[dst.index()].stats.datagrams_dropped += 1;
+        }
+        self.trace.push(self.now, TraceEvent::DatagramDropped { from, to_addr, reason });
+    }
+
+    fn process_send(&mut self, from: NodeId, local_delay: SimDuration, dst: SimAddress, payload: Bytes) {
+        if payload.len() > self.max_datagram {
+            // Oversized payloads are dropped loudly in traces; the synchronous
+            // path already validated interfaces, and real UDP would fragment
+            // or fail silently here.
+            self.record_drop(from, dst, DropReason::UnknownAddress, None);
+            return;
+        }
+        let src_subnet = self.slots[from.index()].subnet;
+        let src_addr = self.slots[from.index()]
+            .interfaces
+            .iter()
+            .copied()
+            .find(|a| a.transport == dst.transport)
+            .expect("send was validated against local interfaces");
+        {
+            let stats = &mut self.slots[from.index()].stats;
+            stats.datagrams_sent += 1;
+            stats.bytes_sent += payload.len() as u64;
+        }
+        self.trace.push(self.now, TraceEvent::DatagramSent { from, to_addr: dst, bytes: payload.len() });
+
+        if dst.is_multicast() {
+            let members: Vec<NodeId> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(idx, slot)| {
+                    *idx != from.index()
+                        && slot.alive
+                        && slot.subnet == src_subnet
+                        && slot.interfaces.iter().any(|a| a.transport == TransportKind::Multicast)
+                })
+                .map(|(idx, _)| NodeId::from_raw(idx as u32))
+                .collect();
+            if members.is_empty() {
+                self.record_drop(from, dst, DropReason::EmptyMulticastGroup, None);
+                return;
+            }
+            for member in members {
+                self.deliver_one(from, src_addr, dst, member, local_delay, payload.clone());
+            }
+            return;
+        }
+
+        let Some(&target) = self.addr_map.get(&dst) else {
+            self.record_drop(from, dst, DropReason::UnknownAddress, None);
+            return;
+        };
+        if !self.slots[target.index()].alive {
+            self.record_drop(from, dst, DropReason::NodeDown, Some(target));
+            return;
+        }
+        // Bluetooth is short-range: only works within the same subnet.
+        if dst.transport == TransportKind::Bluetooth && self.slots[target.index()].subnet != src_subnet {
+            self.record_drop(from, dst, DropReason::UnknownAddress, Some(target));
+            return;
+        }
+        // Firewalls filter inbound point-to-point traffic from other subnets.
+        if self.slots[target.index()].subnet != src_subnet
+            && dst.transport.is_point_to_point()
+            && !self.slots[target.index()].firewall.admits_inbound(dst.transport)
+        {
+            self.record_drop(from, dst, DropReason::Firewall, Some(target));
+            return;
+        }
+        self.deliver_one(from, src_addr, dst, target, local_delay, payload);
+    }
+
+    fn deliver_one(
+        &mut self,
+        from: NodeId,
+        src_addr: SimAddress,
+        dst_addr: SimAddress,
+        target: NodeId,
+        local_delay: SimDuration,
+        payload: Bytes,
+    ) {
+        let src_subnet = self.slots[from.index()].subnet;
+        let dst_subnet = self.slots[target.index()].subnet;
+        let spec = self.links.spec(src_subnet, dst_subnet).clone();
+        if spec.loss_probability > 0.0 && self.master_rng.gen_bool(spec.loss_probability) {
+            self.record_drop(from, dst_addr, DropReason::RandomLoss, Some(target));
+            return;
+        }
+        let jitter = if spec.jitter == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.master_rng.gen_range(0..=spec.jitter.as_micros()))
+        };
+        let datagram = Datagram {
+            src_node: from,
+            src_addr,
+            dst_addr,
+            transport: dst_addr.transport,
+            payload,
+        };
+        let delay = self.slots[from.index()].tx_overhead
+            + local_delay
+            + spec.latency
+            + jitter
+            + spec.transmission_delay(datagram.wire_size())
+            + spec.transport_penalty(dst_addr.transport)
+            + self.slots[target.index()].rx_overhead;
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Deliver { dst: target, datagram });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that counts what it receives and can echo datagrams back.
+    struct Echo {
+        received: Vec<Vec<u8>>,
+        echo: bool,
+        timer_tags: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new(echo: bool) -> Self {
+            Echo { received: Vec::new(), echo, timer_tags: Vec::new() }
+        }
+    }
+
+    impl SimNode for Echo {
+        fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dg: Datagram) {
+            self.received.push(dg.payload.to_vec());
+            if self.echo {
+                let _ = ctx.send(dg.src_addr, dg.payload.clone());
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeContext<'_>, _token: TimerToken, tag: u64) {
+            self.timer_tags.push(tag);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn two_node_net(echo: bool) -> (Network, NodeId, NodeId) {
+        let mut builder = NetworkBuilder::new(7);
+        builder.enable_trace(1024);
+        let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let b = builder.add_node(Box::new(Echo::new(echo)), NodeConfig::lan_peer(SubnetId(0)));
+        (builder.build(), a, b)
+    }
+
+    #[test]
+    fn unicast_delivery_works() {
+        let (mut net, a, b) = two_node_net(false);
+        let dst = net.addresses_of(b).iter().copied().find(|x| x.transport == TransportKind::Tcp).unwrap();
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"ping")).unwrap();
+        });
+        net.run_until_idle();
+        let echo = net.node_ref::<Echo>(b).unwrap();
+        assert_eq!(echo.received, vec![b"ping".to_vec()]);
+        assert_eq!(net.stats_of(a).datagrams_sent, 1);
+        assert_eq!(net.stats_of(b).datagrams_delivered, 1);
+        assert!(net.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let (mut net, a, b) = two_node_net(true);
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"hello")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(a).unwrap().received.len(), 1);
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn multicast_reaches_same_subnet_only() {
+        let mut builder = NetworkBuilder::new(3);
+        let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let b = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let c = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(1)));
+        let mut net = builder.build();
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send_multicast(Bytes::from_static(b"disco")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 1);
+        assert_eq!(net.node_ref::<Echo>(c).unwrap().received.len(), 0);
+        let _ = a;
+    }
+
+    #[test]
+    fn firewall_blocks_cross_subnet_tcp() {
+        let mut builder = NetworkBuilder::new(3);
+        let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let b = builder.add_node(
+            Box::new(Echo::new(false)),
+            NodeConfig::lan_peer(SubnetId(1)).with_firewall(FirewallPolicy::behind_firewall()),
+        );
+        let mut net = builder.build();
+        let tcp = net.addresses_of(b).iter().copied().find(|x| x.transport == TransportKind::Tcp).unwrap();
+        let http = net.addresses_of(b).iter().copied().find(|x| x.transport == TransportKind::Http).unwrap();
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(tcp, Bytes::from_static(b"blocked")).unwrap();
+            ctx.send(http, Bytes::from_static(b"allowed")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received, vec![b"allowed".to_vec()]);
+        assert_eq!(net.drops(DropReason::Firewall), 1);
+    }
+
+    #[test]
+    fn stale_address_after_reassignment_is_dropped() {
+        let (mut net, a, b) = two_node_net(false);
+        let old = net.addresses_of(b)[0];
+        let new_addrs = net.reassign_addresses(b);
+        assert!(!new_addrs.contains(&old));
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(old, Bytes::from_static(b"stale")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 0);
+        assert_eq!(net.drops(DropReason::UnknownAddress), 1);
+
+        // The new address works.
+        let fresh = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(fresh, Bytes::from_static(b"fresh")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let (mut net, a, _b) = two_node_net(false);
+        let token = net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+            ctx.set_timer(SimDuration::from_millis(10), 2)
+        });
+        net.invoke::<Echo, _>(a, |_n, ctx| ctx.cancel_timer(token));
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(a).unwrap().timer_tags, vec![1]);
+    }
+
+    #[test]
+    fn shutdown_stops_delivery() {
+        let (mut net, a, b) = two_node_net(false);
+        let dst = net.addresses_of(b)[0];
+        net.shutdown_node(b);
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"dead letter")).unwrap();
+        });
+        net.run_until_idle();
+        assert!(!net.is_alive(b));
+        assert_eq!(net.drops(DropReason::NodeDown), 1);
+    }
+
+    #[test]
+    fn lossy_links_drop_some_datagrams() {
+        let mut builder = NetworkBuilder::new(11);
+        builder.default_link(LinkSpec::lan().with_loss(0.5));
+        let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let b = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let mut net = builder.build();
+        let dst = net.addresses_of(b)[0];
+        for _ in 0..200 {
+            net.invoke::<Echo, _>(a, |_n, ctx| {
+                ctx.send(dst, Bytes::from_static(b"x")).unwrap();
+            });
+        }
+        net.run_until_idle();
+        let received = net.node_ref::<Echo>(b).unwrap().received.len();
+        assert!(received > 50 && received < 150, "loss should be roughly half, got {received}");
+        assert_eq!(net.drops(DropReason::RandomLoss) as usize + received, 200);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut builder = NetworkBuilder::new(seed);
+            builder.default_link(LinkSpec::lan().with_loss(0.3));
+            let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+            let b = builder.add_node(Box::new(Echo::new(true)), NodeConfig::lan_peer(SubnetId(0)));
+            let mut net = builder.build();
+            let dst = net.addresses_of(b)[0];
+            for _ in 0..50 {
+                net.invoke::<Echo, _>(a, |_n, ctx| {
+                    ctx.send(dst, Bytes::from_static(b"determinism")).unwrap();
+                });
+            }
+            net.run_until_idle();
+            (net.now().as_micros(), net.total_stats().datagrams_delivered)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_horizon() {
+        let (mut net, _a, _b) = two_node_net(false);
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn charge_delays_departure() {
+        let (mut net, a, b) = two_node_net(false);
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.charge(SimDuration::from_millis(500));
+            ctx.send(dst, Bytes::from_static(b"late")).unwrap();
+        });
+        net.run_until_idle();
+        assert!(net.now() >= SimTime::from_millis(500));
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Counters collected by the simulation kernel.
+
+use std::fmt;
+
+/// Why a datagram never reached its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random loss on the link (the link's `loss_probability` fired).
+    RandomLoss,
+    /// The destination's firewall rejected the inbound transport.
+    Firewall,
+    /// No node currently owns the destination address (stale address after a
+    /// re-assignment, or the address never existed).
+    UnknownAddress,
+    /// The destination node exists but has been shut down.
+    NodeDown,
+    /// A multicast datagram found no recipient on the subnet.
+    EmptyMulticastGroup,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::RandomLoss => "random loss",
+            DropReason::Firewall => "blocked by firewall",
+            DropReason::UnknownAddress => "unknown destination address",
+            DropReason::NodeDown => "destination node is down",
+            DropReason::EmptyMulticastGroup => "no member in multicast group",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Traffic counters for one node (or, summed, for the whole network).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Datagrams handed to the kernel for sending.
+    pub datagrams_sent: u64,
+    /// Datagrams delivered to this node's handler.
+    pub datagrams_delivered: u64,
+    /// Datagrams addressed to this node that were dropped (any reason).
+    pub datagrams_dropped: u64,
+    /// Payload bytes sent (excluding framing).
+    pub bytes_sent: u64,
+    /// Payload bytes delivered (excluding framing).
+    pub bytes_delivered: u64,
+    /// Timers fired on this node.
+    pub timers_fired: u64,
+}
+
+impl TrafficStats {
+    /// Merges `other` into `self` (used to compute network-wide totals).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.datagrams_sent += other.datagrams_sent;
+        self.datagrams_delivered += other.datagrams_delivered;
+        self.datagrams_dropped += other.datagrams_dropped;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_delivered += other.bytes_delivered;
+        self.timers_fired += other.timers_fired;
+    }
+
+    /// The fraction of sent datagrams that were eventually delivered
+    /// somewhere, or `1.0` when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.datagrams_sent == 0 {
+            1.0
+        } else {
+            self.datagrams_delivered as f64 / self.datagrams_sent as f64
+        }
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} bytes_sent={} bytes_delivered={} timers={}",
+            self.datagrams_sent,
+            self.datagrams_delivered,
+            self.datagrams_dropped,
+            self.bytes_sent,
+            self.bytes_delivered,
+            self.timers_fired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TrafficStats { datagrams_sent: 1, bytes_sent: 10, ..Default::default() };
+        let b = TrafficStats { datagrams_sent: 2, datagrams_delivered: 2, bytes_delivered: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.datagrams_sent, 3);
+        assert_eq!(a.datagrams_delivered, 2);
+        assert_eq!(a.bytes_sent, 10);
+        assert_eq!(a.bytes_delivered, 5);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero_sends() {
+        assert_eq!(TrafficStats::default().delivery_ratio(), 1.0);
+        let s = TrafficStats { datagrams_sent: 4, datagrams_delivered: 1, ..Default::default() };
+        assert!((s.delivery_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_reasons_have_readable_messages() {
+        assert_eq!(DropReason::Firewall.to_string(), "blocked by firewall");
+        assert!(DropReason::UnknownAddress.to_string().contains("address"));
+    }
+}

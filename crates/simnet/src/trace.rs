@@ -1,0 +1,173 @@
+//! Optional event tracing.
+//!
+//! Tracing is off by default (it allocates); tests and the `reproduce` binary
+//! turn it on to assert on, or pretty-print, the exact sequence of network
+//! events of a run.
+
+use crate::address::SimAddress;
+use crate::id::NodeId;
+use crate::stats::DropReason;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One traced kernel event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A node's `on_start` hook ran.
+    NodeStarted { node: NodeId },
+    /// A node was shut down (no further deliveries).
+    NodeStopped { node: NodeId },
+    /// A datagram was accepted by the kernel for transmission.
+    DatagramSent { from: NodeId, to_addr: SimAddress, bytes: usize },
+    /// A datagram was handed to the destination node's handler.
+    DatagramDelivered { from: NodeId, to: NodeId, bytes: usize },
+    /// A datagram was dropped in flight.
+    DatagramDropped { from: NodeId, to_addr: SimAddress, reason: DropReason },
+    /// A timer fired on a node.
+    TimerFired { node: NodeId, tag: u64 },
+    /// A node's address was re-assigned by the test harness.
+    AddressChanged { node: NodeId, old: SimAddress, new: SimAddress },
+    /// Free-form annotation emitted by a node through
+    /// [`crate::NodeContext::trace`].
+    Annotation { node: NodeId, text: String },
+}
+
+/// A single timestamped trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened on the virtual clock.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        match &self.event {
+            TraceEvent::NodeStarted { node } => write!(f, "{node} started"),
+            TraceEvent::NodeStopped { node } => write!(f, "{node} stopped"),
+            TraceEvent::DatagramSent { from, to_addr, bytes } => {
+                write!(f, "{from} sent {bytes}B to {to_addr}")
+            }
+            TraceEvent::DatagramDelivered { from, to, bytes } => {
+                write!(f, "{to} received {bytes}B from {from}")
+            }
+            TraceEvent::DatagramDropped { from, to_addr, reason } => {
+                write!(f, "datagram {from} -> {to_addr} dropped: {reason}")
+            }
+            TraceEvent::TimerFired { node, tag } => write!(f, "{node} timer tag={tag} fired"),
+            TraceEvent::AddressChanged { node, old, new } => {
+                write!(f, "{node} address changed {old} -> {new}")
+            }
+            TraceEvent::Annotation { node, text } => write!(f, "{node}: {text}"),
+        }
+    }
+}
+
+/// A bounded in-memory trace buffer.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    truncated: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a disabled buffer (records are discarded).
+    pub fn disabled() -> Self {
+        TraceBuffer { enabled: false, capacity: 0, records: Vec::new(), truncated: 0 }
+    }
+
+    /// Creates an enabled buffer keeping at most `capacity` records; older
+    /// records beyond the capacity are dropped and counted in
+    /// [`TraceBuffer::truncated`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer { enabled: true, capacity, records: Vec::new(), truncated: 0 }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record if tracing is enabled.
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.truncated += 1;
+            return;
+        }
+        self.records.push(TraceRecord { at, event });
+    }
+
+    /// The records collected so far, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// How many records were discarded because the buffer was full.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Removes all records (the buffer stays enabled).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.truncated = 0;
+    }
+
+    /// Counts records matching a predicate.
+    pub fn count_matching(&self, mut predicate: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| predicate(&r.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_discards() {
+        let mut buf = TraceBuffer::disabled();
+        buf.push(SimTime::ZERO, TraceEvent::NodeStarted { node: NodeId::from_raw(0) });
+        assert!(buf.records().is_empty());
+        assert!(!buf.is_enabled());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut buf = TraceBuffer::with_capacity(2);
+        for i in 0..5 {
+            buf.push(SimTime::from_millis(i), TraceEvent::TimerFired { node: NodeId::from_raw(0), tag: i });
+        }
+        assert_eq!(buf.records().len(), 2);
+        assert_eq!(buf.truncated(), 3);
+        buf.clear();
+        assert!(buf.records().is_empty());
+        assert_eq!(buf.truncated(), 0);
+    }
+
+    #[test]
+    fn count_matching_filters_events() {
+        let mut buf = TraceBuffer::with_capacity(16);
+        buf.push(SimTime::ZERO, TraceEvent::NodeStarted { node: NodeId::from_raw(0) });
+        buf.push(SimTime::ZERO, TraceEvent::TimerFired { node: NodeId::from_raw(0), tag: 1 });
+        buf.push(SimTime::ZERO, TraceEvent::TimerFired { node: NodeId::from_raw(0), tag: 2 });
+        assert_eq!(buf.count_matching(|e| matches!(e, TraceEvent::TimerFired { .. })), 2);
+    }
+
+    #[test]
+    fn records_render_for_humans() {
+        let rec = TraceRecord {
+            at: SimTime::from_millis(3),
+            event: TraceEvent::Annotation { node: NodeId::from_raw(1), text: "hello".into() },
+        };
+        let s = rec.to_string();
+        assert!(s.contains("node-1"));
+        assert!(s.contains("hello"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Property-based tests of simnet's primitives.
+
+use proptest::prelude::*;
+use simnet::{LinkSpec, SimAddress, SimDuration, SimTime, TransportKind};
+
+proptest! {
+    /// Addresses round trip through their textual form.
+    #[test]
+    fn addresses_roundtrip(host in any::<u32>(), port in any::<u16>(), idx in 0usize..4) {
+        let addr = SimAddress::new(TransportKind::ALL[idx], host, port);
+        prop_assert_eq!(addr.to_string().parse::<SimAddress>().unwrap(), addr);
+    }
+
+    /// Virtual-time arithmetic is consistent: (t + d) - t == d and ordering
+    /// is preserved.
+    #[test]
+    fn time_arithmetic_is_consistent(base in 0u64..1u64 << 40, delta in 0u64..1u64 << 30) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert!(t + d >= t);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    /// Transmission delay grows monotonically with payload size and is zero
+    /// on infinite-bandwidth links.
+    #[test]
+    fn transmission_delay_is_monotone(bw in 1u64..10_000_000, small in 0usize..10_000, extra in 0usize..10_000) {
+        let spec = LinkSpec::perfect().with_bandwidth(bw);
+        let a = spec.transmission_delay(small);
+        let b = spec.transmission_delay(small + extra);
+        prop_assert!(b >= a);
+        prop_assert_eq!(LinkSpec::perfect().transmission_delay(small), SimDuration::ZERO);
+    }
+
+    /// Loss probabilities are always clamped into [0, 1].
+    #[test]
+    fn loss_probability_is_clamped(p in -10.0f64..10.0) {
+        let spec = LinkSpec::lan().with_loss(p);
+        prop_assert!((0.0..=1.0).contains(&spec.loss_probability));
+    }
+}

@@ -1,0 +1,398 @@
+//! The measurement harness: builds the paper's testbed topologies and
+//! regenerates the data series behind Figures 18, 19 and 20, plus the
+//! programming-effort comparison of Section 4.4.
+//!
+//! All measurements are expressed in *virtual* time: per-message CPU costs
+//! are charged through the simulator's cost model (calibrated to the paper's
+//! JXTA 1.0 testbed) and network delays come from the link model. Runs are
+//! deterministic for a given seed.
+
+use crate::jxta_app::Role;
+use crate::node::{Flavor, SkiNode};
+use crate::workload::OfferGenerator;
+use jxta::peer::CostModel;
+use simnet::{Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId, TransportKind};
+
+/// A built scenario: one rendezvous, `publishers` publishing peers and
+/// `subscribers` subscribing peers, all on one LAN segment (the paper's
+/// FastEthernet testbed of Sun Ultra 10s).
+pub struct Scenario {
+    net: Network,
+    flavor: Flavor,
+    publishers: Vec<NodeId>,
+    subscribers: Vec<NodeId>,
+    offers: OfferGenerator,
+}
+
+impl Scenario {
+    /// Builds (but does not yet warm up) a scenario.
+    pub fn build(flavor: Flavor, publishers: usize, subscribers: usize, seed: u64) -> Scenario {
+        Scenario::build_with_costs(flavor, publishers, subscribers, seed, CostModel::jxta_1_0())
+    }
+
+    /// Builds a scenario with an explicit cost model (functional tests use
+    /// [`CostModel::free`]).
+    pub fn build_with_costs(
+        flavor: Flavor,
+        publishers: usize,
+        subscribers: usize,
+        seed: u64,
+        costs: CostModel,
+    ) -> Scenario {
+        let mut builder = NetworkBuilder::new(seed);
+        // Node 0 is the rendezvous; every other peer seeds to it.
+        let rdv_config = jxta::peer::PeerConfig::rendezvous("rdv").with_costs(costs.clone());
+        builder.add_node(
+            Box::new(RdvNode { peer: jxta::JxtaPeer::new(rdv_config) }),
+            NodeConfig::lan_peer(SubnetId(0)),
+        );
+        let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
+        let mut publisher_ids = Vec::new();
+        for i in 0..publishers {
+            let node = SkiNode::boxed(
+                flavor,
+                Role::Publisher,
+                &format!("shop-{i}"),
+                vec![rdv_addr],
+                costs.clone(),
+            );
+            publisher_ids.push(builder.add_node(node, NodeConfig::lan_peer(SubnetId(0))));
+        }
+        let mut subscriber_ids = Vec::new();
+        for i in 0..subscribers {
+            let node = SkiNode::boxed(
+                flavor,
+                Role::Subscriber,
+                &format!("skier-{i}"),
+                vec![rdv_addr],
+                costs.clone(),
+            );
+            subscriber_ids.push(builder.add_node(node, NodeConfig::lan_peer(SubnetId(0))));
+        }
+        Scenario {
+            net: builder.build(),
+            flavor,
+            publishers: publisher_ids,
+            subscribers: subscriber_ids,
+            offers: OfferGenerator::new(seed ^ 0x5EED),
+        }
+    }
+
+    /// The flavour this scenario runs.
+    pub fn flavor(&self) -> Flavor {
+        self.flavor
+    }
+
+    /// Read access to the simulated network (stats, traces).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Runs the initialisation phase: rendezvous connection, advertisement
+    /// publication/discovery and pipe binding.
+    pub fn warm_up(&mut self) {
+        self.net.run_for(SimDuration::from_secs(30));
+    }
+
+    /// Advances virtual time.
+    pub fn advance(&mut self, duration: SimDuration) {
+        self.net.run_for(duration);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Publishes one generated offer from publisher `index` and returns the
+    /// invocation time (the virtual CPU time the `publish` call consumed at
+    /// the publisher — the quantity of the paper's Figure 18). The clock is
+    /// advanced by the same amount, modelling the publisher being busy.
+    pub fn publish_one(&mut self, index: usize) -> SimDuration {
+        let charged = self.publish_without_advancing(index);
+        self.net.run_for(charged);
+        charged
+    }
+
+    /// Publishes one offer from publisher `index` without advancing the
+    /// clock; used to model several publishers working concurrently (the
+    /// caller advances by the longest of the per-publisher busy times).
+    pub fn publish_without_advancing(&mut self, index: usize) -> SimDuration {
+        let offer = self.offers.next_offer();
+        let node = self.publishers[index];
+        self.net.invoke::<SkiNode, _>(node, |peer, ctx| {
+            peer.publish_offer(ctx, &offer).expect("publish failed");
+            ctx.charged()
+        })
+    }
+
+    /// Offers received so far by subscriber `index`, with arrival times.
+    pub fn received_times(&self, index: usize) -> Vec<SimTime> {
+        self.net.node_ref::<SkiNode>(self.subscribers[index]).expect("subscriber exists").received_times()
+    }
+
+    /// Number of offers received so far by subscriber `index`.
+    pub fn received_count(&self, index: usize) -> usize {
+        self.net.node_ref::<SkiNode>(self.subscribers[index]).expect("subscriber exists").received_count()
+    }
+}
+
+/// A bare rendezvous node (no application on top).
+#[derive(Debug)]
+struct RdvNode {
+    peer: jxta::JxtaPeer,
+}
+
+impl simnet::SimNode for RdvNode {
+    fn on_start(&mut self, ctx: &mut simnet::NodeContext<'_>) {
+        self.peer.on_start(ctx);
+    }
+    fn on_datagram(&mut self, ctx: &mut simnet::NodeContext<'_>, dg: simnet::Datagram) {
+        self.peer.on_datagram(ctx, &dg);
+        let _ = self.peer.take_events();
+    }
+    fn on_timer(&mut self, ctx: &mut simnet::NodeContext<'_>, _token: simnet::TimerToken, tag: u64) {
+        if jxta::is_jxta_timer(tag) {
+            self.peer.on_timer(ctx, tag);
+        }
+        let _ = self.peer.take_events();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 18 — invocation time
+// ---------------------------------------------------------------------------
+
+/// One series of the paper's Figure 18: the per-event invocation time (ms) of
+/// `events` back-to-back publications with `subscribers` connected
+/// subscribers.
+pub fn invocation_time(flavor: Flavor, subscribers: usize, events: usize, seed: u64) -> Vec<f64> {
+    let mut scenario = Scenario::build(flavor, 1, subscribers, seed);
+    scenario.warm_up();
+    (0..events).map(|_| scenario.publish_one(0).as_millis_f64()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 19 — publisher throughput
+// ---------------------------------------------------------------------------
+
+/// One series of the paper's Figure 19: events sent per second, per epoch,
+/// while publishing `events` events split into `epochs` epochs.
+pub fn publisher_throughput(
+    flavor: Flavor,
+    subscribers: usize,
+    events: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut scenario = Scenario::build(flavor, 1, subscribers, seed);
+    scenario.warm_up();
+    let per_epoch = events / epochs;
+    let mut series = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let start = scenario.now();
+        for _ in 0..per_epoch {
+            scenario.publish_one(0);
+        }
+        let elapsed = scenario.now().saturating_since(start).as_secs_f64();
+        series.push(if elapsed > 0.0 { per_epoch as f64 / elapsed } else { 0.0 });
+    }
+    series
+}
+
+// ---------------------------------------------------------------------------
+// Figure 20 — subscriber throughput
+// ---------------------------------------------------------------------------
+
+/// One series of the paper's Figure 20: the number of events received per
+/// second at a single subscriber, sampled every second for `seconds`, while
+/// `publishers` publishers flood it.
+pub fn subscriber_throughput(flavor: Flavor, publishers: usize, seconds: usize, seed: u64) -> Vec<f64> {
+    let mut scenario = Scenario::build(flavor, publishers, 1, seed);
+    scenario.warm_up();
+    let start = scenario.now();
+    let end = start + SimDuration::from_secs(seconds as u64);
+    // Publishers flood concurrently: in each round every publisher issues one
+    // event at the current instant (they are separate machines), and the
+    // clock advances by the slowest publisher's busy time.
+    while scenario.now() < end {
+        let mut round_max = SimDuration::ZERO;
+        for publisher in 0..publishers {
+            let charged = scenario.publish_without_advancing(publisher);
+            if charged > round_max {
+                round_max = charged;
+            }
+        }
+        scenario.advance(round_max.saturating_add(SimDuration::from_millis(1)));
+    }
+    // Bucket arrivals into one-second windows relative to the flood start.
+    let mut buckets = vec![0.0_f64; seconds];
+    for at in scenario.received_times(0) {
+        if at < start {
+            continue;
+        }
+        let offset = at.saturating_since(start).as_secs_f64();
+        let bucket = offset as usize;
+        if bucket < seconds {
+            buckets[bucket] += 1.0;
+        }
+    }
+    buckets
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.4 — programming-effort comparison
+// ---------------------------------------------------------------------------
+
+/// Line-count comparison of the code a programmer must write (and, for the
+/// direct-JXTA route, re-implement) for the ski-rental application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocReport {
+    /// Lines the TPS user writes (type definition + SR-TPS application).
+    pub tps_user_loc: usize,
+    /// Lines the direct-JXTA user writes for equal functionality (SR-JXTA:
+    /// advertisements creator/finder, wire service finder, dedup, histories).
+    pub jxta_user_loc: usize,
+    /// Lines of the TPS library itself — functionality the direct-JXTA user
+    /// would have to re-create to obtain the full API (the paper's "about
+    /// 5000 lines" figure).
+    pub tps_library_loc: usize,
+}
+
+impl LocReport {
+    /// Lines saved by using TPS while writing the minimal application
+    /// (the paper's "at least 900 lines" claim).
+    pub fn minimal_savings(&self) -> isize {
+        self.jxta_user_loc as isize - self.tps_user_loc as isize
+    }
+
+    /// Lines saved when the full API functionality is needed (the paper's
+    /// "about 5000 lines" claim).
+    pub fn full_api_savings(&self) -> isize {
+        self.minimal_savings() + self.tps_library_loc as isize
+    }
+}
+
+fn count_loc(sources: &[&str]) -> usize {
+    sources
+        .iter()
+        .flat_map(|s| s.lines())
+        .filter(|line| {
+            let trimmed = line.trim();
+            !trimmed.is_empty() && !trimmed.starts_with("//")
+        })
+        .count()
+}
+
+/// Computes the programming-effort comparison from the actual sources in this
+/// repository.
+pub fn loc_report() -> LocReport {
+    let tps_user = [include_str!("types.rs"), include_str!("tps_app.rs")];
+    let jxta_user = [include_str!("types.rs"), include_str!("jxta_app.rs")];
+    let tps_library = [
+        include_str!("../../tps/src/engine.rs"),
+        include_str!("../../tps/src/interface.rs"),
+        include_str!("../../tps/src/codec.rs"),
+        include_str!("../../tps/src/callback.rs"),
+        include_str!("../../tps/src/criteria.rs"),
+        include_str!("../../tps/src/event.rs"),
+        include_str!("../../tps/src/error.rs"),
+        include_str!("../../tps/src/host.rs"),
+    ];
+    LocReport {
+        tps_user_loc: count_loc(&tps_user),
+        jxta_user_loc: count_loc(&jxta_user),
+        tps_library_loc: count_loc(&tps_library),
+    }
+}
+
+/// Simple descriptive statistics used by the reproduction reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Computes mean / standard deviation / min / max of a series.
+pub fn stats(series: &[f64]) -> SeriesStats {
+    if series.is_empty() {
+        return SeriesStats { mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let variance = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
+    let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    SeriesStats { mean, std_dev: variance.sqrt(), min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_delivery_for_every_flavor() {
+        for flavor in Flavor::ALL {
+            let mut scenario = Scenario::build_with_costs(flavor, 1, 1, 11, CostModel::free());
+            scenario.warm_up();
+            for _ in 0..5 {
+                scenario.publish_one(0);
+            }
+            scenario.advance(SimDuration::from_secs(10));
+            assert_eq!(
+                scenario.received_count(0),
+                5,
+                "{flavor}: subscriber should receive every published offer exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn invocation_time_orders_flavors_like_the_paper() {
+        let wire = stats(&invocation_time(Flavor::JxtaWire, 1, 10, 21)).mean;
+        let sr_jxta = stats(&invocation_time(Flavor::SrJxta, 1, 10, 21)).mean;
+        let sr_tps = stats(&invocation_time(Flavor::SrTps, 1, 10, 21)).mean;
+        assert!(wire < sr_jxta, "raw JXTA-WIRE should be quicker than SR-JXTA ({wire} vs {sr_jxta})");
+        assert!(wire < sr_tps, "raw JXTA-WIRE should be quicker than SR-TPS ({wire} vs {sr_tps})");
+        // SR-TPS and SR-JXTA are within a few percent of each other.
+        let relative_gap = (sr_tps - sr_jxta).abs() / sr_jxta;
+        assert!(relative_gap < 0.15, "SR-TPS and SR-JXTA should be close (gap {relative_gap})");
+    }
+
+    #[test]
+    fn more_subscribers_slow_the_publisher_down() {
+        let one = stats(&invocation_time(Flavor::SrTps, 1, 10, 33)).mean;
+        let four = stats(&invocation_time(Flavor::SrTps, 4, 10, 33)).mean;
+        assert!(four > one * 1.5, "four subscribers should cost noticeably more than one ({one} -> {four})");
+    }
+
+    #[test]
+    fn loc_report_shows_tps_saving_code() {
+        let report = loc_report();
+        assert!(report.tps_user_loc < report.jxta_user_loc);
+        assert!(report.minimal_savings() > 0);
+        assert!(report.full_api_savings() > report.minimal_savings());
+        assert!(report.tps_library_loc > 1000);
+    }
+
+    #[test]
+    fn stats_helper_computes_moments() {
+        let s = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert!((s.min - 1.0).abs() < 1e-9);
+        assert!((s.max - 4.0).abs() < 1e-9);
+        assert!(s.std_dev > 1.0 && s.std_dev < 1.2);
+        assert_eq!(stats(&[]).mean, 0.0);
+    }
+}

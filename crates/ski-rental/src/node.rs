@@ -1,0 +1,189 @@
+//! A single simulation-node type covering the three implementation flavours
+//! compared in the paper's evaluation, so that the measurement harness can
+//! drive any of them uniformly.
+
+use crate::jxta_app::{JxtaSkiApp, Role};
+use crate::tps_app::TpsSkiApp;
+use crate::types::SkiRental;
+use jxta::peer::{CostModel, PeerConfig};
+use simnet::{Datagram, NodeContext, SimAddress, SimTime, TimerToken};
+use tps::TpsConfig;
+
+/// The three implementations compared in Section 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// The bare JXTA-WIRE service (lower-bound reference point).
+    JxtaWire,
+    /// The ski-rental application written directly over JXTA with the same
+    /// functionality as TPS (SR-JXTA).
+    SrJxta,
+    /// The ski-rental application written over the TPS layer (SR-TPS).
+    SrTps,
+}
+
+impl Flavor {
+    /// All flavours, in the order the paper's figures list them.
+    pub const ALL: [Flavor; 3] = [Flavor::JxtaWire, Flavor::SrJxta, Flavor::SrTps];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Flavor::JxtaWire => "JXTA-WIRE",
+            Flavor::SrJxta => "SR-JXTA",
+            Flavor::SrTps => "SR-TPS",
+        }
+    }
+}
+
+impl std::fmt::Display for Flavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One ski-rental peer of a given flavour and role.
+#[derive(Debug)]
+pub enum SkiNode {
+    /// Raw JXTA-WIRE peer.
+    Wire(JxtaSkiApp),
+    /// SR-JXTA peer.
+    SrJxta(JxtaSkiApp),
+    /// SR-TPS peer.
+    SrTps(TpsSkiApp),
+}
+
+impl SkiNode {
+    /// Creates a peer of the given flavour and role.
+    ///
+    /// `costs` controls the virtual CPU model of the underlying JXTA peer
+    /// (use [`CostModel::jxta_1_0`] for the paper's figures,
+    /// [`CostModel::free`] for functional tests).
+    pub fn new(
+        flavor: Flavor,
+        role: Role,
+        name: &str,
+        seeds: Vec<SimAddress>,
+        costs: CostModel,
+    ) -> Self {
+        let peer_config = PeerConfig::edge(name).with_seeds(seeds).with_costs(costs);
+        match flavor {
+            Flavor::JxtaWire => SkiNode::Wire(JxtaSkiApp::new(peer_config, role, false)),
+            Flavor::SrJxta => SkiNode::SrJxta(JxtaSkiApp::new(peer_config, role, true)),
+            Flavor::SrTps => {
+                let config = TpsConfig::new(name).with_peer(peer_config);
+                SkiNode::SrTps(TpsSkiApp::new(config, role))
+            }
+        }
+    }
+
+    /// Boxed constructor, convenient for `NetworkBuilder::add_node`.
+    pub fn boxed(
+        flavor: Flavor,
+        role: Role,
+        name: &str,
+        seeds: Vec<SimAddress>,
+        costs: CostModel,
+    ) -> Box<Self> {
+        Box::new(Self::new(flavor, role, name, seeds, costs))
+    }
+
+    /// Publishes one offer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable error if the underlying layer rejects the publish.
+    pub fn publish_offer(&mut self, ctx: &mut NodeContext<'_>, offer: &SkiRental) -> Result<(), String> {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.publish_offer(ctx, offer),
+            SkiNode::SrTps(app) => app.publish_offer(ctx, offer),
+        }
+    }
+
+    /// Virtual arrival times of every offer received so far.
+    pub fn received_times(&self) -> Vec<SimTime> {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.received().iter().map(|(t, _)| *t).collect(),
+            SkiNode::SrTps(app) => app.received().iter().map(|(t, _)| *t).collect(),
+        }
+    }
+
+    /// The offers received so far.
+    pub fn received_offers(&self) -> Vec<SkiRental> {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => {
+                app.received().iter().map(|(_, o)| o.clone()).collect()
+            }
+            SkiNode::SrTps(app) => app.received().iter().map(|(_, o)| o.clone()).collect(),
+        }
+    }
+
+    /// How many offers were received.
+    pub fn received_count(&self) -> usize {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.received().len(),
+            SkiNode::SrTps(app) => app.received().len(),
+        }
+    }
+}
+
+impl simnet::SimNode for SkiNode {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => simnet::SimNode::on_start(app, ctx),
+            SkiNode::SrTps(app) => simnet::SimNode::on_start(app, ctx),
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, datagram: Datagram) {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.on_datagram(ctx, datagram),
+            SkiNode::SrTps(app) => app.on_datagram(ctx, datagram),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, token: TimerToken, tag: u64) {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.on_timer(ctx, token, tag),
+            SkiNode::SrTps(app) => app.on_timer(ctx, token, tag),
+        }
+    }
+
+    fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, old: SimAddress, new: SimAddress) {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.on_address_changed(ctx, old, new),
+            SkiNode::SrTps(app) => app.on_address_changed(ctx, old, new),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Flavor::JxtaWire.label(), "JXTA-WIRE");
+        assert_eq!(Flavor::SrJxta.label(), "SR-JXTA");
+        assert_eq!(Flavor::SrTps.to_string(), "SR-TPS");
+        assert_eq!(Flavor::ALL.len(), 3);
+    }
+
+    #[test]
+    fn nodes_construct_for_every_flavor_and_role() {
+        for flavor in Flavor::ALL {
+            for role in [Role::Publisher, Role::Subscriber] {
+                let node = SkiNode::new(flavor, role, "peer", vec![], CostModel::free());
+                assert_eq!(node.received_count(), 0);
+                assert!(node.received_times().is_empty());
+            }
+        }
+    }
+}

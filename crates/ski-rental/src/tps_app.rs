@@ -1,0 +1,160 @@
+//! The ski-rental application written **over TPS** — the paper's SR-TPS.
+//!
+//! Note how little is left to write compared to [`crate::jxta_app`]: define
+//! the type, initialise the engine, subscribe with a call-back, publish.
+//! That difference *is* the paper's programming-effort argument (Section 4),
+//! quantified by [`crate::harness::loc_report`].
+
+use crate::types::SkiRental;
+use simnet::{Datagram, NodeContext, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEngine, TpsInterfaceExt};
+
+use crate::jxta_app::Role;
+
+/// Publisher-side bookkeeping of the TPS layer (event-id generation, sent
+/// history, registry lookup and generic dispatch). It does the same work as
+/// SR-JXTA's hand-rolled bookkeeping plus the genericity, which the paper
+/// measures at roughly 1 % extra.
+const TPS_GENERICITY_OVERHEAD: simnet::SimDuration = simnet::SimDuration::from_millis(21);
+/// Receive-side cost added by the SR functionality (histories, dedup).
+const SR_DELIVER_OVERHEAD: simnet::SimDuration = simnet::SimDuration::from_millis(24);
+/// Additional receive-side cost per extra incoming publisher connection.
+const CONNECTION_SCALE: f64 = 0.8;
+
+/// The TPS-based ski-rental peer.
+#[derive(Debug)]
+pub struct TpsSkiApp {
+    engine: TpsEngine,
+    role: Role,
+    sink: Rc<RefCell<Vec<SkiRental>>>,
+    received: Vec<(SimTime, SkiRental)>,
+    overloaded_drops: u64,
+    busy_until: SimTime,
+}
+
+impl TpsSkiApp {
+    /// Creates the application peer.
+    pub fn new(config: TpsConfig, role: Role) -> Self {
+        TpsSkiApp {
+            engine: TpsEngine::new(config),
+            role,
+            sink: Rc::new(RefCell::new(Vec::new())),
+            received: Vec::new(),
+            overloaded_drops: 0,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The underlying TPS engine.
+    pub fn engine(&self) -> &TpsEngine {
+        &self.engine
+    }
+
+    /// The offers received so far, with their virtual arrival times.
+    pub fn received(&self) -> &[(SimTime, SkiRental)] {
+        &self.received
+    }
+
+    /// The offers published so far (`objectsSent()`).
+    pub fn sent(&self) -> Vec<SkiRental> {
+        self.engine.objects_sent::<SkiRental>()
+    }
+
+    /// Publishes an offer through the TPS interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable error when the TPS layer reports a `PSException`.
+    pub fn publish_offer(&mut self, ctx: &mut NodeContext<'_>, offer: &SkiRental) -> Result<(), String> {
+        ctx.charge(TPS_GENERICITY_OVERHEAD);
+        self.engine
+            .interface::<SkiRental>()
+            .publish(ctx, offer.clone())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Events lost because the subscriber was still busy servicing earlier
+    /// ones (receive-side overload, as JXTA 1.0 exhibited under flooding).
+    pub fn overloaded_drops(&self) -> u64 {
+        self.overloaded_drops
+    }
+
+    /// Collects newly delivered offers from the call-back sink, timestamps
+    /// them with the current virtual time and applies the same receive-side
+    /// capacity model as the direct-JXTA application (base service cost plus
+    /// a penalty per additional publisher connection; excess events are lost).
+    fn collect_new(&mut self, ctx: &NodeContext<'_>) {
+        let base = self.engine.config().peer.costs.wire_listener_fixed.mul_f64(0.85);
+        let connections = self.engine.distinct_publishers().max(1);
+        let service_cost =
+            base.mul_f64(1.0 + CONNECTION_SCALE * (connections - 1) as f64) + SR_DELIVER_OVERHEAD;
+        let offers: Vec<SkiRental> = self.sink.borrow_mut().drain(..).collect();
+        for offer in offers {
+            if base > simnet::SimDuration::ZERO {
+                if ctx.now() < self.busy_until {
+                    self.overloaded_drops += 1;
+                    continue;
+                }
+                self.busy_until = ctx.now() + service_cost;
+            }
+            self.received.push((ctx.now(), offer));
+        }
+    }
+}
+
+impl simnet::SimNode for TpsSkiApp {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        self.engine.on_start(ctx);
+        if self.role == Role::Subscriber {
+            // The paper's subscription phase: a call-back plus an exception
+            // handler, three lines of user code.
+            let callback = CollectingCallback::into_sink(Rc::clone(&self.sink));
+            self.engine.interface::<SkiRental>().subscribe(ctx, callback, IgnoreExceptions);
+        } else {
+            // Publishers eagerly initialise their interface so that the
+            // advertisement and pipe resolution start before the first offer.
+            self.engine.prepare_publisher::<SkiRental>(ctx);
+        }
+        self.collect_new(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, datagram: Datagram) {
+        self.engine.on_datagram(ctx, &datagram);
+        self.collect_new(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _token: simnet::TimerToken, tag: u64) {
+        self.engine.on_timer(ctx, tag);
+        self.collect_new(ctx);
+    }
+
+    fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, old: simnet::SimAddress, new: simnet::SimAddress) {
+        self.engine.on_address_changed(ctx, old, new);
+        self.collect_new(ctx);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta::peer::{CostModel, PeerConfig};
+
+    #[test]
+    fn construction() {
+        let config = TpsConfig::new("skier").with_peer(PeerConfig::edge("skier").with_costs(CostModel::free()));
+        let app = TpsSkiApp::new(config, Role::Subscriber);
+        assert!(app.received().is_empty());
+        assert!(app.sent().is_empty());
+        assert_eq!(app.engine().subscription_count(), 0);
+    }
+}

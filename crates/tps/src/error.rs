@@ -1,0 +1,91 @@
+//! Error types of the TPS layer: the paper's `PSException` and
+//! `CallBackException`.
+
+use jxta::JxtaError;
+use std::fmt;
+
+/// The publish/subscribe exception of the paper's API (`PSException`).
+///
+/// Raised by `publish`, `subscribe` and `unsubscribe` when the underlying
+/// P2P infrastructure or the event marshalling fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsException {
+    /// The event could not be serialised.
+    Marshal(String),
+    /// A received event could not be deserialised as the subscribed type.
+    Unmarshal(String),
+    /// The underlying JXTA layer reported an error.
+    Jxta(String),
+    /// The engine has no channel for the requested type (not initialised).
+    UnknownType(String),
+    /// The subscription id is unknown (already removed or never issued).
+    UnknownSubscription(u64),
+    /// A callback rejected the event.
+    Callback(CallBackException),
+}
+
+impl fmt::Display for PsException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsException::Marshal(e) => write!(f, "failed to marshal event: {e}"),
+            PsException::Unmarshal(e) => write!(f, "failed to unmarshal event: {e}"),
+            PsException::Jxta(e) => write!(f, "jxta layer error: {e}"),
+            PsException::UnknownType(t) => write!(f, "no publish/subscribe channel for type {t}"),
+            PsException::UnknownSubscription(id) => write!(f, "unknown subscription {id}"),
+            PsException::Callback(e) => write!(f, "callback failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PsException {}
+
+impl From<JxtaError> for PsException {
+    fn from(e: JxtaError) -> Self {
+        PsException::Jxta(e.to_string())
+    }
+}
+
+impl From<CallBackException> for PsException {
+    fn from(e: CallBackException) -> Self {
+        PsException::Callback(e)
+    }
+}
+
+/// The exception a call-back object may raise while handling an event
+/// (the paper's `CallBackException`); routed to the registered
+/// `TpsExceptionHandler` rather than propagated to the publisher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallBackException {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl CallBackException {
+    /// Creates a callback exception with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        CallBackException { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for CallBackException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for CallBackException {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: PsException = JxtaError::UnknownPipe("p".into()).into();
+        assert!(e.to_string().contains("jxta"));
+        let e: PsException = CallBackException::new("gui crashed").into();
+        assert!(e.to_string().contains("gui crashed"));
+        assert!(PsException::UnknownType("SkiRental".into()).to_string().contains("SkiRental"));
+        assert!(PsException::UnknownSubscription(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,49 @@
+//! # tps — Type-based Publish/Subscribe over JXTA
+//!
+//! This crate is the reproduction of the core contribution of *"OS Support
+//! for P2P Programming: a Case for TPS"* (Baehni, Eugster, Guerraoui —
+//! ICDCS 2002): a **Type-based Publish/Subscribe** layer offering RPC-grade
+//! simplicity, type safety and encapsulation, while preserving the time,
+//! space and flow decoupling of P2P applications. It sits on the from-scratch
+//! [`jxta`] substrate, which in turn runs on the [`simnet`] discrete-event
+//! network simulator.
+//!
+//! * The **subject** of a publication is the event's Rust type
+//!   ([`TpsEvent::TYPE_NAME`]); the **content** is the state of the instance.
+//! * Subscribers to a type also receive instances of its declared subtypes
+//!   (the paper's Figure 7), structurally projected onto the supertype by a
+//!   tolerant self-describing codec ([`codec`]).
+//! * The programmer-facing API is the paper's `TPSEngine` / `TPSInterface`
+//!   pair: [`TpsEngine`] plus the typed facade [`TpsInterface`], with
+//!   call-back objects, exception handlers and content-filtering
+//!   [`Criteria`].
+//!
+//! ## The four phases of a TPS application (paper Figure 14)
+//!
+//! 1. **Type definition** — define a serde-serialisable type and implement
+//!    [`TpsEvent`].
+//! 2. **Initialisation** — create a [`TpsEngine`] (one per peer) and take a
+//!    typed [`TpsInterface`] from it.
+//! 3. **Subscription** — `subscribe(callback, exception_handler)`.
+//! 4. **Publication** — `publish(instance)`.
+//!
+//! See `examples/quickstart.rs` at the workspace root for the full runnable
+//! version of the paper's ski-rental walk-through.
+#![warn(rust_2018_idioms)]
+
+pub mod callback;
+pub mod codec;
+pub mod criteria;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod host;
+pub mod interface;
+
+pub use callback::{CallbackFn, CollectingCallback, CountingExceptionHandler, ExceptionHandlerFn, IgnoreExceptions, TpsCallBack, TpsExceptionHandler};
+pub use criteria::Criteria;
+pub use engine::{is_tps_timer, SubscriptionId, TpsConfig, TpsCounters, TpsEngine, TIMER_FINDER};
+pub use error::{CallBackException, PsException};
+pub use event::{TpsEvent, TypeRegistry};
+pub use host::TpsHost;
+pub use interface::{TpsInterface, TpsInterfaceExt};

@@ -1,0 +1,85 @@
+//! Property-based tests of the TPS codec and the type registry.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use tps::codec;
+use tps::TypeRegistry;
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct Offer {
+    shop: String,
+    price: f64,
+    days: u32,
+    tags: Vec<String>,
+    note: Option<String>,
+}
+
+proptest! {
+    /// Any offer survives a marshal/unmarshal round trip unchanged.
+    #[test]
+    fn codec_roundtrips_arbitrary_offers(
+        shop in ".{0,40}",
+        price in -1.0e6f64..1.0e6,
+        days in 0u32..10_000,
+        tags in proptest::collection::vec(".{0,12}", 0..6),
+        note in proptest::option::of(".{0,20}"),
+    ) {
+        let offer = Offer { shop, price, days, tags, note };
+        let bytes = codec::to_vec(&offer).unwrap();
+        let back: Offer = codec::from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, offer);
+    }
+
+    /// Strings with arbitrary unicode and control characters round trip.
+    #[test]
+    fn codec_roundtrips_arbitrary_strings(s in "\\PC*") {
+        let bytes = codec::to_vec(&s).unwrap();
+        let back: String = codec::from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// Scalars round trip across the full integer range.
+    #[test]
+    fn codec_roundtrips_integers(value in proptest::num::i64::ANY) {
+        let bytes = codec::to_vec(&value).unwrap();
+        let back: i64 = codec::from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    /// A subtype payload always projects onto a supertype sharing a subset of
+    /// its fields (structural upcast never fails).
+    #[test]
+    fn structural_upcast_never_fails(shop in ".{0,20}", price in 0.0f64..1000.0, days in 0u32..100) {
+        #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+        struct Super { shop: String, price: f64 }
+        let sub = Offer { shop: shop.clone(), price, days, tags: vec![], note: None };
+        let bytes = codec::to_vec(&sub).unwrap();
+        let projected: Super = codec::from_slice(&bytes).unwrap();
+        prop_assert_eq!(projected.shop, shop);
+        prop_assert!((projected.price - price).abs() < 1e-9);
+    }
+
+    /// The subtype relation is reflexive and respects registered edges, and
+    /// `ancestors_of` always contains the type itself and all its parents.
+    #[test]
+    fn registry_subtyping_invariants(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..16)
+    ) {
+        let name = |i: usize| format!("T{i}");
+        let mut registry = TypeRegistry::new();
+        for (child, parent) in &edges {
+            registry.register_raw(&name(*child), vec![name(*parent)]);
+        }
+        for i in 0..8 {
+            prop_assert!(registry.is_subtype_of(&name(i), &name(i)));
+            let ancestors = registry.ancestors_of(&name(i));
+            prop_assert!(ancestors.contains(&name(i)));
+            for ancestor in &ancestors {
+                prop_assert!(registry.is_subtype_of(&name(i), ancestor));
+            }
+        }
+        for (child, parent) in &edges {
+            prop_assert!(registry.is_subtype_of(&name(*child), &name(*parent)));
+        }
+    }
+}

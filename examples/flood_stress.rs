@@ -1,0 +1,24 @@
+//! Stress: several publishers flood one subscriber (the paper's Figure 20
+//! scenario) and the example reports delivered vs lost events, illustrating
+//! the receive-side saturation of the JXTA 1.0-era testbed model.
+//!
+//! Run with `cargo run --release --example flood_stress`.
+
+use ski_rental::{subscriber_throughput, stats, Flavor};
+
+fn main() {
+    for publishers in [1usize, 2, 4] {
+        for flavor in Flavor::ALL {
+            let series = subscriber_throughput(flavor, publishers, 20, 2002);
+            let s = stats(&series);
+            println!(
+                "{:<10} {} publisher(s): {:5.2} events received/sec (std {:4.2})",
+                flavor.label(),
+                publishers,
+                s.mean,
+                s.std_dev
+            );
+        }
+        println!();
+    }
+}

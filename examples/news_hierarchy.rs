@@ -1,0 +1,105 @@
+//! Subtype delivery (the paper's Figure 7): a subscriber to a *supertype*
+//! receives instances of every subtype, structurally projected onto the
+//! supertype's fields.
+//!
+//! Run with `cargo run --example news_hierarchy`.
+
+use serde::{Deserialize, Serialize};
+use simnet::{NetworkBuilder, NodeConfig, SimAddress, SimDuration, SubnetId, TransportKind};
+use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEvent, TpsHost, TpsInterfaceExt};
+
+/// The root of the hierarchy (type `A` in Figure 7).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct NewsItem {
+    headline: String,
+    importance: u8,
+}
+impl TpsEvent for NewsItem {
+    const TYPE_NAME: &'static str = "NewsItem";
+}
+
+/// A subtype (type `B`): sports news carry a discipline.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct SportsNews {
+    headline: String,
+    importance: u8,
+    discipline: String,
+}
+impl TpsEvent for SportsNews {
+    const TYPE_NAME: &'static str = "SportsNews";
+    const SUPERTYPES: &'static [&'static str] = &["NewsItem"];
+}
+
+/// A deeper subtype (type `D`): ski-race results.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct SkiRaceResult {
+    headline: String,
+    importance: u8,
+    discipline: String,
+    winner: String,
+}
+impl TpsEvent for SkiRaceResult {
+    const TYPE_NAME: &'static str = "SkiRaceResult";
+    const SUPERTYPES: &'static [&'static str] = &["SportsNews"];
+}
+
+fn main() {
+    let mut builder = NetworkBuilder::new(11);
+    let _rdv = builder.add_node(
+        TpsHost::boxed(TpsConfig::new("rdv").with_peer(jxta::PeerConfig::rendezvous("rdv"))),
+        NodeConfig::lan_peer(SubnetId(0)),
+    );
+    let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
+    let agency = builder.add_node(
+        TpsHost::boxed(TpsConfig::new("agency").with_seeds(vec![rdv_addr])),
+        NodeConfig::lan_peer(SubnetId(0)),
+    );
+    let reader = builder.add_node(
+        TpsHost::boxed(TpsConfig::new("reader").with_seeds(vec![rdv_addr])),
+        NodeConfig::lan_peer(SubnetId(0)),
+    );
+    let mut net = builder.build();
+    net.run_for(SimDuration::from_secs(2));
+
+    // The reader subscribes only to the *root* type.
+    net.invoke::<TpsHost, _>(reader, |host, ctx| {
+        host.engine.register_type::<SportsNews>();
+        host.engine.register_type::<SkiRaceResult>();
+        let (callback, _sink) = CollectingCallback::<NewsItem>::new();
+        host.engine.interface::<NewsItem>().subscribe(ctx, callback, IgnoreExceptions);
+    });
+    net.run_for(SimDuration::from_secs(15));
+
+    // The agency publishes instances of the whole hierarchy.
+    net.invoke::<TpsHost, _>(agency, |host, ctx| {
+        host.engine
+            .interface::<NewsItem>()
+            .publish(ctx, NewsItem { headline: "P2P acclaimed by jury of peers".into(), importance: 3 })
+            .unwrap();
+        host.engine
+            .interface::<SportsNews>()
+            .publish(ctx, SportsNews {
+                headline: "Ski season opens".into(),
+                importance: 5,
+                discipline: "alpine".into(),
+            })
+            .unwrap();
+        host.engine
+            .interface::<SkiRaceResult>()
+            .publish(ctx, SkiRaceResult {
+                headline: "Lauberhorn downhill".into(),
+                importance: 9,
+                discipline: "downhill".into(),
+                winner: "A. Racer".into(),
+            })
+            .unwrap();
+    });
+    net.run_for(SimDuration::from_secs(10));
+
+    let items = net.node_ref::<TpsHost>(reader).unwrap().engine.objects_received::<NewsItem>();
+    println!("reader subscribed to NewsItem only and received {} items:", items.len());
+    for item in &items {
+        println!("  [{}] {}", item.importance, item.headline);
+    }
+    assert_eq!(items.len(), 3, "the NewsItem subscriber must see all three publications");
+}

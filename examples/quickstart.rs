@@ -1,0 +1,71 @@
+//! Quickstart: the paper's four programming phases (Figure 14) in ~40 lines
+//! of user code.
+//!
+//! 1. type definition, 2. initialisation, 3. subscription, 4. publication.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use serde::{Deserialize, Serialize};
+use simnet::{NetworkBuilder, NodeConfig, SimAddress, SimDuration, SubnetId, TransportKind};
+use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsHost, TpsInterfaceExt, TpsEvent};
+
+// ---- phase 1: type definition ------------------------------------------------
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct SkiRental {
+    shop: String,
+    price: f32,
+    brand: String,
+    number_of_days: f32,
+}
+
+impl TpsEvent for SkiRental {
+    const TYPE_NAME: &'static str = "SkiRental";
+}
+
+fn main() {
+    // ---- phase 2: initialisation (one engine per peer) -----------------------
+    let mut builder = NetworkBuilder::new(42);
+    let _rdv = builder.add_node(
+        TpsHost::boxed(TpsConfig::new("rdv").with_peer(jxta::PeerConfig::rendezvous("rdv"))),
+        NodeConfig::lan_peer(SubnetId(0)),
+    );
+    let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
+    let shop = builder.add_node(
+        TpsHost::boxed(TpsConfig::new("XTremShop").with_seeds(vec![rdv_addr])),
+        NodeConfig::lan_peer(SubnetId(0)),
+    );
+    let skier = builder.add_node(
+        TpsHost::boxed(TpsConfig::new("skier").with_seeds(vec![rdv_addr])),
+        NodeConfig::lan_peer(SubnetId(0)),
+    );
+    let mut net = builder.build();
+    net.run_for(SimDuration::from_secs(2));
+
+    // ---- phase 3: subscription ------------------------------------------------
+    net.invoke::<TpsHost, _>(skier, |host, ctx| {
+        let (callback, _sink) = CollectingCallback::<SkiRental>::new();
+        host.engine.interface::<SkiRental>().subscribe(ctx, callback, IgnoreExceptions);
+    });
+    net.run_for(SimDuration::from_secs(15));
+
+    // ---- phase 4: publication -------------------------------------------------
+    net.invoke::<TpsHost, _>(shop, |host, ctx| {
+        host.engine
+            .interface::<SkiRental>()
+            .publish(ctx, SkiRental {
+                shop: "XTremShop".into(),
+                price: 14.0,
+                brand: "Salomon".into(),
+                number_of_days: 100.0,
+            })
+            .expect("publish failed");
+    });
+    net.run_for(SimDuration::from_secs(10));
+
+    let received = net.node_ref::<TpsHost>(skier).unwrap().engine.objects_received::<SkiRental>();
+    println!("skier received {} offer(s):", received.len());
+    for offer in &received {
+        println!("  skis that could be rented: {} {} at {} CHF/day", offer.shop, offer.brand, offer.price);
+    }
+    assert_eq!(received.len(), 1);
+}
