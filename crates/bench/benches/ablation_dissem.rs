@@ -1,0 +1,63 @@
+//! Ablation A4: dissemination-strategy sweep. Re-runs the Figure 18
+//! experiment (publisher-side invocation time) under each dissemination
+//! strategy at 1–32 subscribers.
+//!
+//! The interesting output is the *virtual* invocation time table printed
+//! before the wall-clock samples: DirectFanout grows linearly with the
+//! subscriber count (the paper's Figure 18 trend), RendezvousTree stays flat
+//! (the publisher sends O(1) copies and the fan-out cost moves to the
+//! rendezvous), and Gossip sits in between, governed by its fanout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ski_rental::harness::{dissemination_comparison, invocation_time_with_dissemination};
+use ski_rental::{DisseminationConfig, Flavor, StrategyKind};
+use std::time::Duration;
+
+const SUBSCRIBER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const EVENTS: usize = 5;
+const SEED: u64 = 2002;
+
+fn virtual_time_table() {
+    println!("\nvirtual publisher invocation time (ms/event, mean of {EVENTS} events, seed {SEED})");
+    let sweeps: Vec<Vec<(StrategyKind, f64)>> = SUBSCRIBER_COUNTS
+        .iter()
+        .map(|&subs| dissemination_comparison(Flavor::SrTps, subs, EVENTS, SEED))
+        .collect();
+    print!("{:<18}", "strategy");
+    for subs in SUBSCRIBER_COUNTS {
+        print!("{subs:>9}");
+    }
+    println!();
+    for (row, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        print!("{:<18}", kind.label());
+        for sweep in &sweeps {
+            print!("{:>9.1}", sweep[row].1);
+        }
+        println!();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    virtual_time_table();
+    let mut group = c.benchmark_group("ablation_dissem");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for kind in StrategyKind::ALL {
+        for subs in SUBSCRIBER_COUNTS {
+            group.bench_with_input(BenchmarkId::new(kind.label(), subs), &subs, |b, &subs| {
+                b.iter(|| {
+                    invocation_time_with_dissemination(
+                        Flavor::SrTps,
+                        DisseminationConfig::of_kind(kind),
+                        subs,
+                        EVENTS,
+                        SEED,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,26 +10,22 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for flavor in [Flavor::JxtaWire, Flavor::SrJxta, Flavor::SrTps] {
         for subs in [1usize, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(flavor.label(), subs),
-                &subs,
-                |b, &subs| {
-                    b.iter_batched(
-                        || {
-                            let mut scenario = Scenario::build(flavor, 1, subs, 2002);
-                            scenario.warm_up();
-                            scenario
-                        },
-                        |mut scenario| {
-                            for _ in 0..5 {
-                                scenario.publish_one(0);
-                            }
-                            scenario
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(flavor.label(), subs), &subs, |b, &subs| {
+                b.iter_batched(
+                    || {
+                        let mut scenario = Scenario::build(flavor, 1, subs, 2002);
+                        scenario.warm_up();
+                        scenario
+                    },
+                    |mut scenario| {
+                        for _ in 0..5 {
+                            scenario.publish_one(0);
+                        }
+                        scenario
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     group.finish();

@@ -6,7 +6,10 @@
 //! cargo run -p tps-bench --bin reproduce --release -- fig18   # one figure
 //! ```
 
-use ski_rental::{invocation_time, loc_report, publisher_throughput, subscriber_throughput, Flavor};
+use ski_rental::{
+    dissemination_comparison, invocation_time, loc_report, publisher_throughput, subscriber_throughput,
+    Flavor, StrategyKind,
+};
 use tps_bench::{figure_header, SeriesReport, DEFAULT_SEED};
 
 fn main() {
@@ -28,10 +31,16 @@ fn main() {
     if wanted("loc") {
         loc();
     }
+    if wanted("dissem") {
+        dissem();
+    }
 }
 
 fn fig18() {
-    println!("{}", figure_header("Figure 18 - Invocation time (ms per sendMessage call, 50 events)"));
+    println!(
+        "{}",
+        figure_header("Figure 18 - Invocation time (ms per sendMessage call, 50 events)")
+    );
     let paper: &[(&str, Flavor, usize)] = &[
         ("~150-450 (1 sub)", Flavor::JxtaWire, 1),
         ("~200-500 (1 sub)", Flavor::SrJxta, 1),
@@ -49,7 +58,10 @@ fn fig18() {
 }
 
 fn fig19() {
-    println!("{}", figure_header("Figure 19 - Publisher throughput (events sent/sec, 100 events, 10 epochs)"));
+    println!(
+        "{}",
+        figure_header("Figure 19 - Publisher throughput (events sent/sec, 100 events, 10 epochs)")
+    );
     let paper: &[(&str, Flavor, usize)] = &[
         ("~9-11 ev/s (1 sub)", Flavor::JxtaWire, 1),
         ("~7-9 ev/s (1 sub)", Flavor::SrJxta, 1),
@@ -67,7 +79,10 @@ fn fig19() {
 }
 
 fn fig20() {
-    println!("{}", figure_header("Figure 20 - Subscriber throughput (events received/sec over 50s of flooding)"));
+    println!(
+        "{}",
+        figure_header("Figure 20 - Subscriber throughput (events received/sec over 50s of flooding)")
+    );
     let paper: &[(&str, Flavor, usize)] = &[
         ("~7.8 ev/s (1 pub)", Flavor::JxtaWire, 1),
         ("~6.1 ev/s (1 pub)", Flavor::SrJxta, 1),
@@ -84,12 +99,59 @@ fn fig20() {
     println!("shape checks: wire >= SR layers at 1 publisher; per-layer rates drop with 4 publishers");
 }
 
+fn dissem() {
+    println!(
+        "{}",
+        figure_header("Ablation - Dissemination strategies (publisher invocation time, ms/event)")
+    );
+    let populations = [1usize, 4, 16, 32];
+    // One sweep per population; each sweep runs the same workload under every
+    // strategy (the harness's dissemination_comparison scenario).
+    let sweeps: Vec<Vec<(StrategyKind, f64)>> = populations
+        .iter()
+        .map(|&subs| dissemination_comparison(Flavor::SrTps, subs, 10, DEFAULT_SEED))
+        .collect();
+    print!("{:<18}", "strategy \\ subs");
+    for subs in populations {
+        print!("{subs:>10}");
+    }
+    println!();
+    for (row, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        print!("{:<18}", kind.label());
+        for sweep in &sweeps {
+            print!("{:>10.1}", sweep[row].1);
+        }
+        println!();
+    }
+    println!(
+        "shape checks: direct fan-out grows linearly (Figure 18); rendezvous tree stays flat (O(1) copies)"
+    );
+}
+
 fn loc() {
-    println!("{}", figure_header("Section 4.4 - Programming effort (non-blank, non-comment lines)"));
+    println!(
+        "{}",
+        figure_header("Section 4.4 - Programming effort (non-blank, non-comment lines)")
+    );
     let report = loc_report();
-    println!("code a TPS user writes (type + SR-TPS app):        {:>6}", report.tps_user_loc);
-    println!("code a direct-JXTA user writes (SR-JXTA app):      {:>6}", report.jxta_user_loc);
-    println!("TPS library functionality the JXTA user forgoes:   {:>6}", report.tps_library_loc);
-    println!("savings, minimal functionality (paper: >= 900):    {:>6}", report.minimal_savings());
-    println!("savings, full API functionality (paper: ~5000):    {:>6}", report.full_api_savings());
+    println!(
+        "code a TPS user writes (type + SR-TPS app):        {:>6}",
+        report.tps_user_loc
+    );
+    println!(
+        "code a direct-JXTA user writes (SR-JXTA app):      {:>6}",
+        report.jxta_user_loc
+    );
+    println!(
+        "TPS library functionality the JXTA user forgoes:   {:>6}",
+        report.tps_library_loc
+    );
+    println!(
+        "savings, minimal functionality (paper: >= 900):    {:>6}",
+        report.minimal_savings()
+    );
+    println!(
+        "savings, full API functionality (paper: ~5000):    {:>6}",
+        report.full_api_savings()
+    );
 }

@@ -1,0 +1,577 @@
+//! # dissem — pluggable dissemination strategies for TPS propagation
+//!
+//! The paper's JXTA-WIRE service hard-codes one propagation policy: a
+//! publisher keeps one connection per resolved listener and unicasts one copy
+//! to each (which is exactly why Figure 18's invocation time grows linearly
+//! with the subscriber count). This crate turns that policy into a seam: a
+//! [`DisseminationStrategy`] decides, per publish, which copies go to which
+//! next hops, and, per received copy, where it is forwarded.
+//!
+//! Three strategies ship today:
+//!
+//! * [`DirectFanout`] — the paper-faithful baseline: one unicast per bound
+//!   listener; rendezvous peers re-propagate down their client leases.
+//! * [`RendezvousTree`] — edge publishers send **one** copy to their
+//!   rendezvous, which fans out down its client-lease tree. Publisher-side
+//!   invocation time becomes O(1) in the subscriber count.
+//! * [`Gossip`] — probabilistic forwarding with configurable fanout and TTL;
+//!   duplicate copies are suppressed by the receivers' existing per-pipe
+//!   seen-windows.
+//!
+//! The crate is deliberately *below* the JXTA substrate in the dependency
+//! graph: strategies are generic over the peer-identifier type `P`, know
+//! nothing about pipes or messages, and decide purely from a
+//! [`NeighborView`] snapshot (local role, rendezvous connection, client
+//! leases, bound listeners) that the wire service assembles from the
+//! `RendezvousService` state it already keeps.
+#![warn(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+use rand::RngCore;
+use std::fmt;
+
+/// Which dissemination strategy a peer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StrategyKind {
+    /// One unicast per bound listener (paper baseline).
+    #[default]
+    DirectFanout,
+    /// One copy to the rendezvous, which fans out down its lease tree.
+    RendezvousTree,
+    /// Probabilistic forwarding with bounded fanout and TTL.
+    Gossip,
+}
+
+impl StrategyKind {
+    /// All strategies, in ablation order.
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::DirectFanout,
+        StrategyKind::RendezvousTree,
+        StrategyKind::Gossip,
+    ];
+
+    /// A short label for reports and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::DirectFanout => "direct-fanout",
+            StrategyKind::RendezvousTree => "rendezvous-tree",
+            StrategyKind::Gossip => "gossip",
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Static configuration of the dissemination subsystem, threaded through
+/// `PeerConfig` and `TpsConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisseminationConfig {
+    /// Which strategy to run.
+    pub kind: StrategyKind,
+    /// Gossip only: how many next hops each peer pushes a copy to. A fanout
+    /// at least as large as the neighbourhood degenerates to flooding with
+    /// duplicate suppression, which guarantees delivery on connected
+    /// topologies.
+    pub gossip_fanout: usize,
+    /// Gossip only: hop budget of forwarded copies.
+    pub gossip_ttl: u8,
+}
+
+impl Default for DisseminationConfig {
+    fn default() -> Self {
+        DisseminationConfig::direct_fanout()
+    }
+}
+
+impl DisseminationConfig {
+    /// The paper-faithful baseline.
+    pub fn direct_fanout() -> Self {
+        DisseminationConfig {
+            kind: StrategyKind::DirectFanout,
+            gossip_fanout: 0,
+            gossip_ttl: 0,
+        }
+    }
+
+    /// Rendezvous-tree propagation.
+    pub fn rendezvous_tree() -> Self {
+        DisseminationConfig {
+            kind: StrategyKind::RendezvousTree,
+            gossip_fanout: 0,
+            gossip_ttl: 0,
+        }
+    }
+
+    /// Gossip with the given fanout and TTL.
+    pub fn gossip(fanout: usize, ttl: u8) -> Self {
+        DisseminationConfig {
+            kind: StrategyKind::Gossip,
+            gossip_fanout: fanout,
+            gossip_ttl: ttl,
+        }
+    }
+
+    /// A configuration of the given kind with gossip defaults (fanout 4,
+    /// TTL 4) when applicable. Note the gossip defaults are a genuinely
+    /// probabilistic regime: on large neighbourhoods a small fraction of
+    /// subscribers can miss an event; use [`DisseminationConfig::gossip`]
+    /// with a fanout at least the expected neighbourhood size when delivery
+    /// must be guaranteed.
+    pub fn of_kind(kind: StrategyKind) -> Self {
+        match kind {
+            StrategyKind::DirectFanout => DisseminationConfig::direct_fanout(),
+            StrategyKind::RendezvousTree => DisseminationConfig::rendezvous_tree(),
+            StrategyKind::Gossip => DisseminationConfig::gossip(4, 4),
+        }
+    }
+
+    /// Builds the strategy instance this configuration describes.
+    pub fn build<P: Copy + Eq + Ord + fmt::Debug>(&self) -> Box<dyn DisseminationStrategy<P>> {
+        match self.kind {
+            StrategyKind::DirectFanout => Box::new(DirectFanout),
+            StrategyKind::RendezvousTree => Box::new(RendezvousTree),
+            StrategyKind::Gossip => Box::new(Gossip {
+                fanout: self.gossip_fanout.max(1),
+                ttl: self.gossip_ttl,
+            }),
+        }
+    }
+}
+
+/// A snapshot of the local peer's overlay neighbourhood, assembled by the
+/// wire service from state the rendezvous service already tracks. Strategies
+/// decide from this view alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborView<P> {
+    /// The local peer.
+    pub local: P,
+    /// Whether the local peer offers rendezvous service.
+    pub is_rendezvous: bool,
+    /// The rendezvous an edge peer currently holds a lease with, if any.
+    pub rendezvous: Option<P>,
+    /// The clients currently holding leases with this peer (rendezvous role),
+    /// in deterministic order.
+    pub clients: Vec<P>,
+    /// The listeners bound to the output pipe being published on (publisher
+    /// side; empty on pure forwarding hops).
+    pub listeners: Vec<P>,
+    /// The platform's configured hop budget (`PeerConfig::default_ttl`).
+    /// Tree-shaped strategies stamp it on outgoing copies; gossip uses its
+    /// own configured TTL instead.
+    pub ttl_budget: u8,
+}
+
+/// What the strategy decided for one `publish` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishPlan<P> {
+    /// Peers that receive one unicast copy each. Every copy costs the
+    /// publisher one per-connection service charge, so the length of this
+    /// list *is* the publisher-side cost profile of the strategy.
+    pub unicast: Vec<P>,
+    /// Whether to additionally hand one copy to the rendezvous propagation
+    /// infrastructure (multicast + lease connections). Strategies set this
+    /// when they have no addressed next hop, so early subscribers still hear
+    /// publishers whose pipe resolution has not completed.
+    pub propagate: bool,
+    /// Hop budget stamped on the outgoing copies.
+    pub ttl: u8,
+}
+
+/// What the strategy decided for one received copy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForwardPlan<P> {
+    /// Peers that receive one forwarded copy each (with the TTL decremented
+    /// by the caller). Empty means the copy is only delivered locally.
+    pub forward: Vec<P>,
+}
+
+impl<P> ForwardPlan<P> {
+    /// A plan that forwards nothing.
+    pub fn none() -> Self {
+        ForwardPlan { forward: Vec::new() }
+    }
+}
+
+/// A dissemination policy: decides next hops at publish time and at
+/// forwarding time.
+///
+/// Strategies are deterministic state machines except where they draw from
+/// the caller-supplied RNG (the simulator's per-node deterministic stream),
+/// so simulation runs stay bit-for-bit reproducible.
+pub trait DisseminationStrategy<P: Copy + Eq>: fmt::Debug + Send {
+    /// Which strategy this is.
+    fn kind(&self) -> StrategyKind;
+
+    /// Decides where the copies of a freshly published message go.
+    fn plan_publish(&mut self, view: &NeighborView<P>, rng: &mut dyn RngCore) -> PublishPlan<P>;
+
+    /// Decides where a copy is forwarded. `origin` is the peer that
+    /// *originally published* the copy (stamped in the packet) — the
+    /// immediate sender of the datagram is not tracked, so a gossip
+    /// re-sample may echo a copy back to the hop it came from; the echo is
+    /// harmless (TTL-bounded and absorbed by the seen-window) but burns a
+    /// fanout slot. `ttl` is the remaining hop budget carried by the copy.
+    fn plan_forward(
+        &mut self,
+        view: &NeighborView<P>,
+        origin: P,
+        ttl: u8,
+        rng: &mut dyn RngCore,
+    ) -> ForwardPlan<P>;
+
+    /// Whether `plan_forward` should also be consulted for copies the local
+    /// peer has already seen. Deterministic tree strategies forward only the
+    /// first copy; push gossip re-samples a fresh fanout for *every* received
+    /// copy (TTL-bounded), which is what spreads a rumour past the first
+    /// neighbourhood sample. Delivery to the application stays exactly-once
+    /// either way — only the forwarding decision repeats.
+    fn forwards_duplicates(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DirectFanout
+// ---------------------------------------------------------------------------
+
+/// The paper baseline: one unicast per resolved listener; rendezvous peers
+/// re-propagate received copies down their client leases exactly as JXTA 1.0
+/// does.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectFanout;
+
+impl<P: Copy + Eq + Ord + fmt::Debug> DisseminationStrategy<P> for DirectFanout {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::DirectFanout
+    }
+
+    fn plan_publish(&mut self, view: &NeighborView<P>, _rng: &mut dyn RngCore) -> PublishPlan<P> {
+        listener_fanout_plan(view)
+    }
+
+    fn plan_forward(
+        &mut self,
+        view: &NeighborView<P>,
+        origin: P,
+        ttl: u8,
+        _rng: &mut dyn RngCore,
+    ) -> ForwardPlan<P> {
+        fan_down_clients(view, origin, ttl)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RendezvousTree
+// ---------------------------------------------------------------------------
+
+/// Edge publishers hand one copy to their rendezvous; the rendezvous fans out
+/// down its client leases. The publisher's invocation time becomes O(1) in
+/// the subscriber count — the fan-out cost moves to the rendezvous.
+///
+/// **Reach invariant:** delivery covers exactly the peers reachable through
+/// the publisher's rendezvous tree (its lease clients). On a deployment with
+/// several non-interconnected rendezvous peers, listeners leased elsewhere
+/// would not be reached — rendezvous-to-rendezvous links (sharded trees) are
+/// a tracked roadmap item; until then this strategy assumes the
+/// single-rendezvous topologies the harness builds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RendezvousTree;
+
+impl<P: Copy + Eq + Ord + fmt::Debug> DisseminationStrategy<P> for RendezvousTree {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::RendezvousTree
+    }
+
+    fn plan_publish(&mut self, view: &NeighborView<P>, _rng: &mut dyn RngCore) -> PublishPlan<P> {
+        if view.is_rendezvous {
+            // A publishing rendezvous is already the tree root.
+            let unicast: Vec<P> = view
+                .clients
+                .iter()
+                .copied()
+                .filter(|&p| p != view.local)
+                .collect();
+            return PublishPlan {
+                propagate: unicast.is_empty(),
+                ttl: view.ttl_budget,
+                unicast,
+            };
+        }
+        match view.rendezvous {
+            Some(rendezvous) => PublishPlan {
+                unicast: vec![rendezvous],
+                propagate: false,
+                ttl: view.ttl_budget,
+            },
+            // Disconnected edge: fall back to the baseline so isolated or
+            // multicast-only deployments still deliver.
+            None => listener_fanout_plan(view),
+        }
+    }
+
+    fn plan_forward(
+        &mut self,
+        view: &NeighborView<P>,
+        origin: P,
+        ttl: u8,
+        _rng: &mut dyn RngCore,
+    ) -> ForwardPlan<P> {
+        fan_down_clients(view, origin, ttl)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gossip
+// ---------------------------------------------------------------------------
+
+/// Probabilistic push gossip: every received copy (duplicates included) is
+/// pushed on to at most `fanout` uniformly chosen neighbours until the TTL
+/// runs out; the receivers' seen-window dedup keeps *delivery* exactly-once.
+/// Coverage is probabilistic — with a fanout at least the neighbourhood size
+/// it degenerates to flooding (guaranteed delivery on connected topologies);
+/// below that, a small fraction of subscribers can miss a given event, which
+/// is the classic gossip trade-off the ablation bench explores.
+#[derive(Debug, Clone, Copy)]
+pub struct Gossip {
+    /// Copies pushed per hop.
+    pub fanout: usize,
+    /// Hop budget stamped on published messages.
+    pub ttl: u8,
+}
+
+impl Gossip {
+    /// Uniformly samples `count` peers from `candidates` (all of them when
+    /// `count >= candidates.len()`), via a partial Fisher-Yates shuffle.
+    fn sample<P: Copy>(candidates: &mut Vec<P>, count: usize, rng: &mut dyn RngCore) -> Vec<P> {
+        if candidates.len() <= count {
+            return std::mem::take(candidates);
+        }
+        for i in 0..count {
+            let j = i + (rng.next_u64() as usize) % (candidates.len() - i);
+            candidates.swap(i, j);
+        }
+        candidates[..count].to_vec()
+    }
+}
+
+impl<P: Copy + Eq + Ord + fmt::Debug> DisseminationStrategy<P> for Gossip {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Gossip
+    }
+
+    fn plan_publish(&mut self, view: &NeighborView<P>, rng: &mut dyn RngCore) -> PublishPlan<P> {
+        let mut candidates = neighbors(view, None);
+        let unicast = Gossip::sample(&mut candidates, self.fanout, rng);
+        PublishPlan {
+            unicast: unicast.clone(),
+            propagate: unicast.is_empty(),
+            ttl: self.ttl,
+        }
+    }
+
+    fn plan_forward(
+        &mut self,
+        view: &NeighborView<P>,
+        origin: P,
+        ttl: u8,
+        rng: &mut dyn RngCore,
+    ) -> ForwardPlan<P> {
+        if ttl == 0 {
+            return ForwardPlan::none();
+        }
+        let mut candidates = neighbors(view, Some(origin));
+        ForwardPlan {
+            forward: Gossip::sample(&mut candidates, self.fanout, rng),
+        }
+    }
+
+    fn forwards_duplicates(&self) -> bool {
+        true
+    }
+}
+
+/// The deduplicated overlay neighbours of the local peer: bound listeners,
+/// the lease clients (rendezvous role) and the connected rendezvous (edge
+/// role), minus the local peer and `exclude`.
+fn neighbors<P: Copy + Eq + Ord>(view: &NeighborView<P>, exclude: Option<P>) -> Vec<P> {
+    let mut all: Vec<P> = view
+        .listeners
+        .iter()
+        .chain(view.clients.iter())
+        .chain(view.rendezvous.iter())
+        .copied()
+        .filter(|&p| p != view.local && Some(p) != exclude)
+        .collect();
+    all.sort();
+    all.dedup();
+    all
+}
+
+/// The paper-baseline publish plan: one unicast per bound listener, falling
+/// back to rendezvous propagation while nothing is resolved yet. Shared by
+/// `DirectFanout` and by `RendezvousTree`'s disconnected-edge fallback.
+fn listener_fanout_plan<P: Copy + Eq>(view: &NeighborView<P>) -> PublishPlan<P> {
+    PublishPlan {
+        unicast: view
+            .listeners
+            .iter()
+            .copied()
+            .filter(|&p| p != view.local)
+            .collect(),
+        propagate: view.listeners.is_empty(),
+        ttl: view.ttl_budget,
+    }
+}
+
+/// The JXTA 1.0 forwarding rule shared by `DirectFanout` and
+/// `RendezvousTree`: only rendezvous peers forward, fanning one copy down
+/// every client lease except the origin's.
+fn fan_down_clients<P: Copy + Eq>(view: &NeighborView<P>, origin: P, ttl: u8) -> ForwardPlan<P> {
+    if !view.is_rendezvous || ttl == 0 {
+        return ForwardPlan::none();
+    }
+    ForwardPlan {
+        forward: view
+            .clients
+            .iter()
+            .copied()
+            .filter(|&p| p != origin && p != view.local)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type Peer = u32;
+
+    fn view(local: Peer, is_rendezvous: bool) -> NeighborView<Peer> {
+        NeighborView {
+            local,
+            is_rendezvous,
+            rendezvous: None,
+            clients: vec![],
+            listeners: vec![],
+            ttl_budget: 3,
+        }
+    }
+
+    #[test]
+    fn direct_fanout_unicasts_to_every_listener() {
+        let mut strategy = DirectFanout;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(1, false);
+        v.listeners = vec![2, 3, 4];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(plan.unicast, vec![2, 3, 4]);
+        assert!(!plan.propagate);
+
+        v.listeners.clear();
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert!(plan.unicast.is_empty());
+        assert!(plan.propagate, "no listeners resolved: fall back to propagation");
+    }
+
+    #[test]
+    fn direct_fanout_forwarding_is_rendezvous_only() {
+        let mut strategy = DirectFanout;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(9, true);
+        v.clients = vec![2, 3, 7];
+        let plan = strategy.plan_forward(&v, 3, 2, &mut rng);
+        assert_eq!(plan.forward, vec![2, 7], "origin is excluded from re-propagation");
+        let edge_plan = DirectFanout.plan_forward(&view(1, false), 3, 2, &mut rng);
+        assert!(edge_plan.forward.is_empty());
+        let exhausted = strategy.plan_forward(&v, 3, 0, &mut rng);
+        assert!(exhausted.forward.is_empty(), "TTL zero stops forwarding");
+    }
+
+    #[test]
+    fn rendezvous_tree_publisher_sends_one_copy() {
+        let mut strategy = RendezvousTree;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(1, false);
+        v.rendezvous = Some(9);
+        v.listeners = vec![2, 3, 4, 5, 6, 7, 8];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(
+            plan.unicast,
+            vec![9],
+            "publisher cost is O(1) regardless of listener count"
+        );
+    }
+
+    #[test]
+    fn rendezvous_tree_falls_back_without_a_lease() {
+        let mut strategy = RendezvousTree;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(1, false);
+        v.listeners = vec![2, 3];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(plan.unicast, vec![2, 3]);
+    }
+
+    #[test]
+    fn rendezvous_tree_root_fans_out_to_clients() {
+        let mut strategy = RendezvousTree;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(9, true);
+        v.clients = vec![1, 2, 3];
+        let publish = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(publish.unicast, vec![1, 2, 3]);
+        let forward = strategy.plan_forward(&v, 1, 3, &mut rng);
+        assert_eq!(forward.forward, vec![2, 3]);
+    }
+
+    #[test]
+    fn gossip_respects_fanout_and_ttl() {
+        let mut strategy = Gossip { fanout: 2, ttl: 4 };
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut v = view(1, false);
+        v.rendezvous = Some(9);
+        v.listeners = vec![2, 3, 4, 5];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(plan.unicast.len(), 2);
+        assert_eq!(plan.ttl, 4);
+        assert!(plan.unicast.iter().all(|p| [2, 3, 4, 5, 9].contains(p)));
+
+        let forward = strategy.plan_forward(&v, 2, 1, &mut rng);
+        assert!(forward.forward.len() <= 2);
+        assert!(!forward.forward.contains(&2), "origin never gets a copy back");
+        let exhausted = strategy.plan_forward(&v, 2, 0, &mut rng);
+        assert!(exhausted.forward.is_empty());
+    }
+
+    #[test]
+    fn gossip_with_large_fanout_floods_all_neighbors() {
+        let mut strategy = Gossip { fanout: 64, ttl: 4 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = view(9, true);
+        v.clients = vec![1, 2, 3, 4];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(plan.unicast, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn config_builds_the_matching_strategy() {
+        for kind in StrategyKind::ALL {
+            let strategy: Box<dyn DisseminationStrategy<Peer>> = DisseminationConfig::of_kind(kind).build();
+            assert_eq!(strategy.kind(), kind);
+        }
+        assert_eq!(DisseminationConfig::default().kind, StrategyKind::DirectFanout);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StrategyKind::DirectFanout.to_string(), "direct-fanout");
+        assert_eq!(StrategyKind::RendezvousTree.to_string(), "rendezvous-tree");
+        assert_eq!(StrategyKind::Gossip.to_string(), "gossip");
+    }
+}

@@ -186,7 +186,11 @@ mod tests {
         .with_membership(MembershipPolicy::Password("hunter2".into()));
         adv.put_service(
             ServiceAdvertisement::new("jxta.service.wire")
-                .with_pipe(PipeAdvertisement::new(PipeId::derive("ski"), "SkiRental", PipeType::JxtaWire))
+                .with_pipe(PipeAdvertisement::new(
+                    PipeId::derive("ski"),
+                    "SkiRental",
+                    PipeType::JxtaWire,
+                ))
                 .with_keywords("SkiRental"),
         );
         adv.put_service(ServiceAdvertisement::new("jxta.service.resolver"));

@@ -59,7 +59,9 @@ pub struct AdvParseError {
 
 impl AdvParseError {
     pub(crate) fn new(reason: impl Into<String>) -> Self {
-        AdvParseError { reason: reason.into() }
+        AdvParseError {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -171,8 +173,7 @@ impl AnyAdvertisement {
     ///
     /// Returns [`AdvParseError`] on malformed XML or an unknown root element.
     pub fn parse(xml_text: &str) -> Result<AnyAdvertisement, AdvParseError> {
-        let xml = XmlElement::parse(xml_text)
-            .map_err(|e| AdvParseError::new(format!("xml error: {e}")))?;
+        let xml = XmlElement::parse(xml_text).map_err(|e| AdvParseError::new(format!("xml error: {e}")))?;
         Self::from_xml(&xml)
     }
 
@@ -180,14 +181,18 @@ impl AnyAdvertisement {
     pub fn from_xml(xml: &XmlElement) -> Result<AnyAdvertisement, AdvParseError> {
         match xml.name.as_str() {
             PeerAdvertisement::ROOT => Ok(AnyAdvertisement::Peer(PeerAdvertisement::from_xml(xml)?)),
-            PeerGroupAdvertisement::ROOT => Ok(AnyAdvertisement::Group(PeerGroupAdvertisement::from_xml(xml)?)),
+            PeerGroupAdvertisement::ROOT => {
+                Ok(AnyAdvertisement::Group(PeerGroupAdvertisement::from_xml(xml)?))
+            }
             PipeAdvertisement::ROOT => Ok(AnyAdvertisement::Pipe(PipeAdvertisement::from_xml(xml)?)),
             ServiceAdvertisement::ROOT => Ok(AnyAdvertisement::Service(ServiceAdvertisement::from_xml(xml)?)),
             RouteAdvertisement::ROOT => Ok(AnyAdvertisement::Route(RouteAdvertisement::from_xml(xml)?)),
-            ModuleImplAdvertisement::ROOT => {
-                Ok(AnyAdvertisement::ModuleImpl(ModuleImplAdvertisement::from_xml(xml)?))
-            }
-            other => Err(AdvParseError::new(format!("unknown advertisement root <{other}>"))),
+            ModuleImplAdvertisement::ROOT => Ok(AnyAdvertisement::ModuleImpl(
+                ModuleImplAdvertisement::from_xml(xml)?,
+            )),
+            other => Err(AdvParseError::new(format!(
+                "unknown advertisement root <{other}>"
+            ))),
         }
     }
 
@@ -285,7 +290,8 @@ mod tests {
     fn unique_keys_differ_between_kinds() {
         let mut rng = StdRng::seed_from_u64(2);
         let peer = PeerAdvertisement::new(PeerId::generate(&mut rng), "alice", PeerGroupId::world());
-        let group = PeerGroupAdvertisement::new(PeerGroupId::generate(&mut rng), "ps-SkiRental", peer.peer_id);
+        let group =
+            PeerGroupAdvertisement::new(PeerGroupId::generate(&mut rng), "ps-SkiRental", peer.peer_id);
         let any_peer: AnyAdvertisement = peer.into();
         let any_group: AnyAdvertisement = group.into();
         assert_ne!(any_peer.unique_key(), any_group.unique_key());

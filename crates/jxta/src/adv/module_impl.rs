@@ -23,7 +23,11 @@ pub struct ModuleImplAdvertisement {
 impl ModuleImplAdvertisement {
     /// Creates a module implementation advertisement.
     pub fn new(module_id: ModuleId, description: impl Into<String>, code: impl Into<String>) -> Self {
-        ModuleImplAdvertisement { module_id, description: description.into(), code: code.into() }
+        ModuleImplAdvertisement {
+            module_id,
+            description: description.into(),
+            code: code.into(),
+        }
     }
 }
 
@@ -72,7 +76,11 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let adv = ModuleImplAdvertisement::new(ModuleId::derive("wire"), "wire service impl", "jxta::services::wire");
+        let adv = ModuleImplAdvertisement::new(
+            ModuleId::derive("wire"),
+            "wire service impl",
+            "jxta::services::wire",
+        );
         let parsed = ModuleImplAdvertisement::from_xml(&adv.to_xml()).unwrap();
         assert_eq!(parsed, adv);
         assert_eq!(parsed.kind(), AdvKind::Adv);

@@ -116,7 +116,14 @@ impl Advertisement for PeerAdvertisement {
                 endpoints.push(parsed);
             }
         }
-        Ok(PeerAdvertisement { peer_id, name, group_id, endpoints, is_rendezvous, description })
+        Ok(PeerAdvertisement {
+            peer_id,
+            name,
+            group_id,
+            endpoints,
+            is_rendezvous,
+            description,
+        })
     }
 }
 

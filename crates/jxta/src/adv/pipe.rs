@@ -65,7 +65,11 @@ pub struct PipeAdvertisement {
 impl PipeAdvertisement {
     /// Creates a pipe advertisement.
     pub fn new(pipe_id: PipeId, name: impl Into<String>, pipe_type: PipeType) -> Self {
-        PipeAdvertisement { pipe_id, name: name.into(), pipe_type }
+        PipeAdvertisement {
+            pipe_id,
+            name: name.into(),
+            pipe_type,
+        }
     }
 }
 
@@ -105,7 +109,11 @@ impl Advertisement for PipeAdvertisement {
             .ok_or_else(|| AdvParseError::new("pipe advertisement missing <Type>"))?
             .parse()?;
         let name = xml.child_text_or_empty("Name").to_owned();
-        Ok(PipeAdvertisement { pipe_id, name, pipe_type })
+        Ok(PipeAdvertisement {
+            pipe_id,
+            name,
+            pipe_type,
+        })
     }
 }
 

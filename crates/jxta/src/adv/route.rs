@@ -21,12 +21,20 @@ pub struct RouteAdvertisement {
 impl RouteAdvertisement {
     /// Creates a direct route (no relay).
     pub fn direct(dest: PeerId, endpoints: Vec<SimAddress>) -> Self {
-        RouteAdvertisement { dest, relay: None, endpoints }
+        RouteAdvertisement {
+            dest,
+            relay: None,
+            endpoints,
+        }
     }
 
     /// Creates a relayed route.
     pub fn via_relay(dest: PeerId, relay: PeerId, endpoints: Vec<SimAddress>) -> Self {
-        RouteAdvertisement { dest, relay: Some(relay), endpoints }
+        RouteAdvertisement {
+            dest,
+            relay: Some(relay),
+            endpoints,
+        }
     }
 
     /// Whether the route requires a relay hop.
@@ -90,7 +98,11 @@ impl Advertisement for RouteAdvertisement {
                 );
             }
         }
-        Ok(RouteAdvertisement { dest, relay, endpoints })
+        Ok(RouteAdvertisement {
+            dest,
+            relay,
+            endpoints,
+        })
     }
 }
 

@@ -154,8 +154,11 @@ mod tests {
     #[test]
     fn unique_key_differs_with_and_without_pipe() {
         let bare = ServiceAdvertisement::new("jxta.service.resolver");
-        let piped = ServiceAdvertisement::new("jxta.service.resolver")
-            .with_pipe(PipeAdvertisement::new(PipeId::derive("p"), "p", PipeType::JxtaUnicast));
+        let piped = ServiceAdvertisement::new("jxta.service.resolver").with_pipe(PipeAdvertisement::new(
+            PipeId::derive("p"),
+            "p",
+            PipeType::JxtaUnicast,
+        ));
         assert_ne!(bare.unique_key(), piped.unique_key());
     }
 

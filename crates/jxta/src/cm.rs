@@ -40,22 +40,33 @@ pub struct SearchFilter {
 impl SearchFilter {
     /// Matches every advertisement.
     pub fn any() -> Self {
-        SearchFilter { attribute: None, value: String::new() }
+        SearchFilter {
+            attribute: None,
+            value: String::new(),
+        }
     }
 
     /// Matches advertisements whose display name matches `pattern`.
     pub fn by_name(pattern: impl Into<String>) -> Self {
-        SearchFilter { attribute: Some("Name".to_owned()), value: pattern.into() }
+        SearchFilter {
+            attribute: Some("Name".to_owned()),
+            value: pattern.into(),
+        }
     }
 
     /// Matches advertisements whose unique key matches `pattern`.
     pub fn by_id(pattern: impl Into<String>) -> Self {
-        SearchFilter { attribute: Some("Id".to_owned()), value: pattern.into() }
+        SearchFilter {
+            attribute: Some("Id".to_owned()),
+            value: pattern.into(),
+        }
     }
 
     /// Whether `adv` satisfies this filter.
     pub fn matches(&self, adv: &AnyAdvertisement) -> bool {
-        let Some(attribute) = &self.attribute else { return true };
+        let Some(attribute) = &self.attribute else {
+            return true;
+        };
         let candidate = match attribute.as_str() {
             "Name" => adv.display_name(),
             "Id" => adv.unique_key(),
@@ -95,17 +106,19 @@ impl CacheManager {
     /// Returns `true` if the advertisement was not previously cached (i.e. it
     /// is "new" from this peer's point of view — the signal the discovery
     /// service uses to raise `AdvertisementDiscovered` events exactly once).
-    pub fn publish(
-        &mut self,
-        adv: AnyAdvertisement,
-        now: SimTime,
-        lifetime: SimDuration,
-    ) -> bool {
+    pub fn publish(&mut self, adv: AnyAdvertisement, now: SimTime, lifetime: SimDuration) -> bool {
         let key = adv.unique_key();
         let kind = adv.kind();
         let slot = self.entries.entry(kind).or_default();
         let is_new = !slot.contains_key(&key);
-        slot.insert(key, CachedAdv { adv, published_at: now, expires_at: now + lifetime });
+        slot.insert(
+            key,
+            CachedAdv {
+                adv,
+                published_at: now,
+                expires_at: now + lifetime,
+            },
+        );
         is_new
     }
 
@@ -121,7 +134,9 @@ impl CacheManager {
 
     /// Returns all live advertisements of `kind` matching `filter`.
     pub fn search(&self, kind: AdvKind, filter: &SearchFilter, now: SimTime) -> Vec<AnyAdvertisement> {
-        let Some(slot) = self.entries.get(&kind) else { return Vec::new() };
+        let Some(slot) = self.entries.get(&kind) else {
+            return Vec::new();
+        };
         let mut result: Vec<(&String, &CachedAdv)> = slot
             .iter()
             .filter(|(_, c)| c.expires_at > now && filter.matches(&c.adv))
@@ -236,7 +251,9 @@ mod tests {
         let mut cm = CacheManager::new();
         let adv = pipe("SkiRental");
         cm.publish(adv.clone(), SimTime::from_secs(5), DEFAULT_LOCAL_LIFETIME);
-        let age = cm.age(AdvKind::Adv, &adv.unique_key(), SimTime::from_secs(9)).unwrap();
+        let age = cm
+            .age(AdvKind::Adv, &adv.unique_key(), SimTime::from_secs(9))
+            .unwrap();
         assert_eq!(age, SimDuration::from_secs(4));
         assert!(cm.age(AdvKind::Adv, "missing", SimTime::ZERO).is_none());
     }
@@ -266,7 +283,10 @@ mod tests {
 
     #[test]
     fn filter_on_unknown_attribute_matches_nothing() {
-        let filter = SearchFilter { attribute: Some("Colour".into()), value: "*".into() };
+        let filter = SearchFilter {
+            attribute: Some("Colour".into()),
+            value: "*".into(),
+        };
         assert!(!filter.matches(&group("g")));
     }
 }

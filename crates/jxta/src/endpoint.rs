@@ -99,14 +99,26 @@ impl WireMessage {
                 msg.add(MessageElement::xml(NAMESPACE, "ResolverQuery", q.to_xml_string()));
             }
             WireMessage::ResolverResponse(r) => {
-                msg.add(MessageElement::xml(NAMESPACE, "ResolverResponse", r.to_xml_string()));
+                msg.add(MessageElement::xml(
+                    NAMESPACE,
+                    "ResolverResponse",
+                    r.to_xml_string(),
+                ));
             }
             WireMessage::RendezvousConnect { peer } => {
                 msg.add(MessageElement::xml(NAMESPACE, "PeerAdv", peer.to_xml().to_xml()));
             }
-            WireMessage::RendezvousLease { rdv, granted, lease_ms } => {
+            WireMessage::RendezvousLease {
+                rdv,
+                granted,
+                lease_ms,
+            } => {
                 msg.add(MessageElement::text(NAMESPACE, "Rdv", rdv.to_string()));
-                msg.add(MessageElement::text(NAMESPACE, "Granted", if *granted { "true" } else { "false" }));
+                msg.add(MessageElement::text(
+                    NAMESPACE,
+                    "Granted",
+                    if *granted { "true" } else { "false" },
+                ));
                 msg.add(MessageElement::text(NAMESPACE, "LeaseMs", lease_ms.to_string()));
             }
             WireMessage::Publish { adv_xml, src_peer } => {
@@ -114,11 +126,23 @@ impl WireMessage {
                 msg.add(MessageElement::text(NAMESPACE, "SrcPeer", src_peer.to_string()));
             }
             WireMessage::WireData(packet) => {
-                msg.add(MessageElement::text(NAMESPACE, "PipeId", packet.pipe_id.to_string()));
+                msg.add(MessageElement::text(
+                    NAMESPACE,
+                    "PipeId",
+                    packet.pipe_id.to_string(),
+                ));
                 msg.add(MessageElement::text(NAMESPACE, "MsgId", packet.msg_id.to_hex()));
-                msg.add(MessageElement::text(NAMESPACE, "SrcPeer", packet.src_peer.to_string()));
+                msg.add(MessageElement::text(
+                    NAMESPACE,
+                    "SrcPeer",
+                    packet.src_peer.to_string(),
+                ));
                 msg.add(MessageElement::text(NAMESPACE, "Ttl", packet.ttl.to_string()));
-                msg.add(MessageElement::binary(NAMESPACE, "Payload", packet.payload.clone()));
+                msg.add(MessageElement::binary(
+                    NAMESPACE,
+                    "Payload",
+                    packet.payload.clone(),
+                ));
             }
             WireMessage::Relay { dest, inner } => {
                 msg.add(MessageElement::text(NAMESPACE, "Dest", dest.to_string()));
@@ -144,23 +168,30 @@ impl WireMessage {
             .element_text(NAMESPACE, TYPE_ELEMENT)
             .ok_or_else(|| JxtaError::MissingElement(TYPE_ELEMENT.to_owned()))?;
         let text = |name: &str| -> Result<String, JxtaError> {
-            msg.element_text(NAMESPACE, name).ok_or_else(|| JxtaError::MissingElement(name.to_owned()))
+            msg.element_text(NAMESPACE, name)
+                .ok_or_else(|| JxtaError::MissingElement(name.to_owned()))
         };
         match tag.as_str() {
-            "resolver-query" => Ok(WireMessage::ResolverQuery(ResolverQuery::from_xml_string(&text(
-                "ResolverQuery",
-            )?)?)),
+            "resolver-query" => Ok(WireMessage::ResolverQuery(ResolverQuery::from_xml_string(
+                &text("ResolverQuery")?,
+            )?)),
             "resolver-response" => Ok(WireMessage::ResolverResponse(ResolverResponse::from_xml_string(
                 &text("ResolverResponse")?,
             )?)),
             "rdv-connect" => {
                 let xml = crate::xml::XmlElement::parse(&text("PeerAdv")?)?;
-                Ok(WireMessage::RendezvousConnect { peer: PeerAdvertisement::from_xml(&xml)? })
+                Ok(WireMessage::RendezvousConnect {
+                    peer: PeerAdvertisement::from_xml(&xml)?,
+                })
             }
             "rdv-lease" => Ok(WireMessage::RendezvousLease {
-                rdv: text("Rdv")?.parse().map_err(|e| JxtaError::BadXml(format!("bad rdv id: {e}")))?,
+                rdv: text("Rdv")?
+                    .parse()
+                    .map_err(|e| JxtaError::BadXml(format!("bad rdv id: {e}")))?,
                 granted: text("Granted")? == "true",
-                lease_ms: text("LeaseMs")?.parse().map_err(|_| JxtaError::BadXml("bad lease".into()))?,
+                lease_ms: text("LeaseMs")?
+                    .parse()
+                    .map_err(|_| JxtaError::BadXml("bad lease".into()))?,
             }),
             "publish" => Ok(WireMessage::Publish {
                 adv_xml: text("Adv")?,
@@ -183,12 +214,16 @@ impl WireMessage {
                     src_peer: text("SrcPeer")?
                         .parse()
                         .map_err(|e| JxtaError::BadXml(format!("bad src peer: {e}")))?,
-                    ttl: text("Ttl")?.parse().map_err(|_| JxtaError::BadXml("bad ttl".into()))?,
+                    ttl: text("Ttl")?
+                        .parse()
+                        .map_err(|_| JxtaError::BadXml("bad ttl".into()))?,
                     payload,
                 }))
             }
             "relay" => Ok(WireMessage::Relay {
-                dest: text("Dest")?.parse().map_err(|e| JxtaError::BadXml(format!("bad dest: {e}")))?,
+                dest: text("Dest")?
+                    .parse()
+                    .map_err(|e| JxtaError::BadXml(format!("bad dest: {e}")))?,
                 inner: msg
                     .element(NAMESPACE, "Inner")
                     .ok_or_else(|| JxtaError::MissingElement("Inner".to_owned()))?
@@ -243,19 +278,19 @@ impl EndpointService {
     /// Records endpoints learned from a pipe-binding response or rendezvous
     /// connect.
     pub fn learn_endpoints(&mut self, peer: PeerId, endpoints: Vec<SimAddress>) {
-        let entry = self
-            .routes
-            .entry(peer)
-            .or_insert_with(|| PeerRoute { endpoints: Vec::new(), relay: None });
+        let entry = self.routes.entry(peer).or_insert_with(|| PeerRoute {
+            endpoints: Vec::new(),
+            relay: None,
+        });
         entry.endpoints = endpoints;
     }
 
     /// Records a route advertisement (possibly relayed).
     pub fn learn_route(&mut self, route: &RouteAdvertisement) {
-        let entry = self
-            .routes
-            .entry(route.dest)
-            .or_insert_with(|| PeerRoute { endpoints: Vec::new(), relay: None });
+        let entry = self.routes.entry(route.dest).or_insert_with(|| PeerRoute {
+            endpoints: Vec::new(),
+            relay: None,
+        });
         if !route.endpoints.is_empty() {
             entry.endpoints = route.endpoints.clone();
         }
@@ -334,7 +369,12 @@ mod tests {
 
     #[test]
     fn resolver_messages_roundtrip_through_wire() {
-        let q = ResolverQuery::new("urn:jxta:handler-PDP", crate::id::QueryId(3), PeerId::derive("a"), "<Q/>".into());
+        let q = ResolverQuery::new(
+            "urn:jxta:handler-PDP",
+            crate::id::QueryId(3),
+            PeerId::derive("a"),
+            "<Q/>".into(),
+        );
         let wrapped = WireMessage::ResolverQuery(q.clone());
         match WireMessage::from_bytes(&wrapped.to_bytes()).unwrap() {
             WireMessage::ResolverQuery(decoded) => assert_eq!(decoded, q),
@@ -345,7 +385,11 @@ mod tests {
     #[test]
     fn decode_rejects_unknown_and_missing() {
         let mut msg = Message::new();
-        msg.add(MessageElement::text(NAMESPACE, TYPE_ELEMENT, "quantum-entanglement"));
+        msg.add(MessageElement::text(
+            NAMESPACE,
+            TYPE_ELEMENT,
+            "quantum-entanglement",
+        ));
         assert!(WireMessage::from_message(&msg).is_err());
         assert!(WireMessage::from_message(&Message::new()).is_err());
         assert!(WireMessage::from_bytes(b"garbage").is_err());
@@ -364,7 +408,9 @@ mod tests {
         );
         // Preference order is the peer's own: http first here.
         assert_eq!(
-            es.best_address(peer, &[TransportKind::Tcp, TransportKind::Http]).unwrap().transport,
+            es.best_address(peer, &[TransportKind::Tcp, TransportKind::Http])
+                .unwrap()
+                .transport,
             TransportKind::Http
         );
         // If we only have TCP locally, fall back to the TCP endpoint.

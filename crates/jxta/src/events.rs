@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn predicates_classify_events() {
-        let adv_event = JxtaEvent::RendezvousConnected { rdv: PeerId::derive("r") };
+        let adv_event = JxtaEvent::RendezvousConnected {
+            rdv: PeerId::derive("r"),
+        };
         assert!(!adv_event.is_wire_message());
         assert!(!adv_event.is_advertisement());
         let wire = JxtaEvent::WireMessageReceived {

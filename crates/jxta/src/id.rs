@@ -50,7 +50,9 @@ impl Uuid {
         if s.len() != 32 {
             return Err(ParseIdError(s.to_owned()));
         }
-        u128::from_str_radix(s, 16).map(Uuid).map_err(|_| ParseIdError(s.to_owned()))
+        u128::from_str_radix(s, 16)
+            .map(Uuid)
+            .map_err(|_| ParseIdError(s.to_owned()))
     }
 }
 

@@ -34,7 +34,13 @@ pub mod protocols;
 pub mod services;
 pub mod xml;
 
-pub use adv::{AdvKind, Advertisement, AnyAdvertisement, PeerAdvertisement, PeerGroupAdvertisement, PipeAdvertisement, PipeType, ServiceAdvertisement};
+pub use dissem;
+pub use dissem::{DisseminationConfig, StrategyKind};
+
+pub use adv::{
+    AdvKind, Advertisement, AnyAdvertisement, PeerAdvertisement, PeerGroupAdvertisement, PipeAdvertisement,
+    PipeType, ServiceAdvertisement,
+};
 pub use cm::SearchFilter;
 pub use error::JxtaError;
 pub use events::JxtaEvent;

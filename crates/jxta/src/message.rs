@@ -41,7 +41,12 @@ impl MessageElement {
 
     /// Creates a UTF-8 text element (`text/plain`).
     pub fn text(namespace: impl Into<String>, name: impl Into<String>, body: impl Into<String>) -> Self {
-        MessageElement::new(namespace, name, "text/plain", Bytes::from(body.into().into_bytes()))
+        MessageElement::new(
+            namespace,
+            name,
+            "text/plain",
+            Bytes::from(body.into().into_bytes()),
+        )
     }
 
     /// Creates an XML element (`text/xml`).
@@ -110,13 +115,16 @@ impl Message {
     /// many were removed.
     pub fn remove(&mut self, namespace: &str, name: &str) -> usize {
         let before = self.elements.len();
-        self.elements.retain(|e| !(e.namespace == namespace && e.name == name));
+        self.elements
+            .retain(|e| !(e.namespace == namespace && e.name == name));
         before - self.elements.len()
     }
 
     /// The first element matching namespace and name.
     pub fn element(&self, namespace: &str, name: &str) -> Option<&MessageElement> {
-        self.elements.iter().find(|e| e.namespace == namespace && e.name == name)
+        self.elements
+            .iter()
+            .find(|e| e.namespace == namespace && e.name == name)
     }
 
     /// The text body of the first matching element, if present.
@@ -188,7 +196,12 @@ impl Message {
             let mime_type = cursor.read_string()?;
             let len = cursor.read_u32()? as usize;
             let body = Bytes::copy_from_slice(cursor.take(len)?);
-            elements.push(MessageElement { namespace, name, mime_type, body });
+            elements.push(MessageElement {
+                namespace,
+                name,
+                mime_type,
+                body,
+            });
         }
         if cursor.pos != bytes.len() {
             return Err(MessageDecodeError::TrailingBytes);
@@ -199,7 +212,12 @@ impl Message {
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Message[{} elements, {} bytes]", self.elements.len(), self.wire_size())
+        write!(
+            f,
+            "Message[{} elements, {} bytes]",
+            self.elements.len(),
+            self.wire_size()
+        )
     }
 }
 
@@ -306,13 +324,22 @@ mod tests {
         let msg = sample();
         let bytes = msg.to_bytes().to_vec();
         assert_eq!(Message::from_bytes(b"nope"), Err(MessageDecodeError::BadMagic));
-        assert_eq!(Message::from_bytes(&bytes[..bytes.len() - 1]), Err(MessageDecodeError::Truncated));
+        assert_eq!(
+            Message::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(MessageDecodeError::Truncated)
+        );
         let mut trailing = bytes.clone();
         trailing.push(0);
-        assert_eq!(Message::from_bytes(&trailing), Err(MessageDecodeError::TrailingBytes));
+        assert_eq!(
+            Message::from_bytes(&trailing),
+            Err(MessageDecodeError::TrailingBytes)
+        );
         let mut huge_count = bytes.clone();
         huge_count[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
-        assert_eq!(Message::from_bytes(&huge_count), Err(MessageDecodeError::TooManyElements(u32::MAX as usize)));
+        assert_eq!(
+            Message::from_bytes(&huge_count),
+            Err(MessageDecodeError::TooManyElements(u32::MAX as usize))
+        );
     }
 
     #[test]

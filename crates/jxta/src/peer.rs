@@ -15,12 +15,14 @@ use crate::error::JxtaError;
 use crate::events::JxtaEvent;
 use crate::id::{PeerGroupId, PeerId, PipeId, QueryId, Uuid};
 use crate::message::Message;
+use crate::protocols::erp::{RouteQuery, RouteResponse};
 use crate::protocols::pbp::{PipeBindQuery, PipeBindResponse};
 use crate::protocols::pdp::{DiscoveryQuery, DiscoveryResponse};
 use crate::protocols::pip::{PeerInfoResponse, PingQuery};
-use crate::protocols::pmp::{Credential, MembershipOp, MembershipQuery, MembershipResponse, MembershipVerdict};
+use crate::protocols::pmp::{
+    Credential, MembershipOp, MembershipQuery, MembershipResponse, MembershipVerdict,
+};
 use crate::protocols::prp::{ResolverQuery, ResolverResponse};
-use crate::protocols::erp::{RouteQuery, RouteResponse};
 use crate::protocols::{handlers, ProtocolPayload};
 use crate::services::{
     DiscoveryService, MembershipService, MembershipState, PeerInfoService, RendezvousService, WireService,
@@ -116,6 +118,9 @@ pub struct PeerConfig {
     pub housekeeping_interval: SimDuration,
     /// Propagation hop budget for queries and wire packets.
     pub default_ttl: u8,
+    /// How wire publishes are disseminated (see the `dissem` crate). The
+    /// default is the paper-faithful direct fan-out.
+    pub dissemination: dissem::DisseminationConfig,
 }
 
 impl PeerConfig {
@@ -130,12 +135,16 @@ impl PeerConfig {
             costs: CostModel::jxta_1_0(),
             housekeeping_interval: SimDuration::from_secs(30),
             default_ttl: 3,
+            dissemination: dissem::DisseminationConfig::default(),
         }
     }
 
     /// Configuration of a rendezvous/router peer.
     pub fn rendezvous(name: impl Into<String>) -> Self {
-        PeerConfig { rendezvous: true, ..PeerConfig::edge(name) }
+        PeerConfig {
+            rendezvous: true,
+            ..PeerConfig::edge(name)
+        }
     }
 
     /// Builder-style seed rendezvous addresses.
@@ -153,6 +162,12 @@ impl PeerConfig {
     /// Builder-style cost-model override.
     pub fn with_costs(mut self, costs: CostModel) -> Self {
         self.costs = costs;
+        self
+    }
+
+    /// Builder-style dissemination-strategy override.
+    pub fn with_dissemination(mut self, dissemination: dissem::DisseminationConfig) -> Self {
+        self.dissemination = dissemination;
         self
     }
 }
@@ -188,7 +203,7 @@ impl JxtaPeer {
             peer_id,
             discovery: DiscoveryService::new(),
             rendezvous,
-            wire: WireService::new(),
+            wire: WireService::with_config(&config.dissemination),
             membership: MembershipService::new(),
             endpoint: EndpointService::new(),
             info: PeerInfoService::new(),
@@ -292,7 +307,10 @@ impl JxtaPeer {
         // Refresh our own advertisement locally so it never ages out.
         let own_adv: AnyAdvertisement = self.peer_advertisement(ctx).into();
         self.discovery.publish_local(own_adv, now);
-        if self.rendezvous.needs_renewal(now, self.config.housekeeping_interval) {
+        if self
+            .rendezvous
+            .needs_renewal(now, self.config.housekeeping_interval)
+        {
             self.connect_to_rendezvous(ctx);
         }
         ctx.set_timer(self.config.housekeeping_interval, TIMER_HOUSEKEEPING);
@@ -307,7 +325,10 @@ impl JxtaPeer {
     pub fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, _old: SimAddress, _new: SimAddress) {
         let adv = self.peer_advertisement(ctx);
         self.discovery.publish_local(adv.clone().into(), ctx.now());
-        let wm = WireMessage::Publish { adv_xml: AnyAdvertisement::from(adv).to_xml_string(), src_peer: self.peer_id };
+        let wm = WireMessage::Publish {
+            adv_xml: AnyAdvertisement::from(adv).to_xml_string(),
+            src_peer: self.peer_id,
+        };
         self.propagate(ctx, &wm, None);
         // Re-establish the rendezvous lease from the new address.
         self.connect_to_rendezvous(ctx);
@@ -321,7 +342,11 @@ impl JxtaPeer {
             Ok(message) => message,
             Err(_) => return, // not JXTA traffic; ignore, as a real stack would
         };
-        let reply_addr = if datagram.src_addr.is_multicast() { None } else { Some(datagram.src_addr) };
+        let reply_addr = if datagram.src_addr.is_multicast() {
+            None
+        } else {
+            Some(datagram.src_addr)
+        };
         self.handle_wire_message(ctx, message, reply_addr);
     }
 
@@ -339,7 +364,10 @@ impl JxtaPeer {
     /// (`DiscoveryService.remotePublish`).
     pub fn remote_publish(&mut self, ctx: &mut NodeContext<'_>, adv: AnyAdvertisement) {
         self.discovery.publish_local(adv.clone(), ctx.now());
-        let wm = WireMessage::Publish { adv_xml: adv.to_xml_string(), src_peer: self.peer_id };
+        let wm = WireMessage::Publish {
+            adv_xml: adv.to_xml_string(),
+            src_peer: self.peer_id,
+        };
         self.propagate(ctx, &wm, None);
     }
 
@@ -403,7 +431,12 @@ impl JxtaPeer {
         group: &PeerGroupAdvertisement,
         credential: Credential,
     ) -> QueryId {
-        self.membership_request(ctx, group, MembershipOp::Join(credential), MembershipState::Joining)
+        self.membership_request(
+            ctx,
+            group,
+            MembershipOp::Join(credential),
+            MembershipState::Joining,
+        )
     }
 
     /// Leaves a group (PMP `leave`).
@@ -420,12 +453,19 @@ impl JxtaPeer {
     ) -> QueryId {
         self.next_query = self.next_query.next();
         let query_id = self.next_query;
-        let query = MembershipQuery { group_id: group.group_id, applicant: self.peer_id, op };
+        let query = MembershipQuery {
+            group_id: group.group_id,
+            applicant: self.peer_id,
+            op,
+        };
         // If we are the authority ourselves, short-circuit locally.
         if self.membership.is_authority_for(group.group_id) {
             let verdict = self.evaluate_membership(&query);
             self.apply_membership_verdict(ctx.now(), group.group_id, &verdict);
-            self.events.push(JxtaEvent::MembershipResult { group: group.group_id, verdict });
+            self.events.push(JxtaEvent::MembershipResult {
+                group: group.group_id,
+                verdict,
+            });
             return query_id;
         }
         self.membership.set_state(group.group_id, pending, ctx.now());
@@ -456,12 +496,19 @@ impl JxtaPeer {
     /// Creates (or refreshes) the output end of a wire pipe and launches a
     /// Pipe Binding Protocol resolution for its current listeners; resolved
     /// listeners arrive as [`JxtaEvent::PipeResolved`] events.
-    pub fn resolve_wire_output_pipe(&mut self, ctx: &mut NodeContext<'_>, pipe: &PipeAdvertisement) -> QueryId {
+    pub fn resolve_wire_output_pipe(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        pipe: &PipeAdvertisement,
+    ) -> QueryId {
         self.wire.output_pipe_mut(pipe.pipe_id);
         self.discovery.publish_local(pipe.clone().into(), ctx.now());
         self.next_query = self.next_query.next();
         let query_id = self.next_query;
-        let query = PipeBindQuery { pipe_id: pipe.pipe_id, requester: self.peer_id };
+        let query = PipeBindQuery {
+            pipe_id: pipe.pipe_id,
+            requester: self.peer_id,
+        };
         let mut rq = ResolverQuery::new(handlers::PBP, query_id, self.peer_id, query.to_xml_string());
         rq.hops_left = self.config.default_ttl;
         let wm = WireMessage::ResolverQuery(rq);
@@ -476,10 +523,13 @@ impl JxtaPeer {
 
     /// Publishes an application [`Message`] on a wire pipe.
     ///
-    /// One copy is sent to every resolved listener (each copy charged with
-    /// the per-listener connection cost — the dominant term of the paper's
-    /// invocation time); if no listener is resolved yet, the packet is
-    /// propagated through the rendezvous infrastructure instead.
+    /// Copy selection is delegated to the wire service's dissemination
+    /// strategy (see [`PeerConfig::dissemination`] and the `dissem` crate).
+    /// Under the paper-baseline direct fan-out, one copy goes to every
+    /// resolved listener, each charged with the per-listener connection cost
+    /// — the dominant term of the paper's Figure 18 invocation time. Other
+    /// strategies (rendezvous tree, gossip) send fewer publisher-side copies
+    /// and move the fan-out into the overlay.
     ///
     /// Returns the number of direct copies sent.
     ///
@@ -493,30 +543,49 @@ impl JxtaPeer {
         pipe_id: PipeId,
         message: &Message,
     ) -> Result<usize, JxtaError> {
-        let listeners = match self.wire.output_pipe(pipe_id) {
-            Some(state) => state.listeners.clone(),
-            None => return Err(JxtaError::UnknownPipe(pipe_id.to_string())),
-        };
+        if self.wire.output_pipe(pipe_id).is_none() {
+            return Err(JxtaError::UnknownPipe(pipe_id.to_string()));
+        }
+        let plan = self.wire.plan_publish(
+            pipe_id,
+            self.peer_id,
+            &self.rendezvous,
+            self.config.default_ttl,
+            ctx.rng(),
+        );
+        let listeners = self
+            .wire
+            .output_pipe(pipe_id)
+            .expect("checked above")
+            .listeners
+            .clone();
+        let msg_id = Uuid::generate(ctx.rng());
         let packet = WirePacket {
             pipe_id,
-            msg_id: Uuid::generate(ctx.rng()),
+            msg_id,
             src_peer: self.peer_id,
-            ttl: self.config.default_ttl,
+            // The strategy owns the hop budget: gossip in particular may need
+            // more hops than the resolver-query default to cover deep
+            // overlays, so the configured `gossip_ttl` is not clamped here.
+            ttl: plan.ttl,
             payload: message.to_bytes(),
         };
+        // Seed the local seen-window with our own message id so a copy
+        // gossiped back to the publisher is dropped instead of re-forwarded.
+        self.wire.seen_before(pipe_id, msg_id);
         let wm = WireMessage::WireData(packet);
         self.wire.note_sent();
         let mut sent = 0;
-        for (peer, endpoints) in &listeners {
+        for peer in &plan.unicast {
+            // Every unicast copy costs one per-connection service charge;
+            // the plan's length is therefore the publisher-side cost profile
+            // of the strategy.
             let listener_cost = self.jittered(ctx, self.config.costs.wire_listener_fixed);
             ctx.charge(listener_cost);
             // Prefer the freshest route (kept up to date by re-published peer
             // advertisements after address changes) over the endpoints frozen
             // in the pipe binding, so that pipes survive peers moving.
-            let addr = self
-                .endpoint
-                .best_address(*peer, &self.local_transports)
-                .or_else(|| endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport)));
+            let addr = self.wire_peer_address(*peer, listeners.get(peer).map(Vec::as_slice));
             match addr {
                 Some(addr) => {
                     self.transmit(ctx, addr, &wm);
@@ -530,8 +599,9 @@ impl JxtaPeer {
                 }
             }
         }
-        if sent == 0 {
-            // Nothing resolved yet: propagate so early subscribers still hear us.
+        if sent == 0 || plan.propagate {
+            // Nothing resolved yet (or the strategy asked for it): propagate
+            // so early subscribers still hear us.
             self.propagate(ctx, &wm, None);
         }
         Ok(sent)
@@ -560,7 +630,10 @@ impl JxtaPeer {
     pub fn query_route(&mut self, ctx: &mut NodeContext<'_>, dest: PeerId) -> QueryId {
         self.next_query = self.next_query.next();
         let query_id = self.next_query;
-        let query = RouteQuery { dest, requester: self.peer_id };
+        let query = RouteQuery {
+            dest,
+            requester: self.peer_id,
+        };
         let rq = ResolverQuery::new(handlers::ERP, query_id, self.peer_id, query.to_xml_string());
         let wm = WireMessage::ResolverQuery(rq);
         self.propagate(ctx, &wm, None);
@@ -613,6 +686,31 @@ impl JxtaPeer {
         let _ = ctx.send_multicast(bytes);
     }
 
+    /// Resolves the freshest usable address for `peer`: learned routes first
+    /// (kept current by re-published peer advertisements after address
+    /// changes), then the endpoints frozen in `frozen` (a pipe binding or a
+    /// client lease), then our rendezvous connection if `peer` is our
+    /// rendezvous. Shared by the publish and forward paths so the priority
+    /// order cannot drift between them.
+    fn wire_peer_address(&self, peer: PeerId, frozen: Option<&[SimAddress]>) -> Option<SimAddress> {
+        self.endpoint
+            .best_address(peer, &self.local_transports)
+            .or_else(|| {
+                frozen.and_then(|endpoints| {
+                    endpoints
+                        .iter()
+                        .copied()
+                        .find(|a| self.local_transports.contains(&a.transport))
+                })
+            })
+            .or_else(|| {
+                self.rendezvous
+                    .connection()
+                    .filter(|conn| conn.peer == peer)
+                    .map(|conn| conn.address)
+            })
+    }
+
     /// Sends to a specific peer using the best route known: direct endpoint,
     /// rendezvous client table, relay via our rendezvous, or a multicast
     /// relay envelope. Returns `false` if no route at all was available.
@@ -625,7 +723,11 @@ impl JxtaPeer {
             return true;
         }
         if let Some(endpoints) = self.rendezvous.client_endpoints(dest).map(<[SimAddress]>::to_vec) {
-            if let Some(addr) = endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport)) {
+            if let Some(addr) = endpoints
+                .iter()
+                .copied()
+                .find(|a| self.local_transports.contains(&a.transport))
+            {
                 self.transmit(ctx, addr, wm);
                 return true;
             }
@@ -633,18 +735,27 @@ impl JxtaPeer {
         // Try a relay through a peer that might know the destination.
         if let Some(relay) = self.endpoint.relay_for(dest) {
             if let Some(addr) = self.endpoint.best_address(relay, &self.local_transports) {
-                let envelope = WireMessage::Relay { dest, inner: wm.to_bytes() };
+                let envelope = WireMessage::Relay {
+                    dest,
+                    inner: wm.to_bytes(),
+                };
                 self.transmit(ctx, addr, &envelope);
                 return true;
             }
         }
         if let Some(connection) = self.rendezvous.connection().cloned() {
-            let envelope = WireMessage::Relay { dest, inner: wm.to_bytes() };
+            let envelope = WireMessage::Relay {
+                dest,
+                inner: wm.to_bytes(),
+            };
             self.transmit(ctx, connection.address, &envelope);
             return true;
         }
         if self.local_transports.contains(&TransportKind::Multicast) {
-            let envelope = WireMessage::Relay { dest, inner: wm.to_bytes() };
+            let envelope = WireMessage::Relay {
+                dest,
+                inner: wm.to_bytes(),
+            };
             self.transmit_multicast(ctx, &envelope);
             return true;
         }
@@ -669,8 +780,11 @@ impl JxtaPeer {
                 if Some(peer) == exclude || peer == self.peer_id {
                     continue;
                 }
-                if let Some(addr) =
-                    lease.endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport))
+                if let Some(addr) = lease
+                    .endpoints
+                    .iter()
+                    .copied()
+                    .find(|a| self.local_transports.contains(&a.transport))
                 {
                     self.transmit(ctx, addr, wm);
                 }
@@ -686,7 +800,9 @@ impl JxtaPeer {
         if seeds.is_empty() {
             return;
         }
-        let wm = WireMessage::RendezvousConnect { peer: self.peer_advertisement(ctx) };
+        let wm = WireMessage::RendezvousConnect {
+            peer: self.peer_advertisement(ctx),
+        };
         for seed in seeds {
             if self.local_transports.contains(&seed.transport) {
                 self.transmit(ctx, seed, &wm);
@@ -708,9 +824,11 @@ impl JxtaPeer {
             WireMessage::ResolverQuery(query) => self.handle_resolver_query(ctx, query),
             WireMessage::ResolverResponse(response) => self.handle_resolver_response(ctx, response),
             WireMessage::RendezvousConnect { peer } => self.handle_rdv_connect(ctx, peer, reply_addr),
-            WireMessage::RendezvousLease { rdv, granted, lease_ms } => {
-                self.handle_rdv_lease(ctx, rdv, granted, lease_ms, reply_addr)
-            }
+            WireMessage::RendezvousLease {
+                rdv,
+                granted,
+                lease_ms,
+            } => self.handle_rdv_lease(ctx, rdv, granted, lease_ms, reply_addr),
             WireMessage::Publish { adv_xml, src_peer } => self.handle_publish(ctx, &adv_xml, src_peer),
             WireMessage::WireData(packet) => self.handle_wire_data(ctx, packet),
             WireMessage::Relay { dest, inner } => self.handle_relay(ctx, dest, inner),
@@ -726,11 +844,16 @@ impl JxtaPeer {
         if !self.rendezvous.is_rendezvous() {
             return;
         }
-        let lease = self.rendezvous.register_client(peer.peer_id, peer.endpoints.clone(), ctx.now());
+        let lease = self
+            .rendezvous
+            .register_client(peer.peer_id, peer.endpoints.clone(), ctx.now());
         self.endpoint.learn_from_peer_adv(&peer);
         let fresh = self.discovery.absorb(vec![peer.clone().into()], ctx.now());
         for adv in fresh {
-            self.events.push(JxtaEvent::AdvertisementDiscovered { adv, source: peer.peer_id });
+            self.events.push(JxtaEvent::AdvertisementDiscovered {
+                adv,
+                source: peer.peer_id,
+            });
         }
         let response = WireMessage::RendezvousLease {
             rdv: self.peer_id,
@@ -760,34 +883,51 @@ impl JxtaPeer {
             return;
         }
         let Some(addr) = reply_addr else { return };
-        self.rendezvous.set_connection(rdv, addr, SimDuration::from_millis(lease_ms), ctx.now());
+        self.rendezvous
+            .set_connection(rdv, addr, SimDuration::from_millis(lease_ms), ctx.now());
         self.endpoint.learn_endpoints(rdv, vec![addr]);
         self.events.push(JxtaEvent::RendezvousConnected { rdv });
     }
 
     fn handle_publish(&mut self, ctx: &mut NodeContext<'_>, adv_xml: &str, src_peer: PeerId) {
-        let Ok(adv) = AnyAdvertisement::parse(adv_xml) else { return };
+        let Ok(adv) = AnyAdvertisement::parse(adv_xml) else {
+            return;
+        };
         if let Some(peer_adv) = adv.as_peer() {
             self.endpoint.learn_from_peer_adv(peer_adv);
         }
         let fresh = self.discovery.absorb(vec![adv.clone()], ctx.now());
         for adv in fresh {
-            self.events.push(JxtaEvent::AdvertisementDiscovered { adv, source: src_peer });
+            self.events.push(JxtaEvent::AdvertisementDiscovered {
+                adv,
+                source: src_peer,
+            });
         }
         // Rendezvous peers re-propagate pushes to their clients.
         if self.rendezvous.is_rendezvous() {
-            let wm = WireMessage::Publish { adv_xml: adv_xml.to_owned(), src_peer };
+            let wm = WireMessage::Publish {
+                adv_xml: adv_xml.to_owned(),
+                src_peer,
+            };
             self.propagate_to_clients_only(ctx, &wm, Some(src_peer));
         }
     }
 
-    fn propagate_to_clients_only(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage, exclude: Option<PeerId>) {
+    fn propagate_to_clients_only(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        wm: &WireMessage,
+        exclude: Option<PeerId>,
+    ) {
         for (peer, lease) in self.rendezvous.clients() {
             if Some(peer) == exclude {
                 continue;
             }
-            if let Some(addr) =
-                lease.endpoints.iter().copied().find(|a| self.local_transports.contains(&a.transport))
+            if let Some(addr) = lease
+                .endpoints
+                .iter()
+                .copied()
+                .find(|a| self.local_transports.contains(&a.transport))
             {
                 self.transmit(ctx, addr, wm);
             }
@@ -795,7 +935,11 @@ impl JxtaPeer {
     }
 
     fn handle_wire_data(&mut self, ctx: &mut NodeContext<'_>, packet: WirePacket) {
-        let first_sight = !self.rendezvous.seen_before(packet.msg_id, ctx.now());
+        // Wire traffic is deduplicated by the wire service's per-pipe
+        // seen-window: copies of the same message arriving over several
+        // propagation paths (direct, tree, gossip) are delivered and
+        // forwarded at most once.
+        let first_sight = !self.wire.seen_before(packet.pipe_id, packet.msg_id);
         if packet.src_peer != self.peer_id && self.wire.has_input_pipe(packet.pipe_id) && first_sight {
             if let Ok(message) = Message::from_bytes(&packet.payload) {
                 self.wire.note_received();
@@ -806,9 +950,33 @@ impl JxtaPeer {
                 });
             }
         }
-        if self.rendezvous.is_rendezvous() && packet.ttl > 0 && first_sight {
-            let forwarded = WireMessage::WireData(WirePacket { ttl: packet.ttl - 1, ..packet.clone() });
-            self.propagate_to_clients_only(ctx, &forwarded, Some(packet.src_peer));
+        // On-receive forwarding is the strategy's decision: under direct
+        // fan-out and the rendezvous tree only rendezvous peers fan copies
+        // down their leases, and only the first-seen copy is forwarded;
+        // gossip instead re-samples a fresh fanout for *every* received copy
+        // (duplicates included, TTL-bounded) — that repetition is what
+        // spreads a rumour past the first neighbourhood sample.
+        let forward_this_copy = first_sight || self.wire.forwards_duplicates();
+        if forward_this_copy && packet.ttl > 0 {
+            let plan = self.wire.plan_forward(
+                self.peer_id,
+                &self.rendezvous,
+                packet.src_peer,
+                packet.ttl,
+                ctx.rng(),
+            );
+            if plan.forward.is_empty() {
+                return;
+            }
+            let forwarded = WireMessage::WireData(WirePacket {
+                ttl: packet.ttl - 1,
+                ..packet.clone()
+            });
+            for peer in plan.forward {
+                if let Some(addr) = self.wire_peer_address(peer, self.rendezvous.client_endpoints(peer)) {
+                    self.transmit(ctx, addr, &forwarded);
+                }
+            }
         }
     }
 
@@ -823,7 +991,11 @@ impl JxtaPeer {
         let addr = self
             .rendezvous
             .client_endpoints(dest)
-            .and_then(|eps| eps.iter().copied().find(|a| self.local_transports.contains(&a.transport)))
+            .and_then(|eps| {
+                eps.iter()
+                    .copied()
+                    .find(|a| self.local_transports.contains(&a.transport))
+            })
             .or_else(|| self.endpoint.best_address(dest, &self.local_transports));
         if let Some(addr) = addr {
             let wm = WireMessage::Relay { dest, inner };
@@ -832,6 +1004,17 @@ impl JxtaPeer {
     }
 
     fn handle_resolver_query(&mut self, ctx: &mut NodeContext<'_>, query: ResolverQuery) {
+        // The same query instance often arrives twice (subnet multicast plus
+        // the rendezvous lease connection); the rendezvous seen-window
+        // suppresses the duplicate so it is neither re-forwarded nor
+        // re-answered. Retries use fresh query ids and pass through.
+        let query_instance = Uuid::derive(&format!(
+            "{}/{}/{}",
+            query.handler, query.src_peer, query.query_id.0
+        ));
+        if self.rendezvous.seen_before(query_instance, ctx.now()) {
+            return;
+        }
         let handle_cost = self.jittered(ctx, self.config.costs.resolver_handle_fixed);
         ctx.charge(handle_cost);
         // Rendezvous peers forward queries onward (scoped by the hop budget).
@@ -860,9 +1043,14 @@ impl JxtaPeer {
         let dq = DiscoveryQuery::from_xml_string(&query.body).ok()?;
         // Learn about the requester from the advertisement it embedded.
         self.endpoint.learn_from_peer_adv(&dq.requester);
-        let fresh = self.discovery.absorb(vec![dq.requester.clone().into()], ctx.now());
+        let fresh = self
+            .discovery
+            .absorb(vec![dq.requester.clone().into()], ctx.now());
         for adv in fresh {
-            self.events.push(JxtaEvent::AdvertisementDiscovered { adv, source: dq.requester.peer_id });
+            self.events.push(JxtaEvent::AdvertisementDiscovered {
+                adv,
+                source: dq.requester.peer_id,
+            });
         }
         let hits = self.discovery.answer(&dq, ctx.now());
         if hits.is_empty() {
@@ -887,7 +1075,13 @@ impl JxtaPeer {
         }
         let _ = ctx;
         let verdict = self.evaluate_membership(&mq);
-        Some(MembershipResponse { group_id: mq.group_id, verdict }.to_xml_string())
+        Some(
+            MembershipResponse {
+                group_id: mq.group_id,
+                verdict,
+            }
+            .to_xml_string(),
+        )
     }
 
     fn evaluate_membership(&mut self, query: &MembershipQuery) -> MembershipVerdict {
@@ -897,10 +1091,15 @@ impl JxtaPeer {
                 None => MembershipVerdict::Rejected("unknown group".to_owned()),
             },
             MembershipOp::Join(credential) => {
-                self.membership.evaluate_join(query.group_id, query.applicant, credential)
+                self.membership
+                    .evaluate_join(query.group_id, query.applicant, credential)
             }
             MembershipOp::Renew => {
-                if self.membership.admitted(query.group_id).contains(&query.applicant) {
+                if self
+                    .membership
+                    .admitted(query.group_id)
+                    .contains(&query.applicant)
+                {
                     MembershipVerdict::Accepted
                 } else {
                     MembershipVerdict::Rejected("not a member".to_owned())
@@ -916,7 +1115,14 @@ impl JxtaPeer {
             return None;
         }
         let endpoints = self.peer_advertisement(ctx).endpoints;
-        Some(PipeBindResponse { pipe_id: bind.pipe_id, peer: self.peer_id, endpoints }.to_xml_string())
+        Some(
+            PipeBindResponse {
+                pipe_id: bind.pipe_id,
+                peer: self.peer_id,
+                endpoints,
+            }
+            .to_xml_string(),
+        )
     }
 
     fn answer_erp(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
@@ -952,8 +1158,10 @@ impl JxtaPeer {
                         if let Some(peer_adv) = adv.as_peer() {
                             self.endpoint.learn_from_peer_adv(peer_adv);
                         }
-                        self.events
-                            .push(JxtaEvent::AdvertisementDiscovered { adv, source: response.src_peer });
+                        self.events.push(JxtaEvent::AdvertisementDiscovered {
+                            adv,
+                            source: response.src_peer,
+                        });
                     }
                 }
             }
@@ -965,14 +1173,22 @@ impl JxtaPeer {
             handlers::PMP => {
                 if let Ok(mr) = MembershipResponse::from_xml_string(&response.body) {
                     self.apply_membership_verdict(ctx.now(), mr.group_id, &mr.verdict);
-                    self.events.push(JxtaEvent::MembershipResult { group: mr.group_id, verdict: mr.verdict });
+                    self.events.push(JxtaEvent::MembershipResult {
+                        group: mr.group_id,
+                        verdict: mr.verdict,
+                    });
                 }
             }
             handlers::PBP => {
                 if let Ok(bind) = PipeBindResponse::from_xml_string(&response.body) {
                     self.endpoint.learn_endpoints(bind.peer, bind.endpoints.clone());
-                    self.wire.output_pipe_mut(bind.pipe_id).bind(bind.peer, bind.endpoints);
-                    self.events.push(JxtaEvent::PipeResolved { pipe_id: bind.pipe_id, peer: bind.peer });
+                    self.wire
+                        .output_pipe_mut(bind.pipe_id)
+                        .bind(bind.peer, bind.endpoints);
+                    self.events.push(JxtaEvent::PipeResolved {
+                        pipe_id: bind.pipe_id,
+                        peer: bind.peer,
+                    });
                 }
             }
             handlers::ERP => {
@@ -988,8 +1204,12 @@ impl JxtaPeer {
     fn apply_membership_verdict(&mut self, now: SimTime, group: PeerGroupId, verdict: &MembershipVerdict) {
         match verdict {
             MembershipVerdict::Accepted => self.membership.set_state(group, MembershipState::Member, now),
-            MembershipVerdict::Rejected(_) => self.membership.set_state(group, MembershipState::Rejected, now),
-            MembershipVerdict::Requirements(_) => self.membership.set_state(group, MembershipState::Applied, now),
+            MembershipVerdict::Rejected(_) => {
+                self.membership.set_state(group, MembershipState::Rejected, now)
+            }
+            MembershipVerdict::Requirements(_) => {
+                self.membership.set_state(group, MembershipState::Applied, now)
+            }
             MembershipVerdict::Left => {}
         }
     }
@@ -998,8 +1218,8 @@ impl JxtaPeer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::peergroup::PeerGroup;
     use crate::message::MessageElement;
+    use crate::peergroup::PeerGroup;
     use simnet::{Datagram, Network, NetworkBuilder, NodeConfig, NodeId, SimNode, SubnetId, TimerToken};
 
     /// Minimal application node wrapping a bare `JxtaPeer`, used to exercise
@@ -1011,7 +1231,10 @@ mod tests {
 
     impl TestApp {
         fn new(config: PeerConfig) -> Self {
-            TestApp { peer: JxtaPeer::new(config.with_costs(CostModel::free())), events: Vec::new() }
+            TestApp {
+                peer: JxtaPeer::new(config.with_costs(CostModel::free())),
+                events: Vec::new(),
+            }
         }
         fn drain(&mut self) {
             self.events.extend(self.peer.take_events());
@@ -1096,7 +1319,8 @@ mod tests {
         });
         // The searcher issues a remote discovery query for ps-* groups.
         net.invoke::<TestApp, _>(searcher, |app, ctx| {
-            app.peer.discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-*"), 10);
+            app.peer
+                .discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-*"), 10);
         });
         net.run_for(SimDuration::from_secs(5));
 
@@ -1104,7 +1328,10 @@ mod tests {
             JxtaEvent::AdvertisementDiscovered { adv, .. } => adv.display_name() == "ps-SkiRental",
             _ => false,
         });
-        assert!(found, "searcher never discovered the ps-SkiRental group advertisement");
+        assert!(
+            found,
+            "searcher never discovered the ps-SkiRental group advertisement"
+        );
     }
 
     #[test]
@@ -1129,7 +1356,13 @@ mod tests {
             .iter()
             .any(|e| matches!(e, JxtaEvent::PipeResolved { .. }));
         assert!(resolved, "output pipe never resolved a listener");
-        assert_eq!(net.node_ref::<TestApp>(publisher).unwrap().peer.wire_listener_count(pipe.pipe_id), 1);
+        assert_eq!(
+            net.node_ref::<TestApp>(publisher)
+                .unwrap()
+                .peer
+                .wire_listener_count(pipe.pipe_id),
+            1
+        );
 
         // Publishing reaches the subscriber.
         let mut message = Message::new();
@@ -1162,19 +1395,32 @@ mod tests {
         // The applicant needs to know the authority's endpoints; discovery
         // via the rendezvous provides them.
         net.invoke::<TestApp, _>(applicant, |app, ctx| {
-            app.peer.discover_remote(ctx, AdvKind::Peer, SearchFilter::any(), 10);
+            app.peer
+                .discover_remote(ctx, AdvKind::Peer, SearchFilter::any(), 10);
         });
         net.run_for(SimDuration::from_secs(3));
         net.invoke::<TestApp, _>(applicant, |app, ctx| {
-            app.peer.membership_join(ctx, group.advertisement(), Credential::None);
+            app.peer
+                .membership_join(ctx, group.advertisement(), Credential::None);
         });
         net.run_for(SimDuration::from_secs(3));
 
         let accepted = events_of(&net, applicant).iter().any(|e| {
-            matches!(e, JxtaEvent::MembershipResult { verdict: MembershipVerdict::Accepted, .. })
+            matches!(
+                e,
+                JxtaEvent::MembershipResult {
+                    verdict: MembershipVerdict::Accepted,
+                    ..
+                }
+            )
         });
         assert!(accepted, "membership join was never accepted");
-        assert!(net.node_ref::<TestApp>(applicant).unwrap().peer.membership().is_member(group.group_id()));
+        assert!(net
+            .node_ref::<TestApp>(applicant)
+            .unwrap()
+            .peer
+            .membership()
+            .is_member(group.group_id()));
     }
 
     #[test]

@@ -146,7 +146,9 @@ mod tests {
 
     #[test]
     fn wire_pipe_requires_a_pipe() {
-        let mut adv = PeerGroup::for_event_type("X", PeerId::derive("c")).advertisement().clone();
+        let mut adv = PeerGroup::for_event_type("X", PeerId::derive("c"))
+            .advertisement()
+            .clone();
         adv.put_service(ServiceAdvertisement::new(WIRE_SERVICE_NAME)); // no pipe
         let group = PeerGroup::from_advertisement(adv);
         assert!(group.wire_pipe().is_err());

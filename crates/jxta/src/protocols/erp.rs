@@ -60,7 +60,9 @@ impl ProtocolPayload for RouteResponse {
         let route_xml = xml
             .first_child(RouteAdvertisement::ROOT)
             .ok_or_else(|| JxtaError::MissingElement(RouteAdvertisement::ROOT.to_owned()))?;
-        Ok(RouteResponse { route: RouteAdvertisement::from_xml(route_xml)? })
+        Ok(RouteResponse {
+            route: RouteAdvertisement::from_xml(route_xml)?,
+        })
     }
 }
 
@@ -71,7 +73,10 @@ mod tests {
 
     #[test]
     fn query_roundtrips() {
-        let q = RouteQuery { dest: PeerId::derive("carol"), requester: PeerId::derive("alice") };
+        let q = RouteQuery {
+            dest: PeerId::derive("carol"),
+            requester: PeerId::derive("alice"),
+        };
         assert_eq!(RouteQuery::from_xml_string(&q.to_xml_string()).unwrap(), q);
     }
 
@@ -83,7 +88,10 @@ mod tests {
                 vec![SimAddress::new(TransportKind::Tcp, 9, 9701)],
             ),
         };
-        assert_eq!(RouteResponse::from_xml_string(&direct.to_xml_string()).unwrap(), direct);
+        assert_eq!(
+            RouteResponse::from_xml_string(&direct.to_xml_string()).unwrap(),
+            direct
+        );
 
         let relayed = RouteResponse {
             route: RouteAdvertisement::via_relay(PeerId::derive("carol"), PeerId::derive("rdv"), vec![]),

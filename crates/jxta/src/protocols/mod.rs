@@ -73,7 +73,8 @@ pub trait ProtocolPayload: Sized {
 }
 
 pub(crate) fn required_child<'a>(xml: &'a XmlElement, name: &str) -> Result<&'a str, JxtaError> {
-    xml.child_text(name).ok_or_else(|| JxtaError::MissingElement(name.to_owned()))
+    xml.child_text(name)
+        .ok_or_else(|| JxtaError::MissingElement(name.to_owned()))
 }
 
 #[cfg(test)]
@@ -82,7 +83,13 @@ mod tests {
 
     #[test]
     fn handler_names_are_distinct() {
-        let all = [handlers::PDP, handlers::PIP, handlers::PMP, handlers::PBP, handlers::ERP];
+        let all = [
+            handlers::PDP,
+            handlers::PIP,
+            handlers::PMP,
+            handlers::PBP,
+            handlers::ERP,
+        ];
         let set: std::collections::HashSet<_> = all.iter().collect();
         assert_eq!(set.len(), all.len());
     }

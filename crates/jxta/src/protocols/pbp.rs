@@ -88,7 +88,11 @@ impl ProtocolPayload for PipeBindResponse {
                 );
             }
         }
-        Ok(PipeBindResponse { pipe_id, peer, endpoints })
+        Ok(PipeBindResponse {
+            pipe_id,
+            peer,
+            endpoints,
+        })
     }
 }
 
@@ -99,7 +103,10 @@ mod tests {
 
     #[test]
     fn query_roundtrips() {
-        let q = PipeBindQuery { pipe_id: PipeId::derive("ski"), requester: PeerId::derive("alice") };
+        let q = PipeBindQuery {
+            pipe_id: PipeId::derive("ski"),
+            requester: PeerId::derive("alice"),
+        };
         assert_eq!(PipeBindQuery::from_xml_string(&q.to_xml_string()).unwrap(), q);
     }
 

@@ -29,7 +29,12 @@ pub struct DiscoveryQuery {
 impl DiscoveryQuery {
     /// Creates a query for advertisements of `kind` matching `filter`.
     pub fn new(kind: AdvKind, filter: SearchFilter, threshold: usize, requester: PeerAdvertisement) -> Self {
-        DiscoveryQuery { kind, filter, threshold, requester }
+        DiscoveryQuery {
+            kind,
+            filter,
+            threshold,
+            requester,
+        }
     }
 }
 
@@ -78,7 +83,12 @@ impl ProtocolPayload for DiscoveryQuery {
             .first_child(PeerAdvertisement::ROOT)
             .ok_or_else(|| JxtaError::MissingElement(PeerAdvertisement::ROOT.to_owned()))?;
         let requester = PeerAdvertisement::from_xml(requester_xml)?;
-        Ok(DiscoveryQuery { kind, filter, threshold, requester })
+        Ok(DiscoveryQuery {
+            kind,
+            filter,
+            threshold,
+            requester,
+        })
     }
 }
 
@@ -97,7 +107,11 @@ pub struct DiscoveryResponse {
 impl DiscoveryResponse {
     /// Creates a response.
     pub fn new(kind: AdvKind, advertisements: Vec<AnyAdvertisement>, responder: PeerAdvertisement) -> Self {
-        DiscoveryResponse { kind, advertisements, responder }
+        DiscoveryResponse {
+            kind,
+            advertisements,
+            responder,
+        }
     }
 }
 
@@ -127,7 +141,11 @@ impl ProtocolPayload for DiscoveryResponse {
             .first_child(PeerAdvertisement::ROOT)
             .ok_or_else(|| JxtaError::MissingElement(PeerAdvertisement::ROOT.to_owned()))?;
         let responder = PeerAdvertisement::from_xml(responder_xml)?;
-        Ok(DiscoveryResponse { kind, advertisements, responder })
+        Ok(DiscoveryResponse {
+            kind,
+            advertisements,
+            responder,
+        })
     }
 }
 

@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn query_roundtrips() {
-        let q = PingQuery { target: PeerId::derive("bob") };
+        let q = PingQuery {
+            target: PeerId::derive("bob"),
+        };
         assert_eq!(PingQuery::from_xml_string(&q.to_xml_string()).unwrap(), q);
     }
 

@@ -31,7 +31,9 @@ impl CredentialRequirement {
         match s {
             "none" => Ok(CredentialRequirement::None),
             "password" => Ok(CredentialRequirement::Password),
-            other => Err(JxtaError::BadXml(format!("unknown credential requirement {other}"))),
+            other => Err(JxtaError::BadXml(format!(
+                "unknown credential requirement {other}"
+            ))),
         }
     }
 }
@@ -119,12 +121,19 @@ impl ProtocolPayload for MembershipQuery {
             "renew" => MembershipOp::Renew,
             "leave" => MembershipOp::Leave,
             "join" => {
-                let credential = xml.first_child("Credential").map(Credential::from_xml).unwrap_or_default();
+                let credential = xml
+                    .first_child("Credential")
+                    .map(Credential::from_xml)
+                    .unwrap_or_default();
                 MembershipOp::Join(credential)
             }
             other => return Err(JxtaError::BadXml(format!("unknown membership op {other}"))),
         };
-        Ok(MembershipQuery { group_id, applicant, op })
+        Ok(MembershipQuery {
+            group_id,
+            applicant,
+            op,
+        })
     }
 }
 
@@ -200,8 +209,15 @@ mod tests {
 
     #[test]
     fn apply_and_join_roundtrip() {
-        let apply = MembershipQuery { group_id: gid(), applicant: PeerId::derive("a"), op: MembershipOp::Apply };
-        assert_eq!(MembershipQuery::from_xml_string(&apply.to_xml_string()).unwrap(), apply);
+        let apply = MembershipQuery {
+            group_id: gid(),
+            applicant: PeerId::derive("a"),
+            op: MembershipOp::Apply,
+        };
+        assert_eq!(
+            MembershipQuery::from_xml_string(&apply.to_xml_string()).unwrap(),
+            apply
+        );
 
         let join = MembershipQuery {
             group_id: gid(),
@@ -215,7 +231,11 @@ mod tests {
     #[test]
     fn leave_and_renew_roundtrip() {
         for op in [MembershipOp::Leave, MembershipOp::Renew] {
-            let q = MembershipQuery { group_id: gid(), applicant: PeerId::derive("a"), op };
+            let q = MembershipQuery {
+                group_id: gid(),
+                applicant: PeerId::derive("a"),
+                op,
+            };
             assert_eq!(MembershipQuery::from_xml_string(&q.to_xml_string()).unwrap(), q);
         }
     }
@@ -229,8 +249,14 @@ mod tests {
             MembershipVerdict::Rejected("bad password".into()),
             MembershipVerdict::Left,
         ] {
-            let r = MembershipResponse { group_id: gid(), verdict };
-            assert_eq!(MembershipResponse::from_xml_string(&r.to_xml_string()).unwrap(), r);
+            let r = MembershipResponse {
+                group_id: gid(),
+                verdict,
+            };
+            assert_eq!(
+                MembershipResponse::from_xml_string(&r.to_xml_string()).unwrap(),
+                r
+            );
         }
     }
 

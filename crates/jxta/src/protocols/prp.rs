@@ -38,12 +38,22 @@ pub struct ResolverQuery {
 impl ResolverQuery {
     /// Creates a query with the default hop budget.
     pub fn new(handler: impl Into<String>, query_id: QueryId, src_peer: PeerId, body: String) -> Self {
-        ResolverQuery { handler: handler.into(), query_id, src_peer, hops_left: 3, body }
+        ResolverQuery {
+            handler: handler.into(),
+            query_id,
+            src_peer,
+            hops_left: 3,
+            body,
+        }
     }
 
     /// Wraps the query into a transport [`Message`].
     pub fn to_message(&self) -> Message {
-        Message::new().with(MessageElement::xml(NAMESPACE, QUERY_ELEMENT, self.to_xml_string()))
+        Message::new().with(MessageElement::xml(
+            NAMESPACE,
+            QUERY_ELEMENT,
+            self.to_xml_string(),
+        ))
     }
 
     /// Extracts a query from a transport [`Message`], if present.
@@ -101,12 +111,21 @@ pub struct ResolverResponse {
 impl ResolverResponse {
     /// Creates a response for a given query.
     pub fn answering(query: &ResolverQuery, src_peer: PeerId, body: String) -> Self {
-        ResolverResponse { handler: query.handler.clone(), query_id: query.query_id, src_peer, body }
+        ResolverResponse {
+            handler: query.handler.clone(),
+            query_id: query.query_id,
+            src_peer,
+            body,
+        }
     }
 
     /// Wraps the response into a transport [`Message`].
     pub fn to_message(&self) -> Message {
-        Message::new().with(MessageElement::xml(NAMESPACE, RESPONSE_ELEMENT, self.to_xml_string()))
+        Message::new().with(MessageElement::xml(
+            NAMESPACE,
+            RESPONSE_ELEMENT,
+            self.to_xml_string(),
+        ))
     }
 
     /// Extracts a response from a transport [`Message`], if present.
@@ -150,7 +169,12 @@ mod tests {
     use crate::protocols::handlers;
 
     fn query() -> ResolverQuery {
-        ResolverQuery::new(handlers::PDP, QueryId(7), PeerId::derive("alice"), "<Q/>".to_owned())
+        ResolverQuery::new(
+            handlers::PDP,
+            QueryId(7),
+            PeerId::derive("alice"),
+            "<Q/>".to_owned(),
+        )
     }
 
     #[test]

@@ -60,7 +60,12 @@ impl MembershipService {
     }
 
     /// Evaluates a join request against an authored group's policy.
-    pub fn evaluate_join(&mut self, group: PeerGroupId, applicant: PeerId, credential: &Credential) -> MembershipVerdict {
+    pub fn evaluate_join(
+        &mut self,
+        group: PeerGroupId,
+        applicant: PeerId,
+        credential: &Credential,
+    ) -> MembershipVerdict {
         let Some(policy) = self.authored.get(&group) else {
             return MembershipVerdict::Rejected("not the membership authority for this group".to_owned());
         };
@@ -116,7 +121,12 @@ impl MembershipService {
             .authored
             .keys()
             .copied()
-            .chain(self.memberships.iter().filter(|(_, (s, _))| *s == MembershipState::Member).map(|(g, _)| *g))
+            .chain(
+                self.memberships
+                    .iter()
+                    .filter(|(_, (s, _))| *s == MembershipState::Member)
+                    .map(|(g, _)| *g),
+            )
             .collect();
         groups.sort();
         groups.dedup();
@@ -153,12 +163,23 @@ mod tests {
         let mut ms = MembershipService::new();
         let adv = password_group("secret", "hunter2");
         ms.author_group(&adv);
-        assert_eq!(ms.requirements(adv.group_id), Some(CredentialRequirement::Password));
-        let denied = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::Password("wrong".into()));
+        assert_eq!(
+            ms.requirements(adv.group_id),
+            Some(CredentialRequirement::Password)
+        );
+        let denied = ms.evaluate_join(
+            adv.group_id,
+            PeerId::derive("x"),
+            &Credential::Password("wrong".into()),
+        );
         assert!(matches!(denied, MembershipVerdict::Rejected(_)));
         let denied = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::None);
         assert!(matches!(denied, MembershipVerdict::Rejected(_)));
-        let ok = ms.evaluate_join(adv.group_id, PeerId::derive("x"), &Credential::Password("hunter2".into()));
+        let ok = ms.evaluate_join(
+            adv.group_id,
+            PeerId::derive("x"),
+            &Credential::Password("hunter2".into()),
+        );
         assert_eq!(ok, MembershipVerdict::Accepted);
     }
 
@@ -178,7 +199,11 @@ mod tests {
     #[test]
     fn non_authority_rejects_joins() {
         let mut ms = MembershipService::new();
-        let verdict = ms.evaluate_join(PeerGroupId::derive("unknown"), PeerId::derive("x"), &Credential::None);
+        let verdict = ms.evaluate_join(
+            PeerGroupId::derive("unknown"),
+            PeerId::derive("x"),
+            &Credential::None,
+        );
         assert!(matches!(verdict, MembershipVerdict::Rejected(_)));
     }
 

@@ -62,7 +62,12 @@ impl PeerInfoService {
 
     /// Counters: `(messages_sent, messages_received, bytes_sent, bytes_received)`.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (self.messages_sent, self.messages_received, self.bytes_sent, self.bytes_received)
+        (
+            self.messages_sent,
+            self.messages_received,
+            self.bytes_sent,
+            self.bytes_received,
+        )
     }
 }
 

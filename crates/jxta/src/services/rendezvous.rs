@@ -9,7 +9,7 @@
 
 use crate::id::{PeerId, Uuid};
 use simnet::{SimAddress, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Default lease granted to connected clients.
 pub const DEFAULT_LEASE: SimDuration = SimDuration::from_secs(120);
@@ -41,10 +41,10 @@ pub struct RendezvousConnection {
 pub struct RendezvousService {
     is_rendezvous: bool,
     seed_addresses: Vec<SimAddress>,
-    clients: HashMap<PeerId, ClientLease>,
+    clients: BTreeMap<PeerId, ClientLease>,
     connection: Option<RendezvousConnection>,
     seen: HashMap<Uuid, SimTime>,
-    seen_order: Vec<Uuid>,
+    seen_order: VecDeque<Uuid>,
     propagated: u64,
     duplicates_dropped: u64,
 }
@@ -56,10 +56,10 @@ impl RendezvousService {
         RendezvousService {
             is_rendezvous,
             seed_addresses,
-            clients: HashMap::new(),
+            clients: BTreeMap::new(),
             connection: None,
             seen: HashMap::new(),
-            seen_order: Vec::new(),
+            seen_order: VecDeque::new(),
             propagated: 0,
             duplicates_dropped: 0,
         }
@@ -76,13 +76,14 @@ impl RendezvousService {
     }
 
     /// Registers (or refreshes) a client lease; returns the lease duration.
-    pub fn register_client(
-        &mut self,
-        peer: PeerId,
-        endpoints: Vec<SimAddress>,
-        now: SimTime,
-    ) -> SimDuration {
-        self.clients.insert(peer, ClientLease { endpoints, expires_at: now + DEFAULT_LEASE });
+    pub fn register_client(&mut self, peer: PeerId, endpoints: Vec<SimAddress>, now: SimTime) -> SimDuration {
+        self.clients.insert(
+            peer,
+            ClientLease {
+                endpoints,
+                expires_at: now + DEFAULT_LEASE,
+            },
+        );
         DEFAULT_LEASE
     }
 
@@ -94,9 +95,16 @@ impl RendezvousService {
     /// The currently connected clients (rendezvous role), in deterministic
     /// (peer-id) order.
     pub fn clients(&self) -> Vec<(PeerId, ClientLease)> {
-        let mut all: Vec<_> = self.clients.iter().map(|(p, l)| (*p, l.clone())).collect();
-        all.sort_by_key(|(p, _)| *p);
-        all
+        self.clients.iter().map(|(p, l)| (*p, l.clone())).collect()
+    }
+
+    /// The ids of the currently connected clients, in deterministic
+    /// (peer-id) order. Cheaper than [`RendezvousService::clients`] when the
+    /// leases themselves are not needed (ids are `Copy`, leases clone their
+    /// endpoint lists); the lease table is ordered, so this is a plain
+    /// collect.
+    pub fn client_ids(&self) -> Vec<PeerId> {
+        self.clients.keys().copied().collect()
     }
 
     /// Whether `peer` currently holds a client lease.
@@ -118,7 +126,11 @@ impl RendezvousService {
 
     /// Records that this edge peer obtained a lease from a rendezvous.
     pub fn set_connection(&mut self, peer: PeerId, address: SimAddress, lease: SimDuration, now: SimTime) {
-        self.connection = Some(RendezvousConnection { peer, address, lease_expires_at: now + lease });
+        self.connection = Some(RendezvousConnection {
+            peer,
+            address,
+            lease_expires_at: now + lease,
+        });
     }
 
     /// The rendezvous this edge peer is connected to, if any.
@@ -143,10 +155,13 @@ impl RendezvousService {
             return true;
         }
         self.seen.insert(id, now);
-        self.seen_order.push(id);
+        self.seen_order.push_back(id);
         if self.seen_order.len() > SEEN_WINDOW {
-            let oldest = self.seen_order.remove(0);
-            self.seen.remove(&oldest);
+            // O(1) eviction; `Vec::remove(0)` here used to shift the whole
+            // window on every insert once it filled.
+            if let Some(oldest) = self.seen_order.pop_front() {
+                self.seen.remove(&oldest);
+            }
         }
         false
     }
@@ -237,5 +252,11 @@ mod tests {
         let second = rdv.clients();
         assert_eq!(first, second);
         assert_eq!(first.len(), 2);
+        let ids: Vec<_> = first.iter().map(|(peer, _)| *peer).collect();
+        assert_eq!(
+            rdv.client_ids(),
+            ids,
+            "client_ids matches the full listing's order"
+        );
     }
 }

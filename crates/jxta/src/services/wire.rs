@@ -3,13 +3,25 @@
 //! The paper's applications communicate exclusively through the JXTA-WIRE
 //! service: a named pipe that any number of publishers send on and any number
 //! of subscribers listen on. An output pipe keeps one connection per resolved
-//! listener — which is why the paper's invocation time grows with the number
-//! of subscribers — and propagated copies are de-duplicated by message id at
-//! the receivers.
+//! listener, and propagated copies are de-duplicated by message id at the
+//! receivers.
+//!
+//! *Which* copies go to which next hops is no longer hard-coded: the service
+//! owns a pluggable [`DisseminationStrategy`] (see the `dissem` crate) and
+//! delegates copy selection to it, both at publish time ([`WireService::plan_publish`])
+//! and when a propagated copy arrives ([`WireService::plan_forward`]). The
+//! paper-faithful one-unicast-per-listener policy is the default
+//! ([`dissem::DirectFanout`]) — the policy whose linear cost Figure 18
+//! measures.
 
 use crate::id::{PeerId, PipeId, Uuid};
+use crate::services::rendezvous::RendezvousService;
+use dissem::{
+    DisseminationConfig, DisseminationStrategy, ForwardPlan, NeighborView, PublishPlan, StrategyKind,
+};
+use rand::RngCore;
 use simnet::{SimAddress, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// How many message ids each input pipe remembers for duplicate suppression.
 pub const DEDUP_WINDOW: usize = 8192;
@@ -45,20 +57,105 @@ impl OutputPipeState {
 }
 
 /// Per-peer wire service state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WireService {
     input_pipes: HashSet<PipeId>,
     output_pipes: HashMap<PipeId, OutputPipeState>,
-    seen: HashMap<PipeId, (HashSet<Uuid>, Vec<Uuid>)>,
+    seen: HashMap<PipeId, (HashSet<Uuid>, VecDeque<Uuid>)>,
+    strategy: Box<dyn DisseminationStrategy<PeerId>>,
     messages_sent: u64,
     messages_received: u64,
     duplicates_dropped: u64,
 }
 
+impl Default for WireService {
+    fn default() -> Self {
+        WireService::with_config(&DisseminationConfig::default())
+    }
+}
+
 impl WireService {
-    /// Creates an empty wire service.
+    /// Creates an empty wire service running the paper-baseline
+    /// direct-fan-out strategy.
     pub fn new() -> Self {
         WireService::default()
+    }
+
+    /// Creates an empty wire service running the configured dissemination
+    /// strategy.
+    pub fn with_config(config: &DisseminationConfig) -> Self {
+        WireService {
+            input_pipes: HashSet::new(),
+            output_pipes: HashMap::new(),
+            seen: HashMap::new(),
+            strategy: config.build(),
+            messages_sent: 0,
+            messages_received: 0,
+            duplicates_dropped: 0,
+        }
+    }
+
+    /// Which dissemination strategy this service runs.
+    pub fn strategy_kind(&self) -> StrategyKind {
+        self.strategy.kind()
+    }
+
+    /// Whether the strategy wants a forwarding decision for duplicate copies
+    /// too (see [`DisseminationStrategy::forwards_duplicates`]).
+    pub fn forwards_duplicates(&self) -> bool {
+        self.strategy.forwards_duplicates()
+    }
+
+    /// Asks the strategy where the copies of a fresh publish on `pipe` go.
+    ///
+    /// The neighbourhood view handed to the strategy is assembled from the
+    /// pipe's resolved listeners plus the lease state the rendezvous service
+    /// already tracks.
+    pub fn plan_publish(
+        &mut self,
+        pipe: PipeId,
+        local: PeerId,
+        rendezvous: &RendezvousService,
+        ttl_budget: u8,
+        rng: &mut dyn RngCore,
+    ) -> PublishPlan<PeerId> {
+        let view = self.neighbor_view(Some(pipe), local, rendezvous, ttl_budget);
+        self.strategy.plan_publish(&view, rng)
+    }
+
+    /// Asks the strategy where a copy received from `origin` (with `ttl`
+    /// hops remaining) is forwarded.
+    pub fn plan_forward(
+        &mut self,
+        local: PeerId,
+        rendezvous: &RendezvousService,
+        origin: PeerId,
+        ttl: u8,
+        rng: &mut dyn RngCore,
+    ) -> ForwardPlan<PeerId> {
+        let view = self.neighbor_view(None, local, rendezvous, ttl);
+        self.strategy.plan_forward(&view, origin, ttl, rng)
+    }
+
+    fn neighbor_view(
+        &self,
+        pipe: Option<PipeId>,
+        local: PeerId,
+        rendezvous: &RendezvousService,
+        ttl_budget: u8,
+    ) -> NeighborView<PeerId> {
+        let listeners = pipe
+            .and_then(|p| self.output_pipes.get(&p))
+            .map(|state| state.listeners.keys().copied().collect())
+            .unwrap_or_default();
+        NeighborView {
+            local,
+            is_rendezvous: rendezvous.is_rendezvous(),
+            rendezvous: rendezvous.connection().map(|c| c.peer),
+            clients: rendezvous.client_ids(),
+            listeners,
+            ttl_budget,
+        }
     }
 
     /// Registers a local input (listening) pipe. Returns `true` if it was not
@@ -103,10 +200,13 @@ impl WireService {
             return true;
         }
         set.insert(msg_id);
-        order.push(msg_id);
+        order.push_back(msg_id);
         if order.len() > DEDUP_WINDOW {
-            let oldest = order.remove(0);
-            set.remove(&oldest);
+            // O(1) eviction; `Vec::remove(0)` here used to shift the whole
+            // window on every insert once it filled.
+            if let Some(oldest) = order.pop_front() {
+                set.remove(&oldest);
+            }
         }
         false
     }
@@ -123,7 +223,11 @@ impl WireService {
 
     /// Counters: `(sent, received, duplicates_dropped)`.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.messages_sent, self.messages_received, self.duplicates_dropped)
+        (
+            self.messages_sent,
+            self.messages_received,
+            self.duplicates_dropped,
+        )
     }
 
     /// Forgets a peer from every output pipe (e.g. when its lease lapsed).
@@ -143,7 +247,7 @@ impl WireService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet::TransportKind;
+    use simnet::{SimDuration, TransportKind};
 
     fn addr(host: u32) -> SimAddress {
         SimAddress::new(TransportKind::Tcp, host, 9701)
@@ -208,5 +312,68 @@ mod tests {
         wire.note_sent();
         wire.note_received();
         assert_eq!(wire.counters(), (2, 1, 0));
+    }
+
+    #[test]
+    fn default_strategy_is_the_paper_baseline() {
+        assert_eq!(WireService::new().strategy_kind(), StrategyKind::DirectFanout);
+    }
+
+    #[test]
+    fn publish_plans_follow_the_configured_strategy() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let local = PeerId::derive("pub");
+        let pipe = PipeId::derive("ski");
+        let rdv_peer = PeerId::derive("rdv");
+
+        // An edge peer holding a rendezvous lease, with two bound listeners.
+        let mut rendezvous = RendezvousService::new(false, vec![addr(9)]);
+        rendezvous.set_connection(rdv_peer, addr(9), SimDuration::from_secs(120), SimTime::ZERO);
+
+        let mut direct = WireService::with_config(&DisseminationConfig::direct_fanout());
+        direct
+            .output_pipe_mut(pipe)
+            .bind(PeerId::derive("sub1"), vec![addr(1)]);
+        direct
+            .output_pipe_mut(pipe)
+            .bind(PeerId::derive("sub2"), vec![addr(2)]);
+        let plan = direct.plan_publish(pipe, local, &rendezvous, 3, &mut rng);
+        assert_eq!(
+            plan.unicast.len(),
+            2,
+            "direct fan-out unicasts one copy per listener"
+        );
+
+        let mut tree = WireService::with_config(&DisseminationConfig::rendezvous_tree());
+        tree.output_pipe_mut(pipe)
+            .bind(PeerId::derive("sub1"), vec![addr(1)]);
+        tree.output_pipe_mut(pipe)
+            .bind(PeerId::derive("sub2"), vec![addr(2)]);
+        let plan = tree.plan_publish(pipe, local, &rendezvous, 3, &mut rng);
+        assert_eq!(
+            plan.unicast,
+            vec![rdv_peer],
+            "the tree publisher sends one copy to its rendezvous"
+        );
+    }
+
+    #[test]
+    fn forward_plans_reuse_rendezvous_lease_state() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let local = PeerId::derive("rdv");
+        let origin = PeerId::derive("pub");
+        let mut rendezvous = RendezvousService::new(true, vec![]);
+        rendezvous.register_client(origin, vec![addr(1)], SimTime::ZERO);
+        rendezvous.register_client(PeerId::derive("sub"), vec![addr(2)], SimTime::ZERO);
+
+        let mut wire = WireService::with_config(&DisseminationConfig::rendezvous_tree());
+        let plan = wire.plan_forward(local, &rendezvous, origin, 2, &mut rng);
+        assert_eq!(
+            plan.forward,
+            vec![PeerId::derive("sub")],
+            "copies fan down the leases, minus the origin"
+        );
     }
 }

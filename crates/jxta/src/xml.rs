@@ -25,12 +25,19 @@ pub struct XmlElement {
 impl XmlElement {
     /// Creates an empty element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        XmlElement { name: name.into(), ..Default::default() }
+        XmlElement {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Creates an element containing only text.
     pub fn with_text(name: impl Into<String>, text: impl Into<String>) -> Self {
-        XmlElement { name: name.into(), text: text.into(), ..Default::default() }
+        XmlElement {
+            name: name.into(),
+            text: text.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds an attribute (builder style).
@@ -57,7 +64,10 @@ impl XmlElement {
 
     /// Looks up an attribute value by key.
     pub fn attribute(&self, key: &str) -> Option<&str> {
-        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The first child with the given tag name, if any.
@@ -118,7 +128,10 @@ impl XmlElement {
     /// Returns [`XmlError`] on malformed input (mismatched tags, bad
     /// attribute syntax, trailing content, unknown entities).
     pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
-        let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+        let mut parser = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         parser.skip_whitespace_and_prolog()?;
         let element = parser.parse_element()?;
         parser.skip_whitespace();
@@ -195,7 +208,10 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof => f.write_str("unexpected end of xml input"),
             XmlError::Unexpected(pos) => write!(f, "unexpected character at offset {pos}"),
             XmlError::MismatchedTag { expected, found } => {
-                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched closing tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::TrailingContent(pos) => write!(f, "trailing content after document at offset {pos}"),
             XmlError::BadEntity => f.write_str("unknown or malformed xml entity"),
@@ -315,7 +331,10 @@ impl<'a> Parser<'a> {
                         self.skip_whitespace();
                         self.expect(b'>')?;
                         if close != name {
-                            return Err(XmlError::MismatchedTag { expected: name, found: close });
+                            return Err(XmlError::MismatchedTag {
+                                expected: name,
+                                found: close,
+                            });
                         }
                         element.text = element.text.trim().to_owned();
                         return Ok(element);

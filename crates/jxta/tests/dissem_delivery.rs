@@ -1,0 +1,202 @@
+//! Exactly-once delivery under every dissemination strategy.
+//!
+//! Property: on a randomized topology (one rendezvous, a random number of
+//! publishers and subscribers) every subscriber receives every published wire
+//! message **exactly once** — no loss, and no duplicate surviving the
+//! seen-window dedup — whichever of the three strategies the peers run.
+//!
+//! The gossip configuration uses a fanout larger than any generated
+//! neighbourhood, which degenerates to flooding-with-dedup and therefore
+//! guarantees coverage on these connected topologies (the probabilistic
+//! regime is exercised by the `ablation_dissem` bench instead).
+
+use jxta::peer::{CostModel, JxtaPeer, PeerConfig};
+use jxta::{is_jxta_timer, DisseminationConfig, JxtaEvent, Message, MessageElement, PeerId, StrategyKind};
+use proptest::prelude::*;
+use simnet::{
+    Datagram, Network, NetworkBuilder, NodeConfig, NodeContext, NodeId, SimAddress, SimDuration, SimNode,
+    SubnetId, TimerToken, TransportKind,
+};
+use std::collections::HashMap;
+
+/// A bare application node recording every wire message delivered to it.
+struct DeliveryApp {
+    peer: JxtaPeer,
+    delivered: Vec<String>,
+}
+
+impl DeliveryApp {
+    fn boxed(config: PeerConfig) -> Box<Self> {
+        Box::new(DeliveryApp {
+            peer: JxtaPeer::new(config.with_costs(CostModel::free())),
+            delivered: Vec::new(),
+        })
+    }
+
+    fn drain(&mut self) {
+        for event in self.peer.take_events() {
+            if let JxtaEvent::WireMessageReceived { message, .. } = event {
+                if let Some(tag) = message.element_text("app", "tag") {
+                    self.delivered.push(tag);
+                }
+            }
+        }
+    }
+}
+
+impl SimNode for DeliveryApp {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        self.peer.on_start(ctx);
+        self.drain();
+    }
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dg: Datagram) {
+        self.peer.on_datagram(ctx, &dg);
+        self.drain();
+    }
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _token: TimerToken, tag: u64) {
+        if is_jxta_timer(tag) {
+            self.peer.on_timer(ctx, tag);
+        }
+        self.drain();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Topology {
+    net: Network,
+    publishers: Vec<NodeId>,
+    subscribers: Vec<NodeId>,
+    pipe: jxta::PipeAdvertisement,
+}
+
+fn build(strategy: DisseminationConfig, publishers: usize, subscribers: usize, seed: u64) -> Topology {
+    let mut builder = NetworkBuilder::new(seed);
+    let rdv_config = PeerConfig::rendezvous("rdv").with_dissemination(strategy.clone());
+    builder.add_node(DeliveryApp::boxed(rdv_config), NodeConfig::lan_peer(SubnetId(0)));
+    let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
+    let edge = |name: String| {
+        DeliveryApp::boxed(
+            PeerConfig::edge(name)
+                .with_seeds(vec![rdv_addr])
+                .with_dissemination(strategy.clone()),
+        )
+    };
+    let publishers = (0..publishers)
+        .map(|i| builder.add_node(edge(format!("shop-{i}")), NodeConfig::lan_peer(SubnetId(0))))
+        .collect();
+    let subscribers = (0..subscribers)
+        .map(|i| builder.add_node(edge(format!("skier-{i}")), NodeConfig::lan_peer(SubnetId(0))))
+        .collect();
+    let group = jxta::PeerGroup::for_event_type("Delivery", PeerId::derive("shop-0"));
+    let pipe = group
+        .wire_pipe()
+        .expect("event-type groups embed a wire pipe")
+        .clone();
+    Topology {
+        net: builder.build(),
+        publishers,
+        subscribers,
+        pipe,
+    }
+}
+
+/// Runs the workload and returns, per subscriber, the delivery count per tag.
+fn run(
+    strategy: DisseminationConfig,
+    publishers: usize,
+    subscribers: usize,
+    events: usize,
+    seed: u64,
+) -> Vec<HashMap<String, usize>> {
+    let mut topology = build(strategy, publishers, subscribers, seed);
+    topology.net.run_for(SimDuration::from_secs(2));
+    let pipe = topology.pipe.clone();
+    for &subscriber in &topology.subscribers {
+        topology.net.invoke::<DeliveryApp, _>(subscriber, |app, ctx| {
+            app.peer.create_wire_input_pipe(ctx, &pipe);
+        });
+    }
+    for &publisher in &topology.publishers {
+        topology.net.invoke::<DeliveryApp, _>(publisher, |app, ctx| {
+            app.peer.resolve_wire_output_pipe(ctx, &pipe);
+        });
+    }
+    topology.net.run_for(SimDuration::from_secs(5));
+    for (p, &publisher) in topology.publishers.iter().enumerate() {
+        for e in 0..events {
+            let tag = format!("pub{p}-event{e}");
+            topology.net.invoke::<DeliveryApp, _>(publisher, |app, ctx| {
+                let mut message = Message::new();
+                message.add(MessageElement::text("app", "tag", tag.clone()));
+                app.peer
+                    .wire_send(ctx, pipe.pipe_id, &message)
+                    .expect("publish failed");
+            });
+            topology.net.run_for(SimDuration::from_millis(250));
+        }
+    }
+    topology.net.run_for(SimDuration::from_secs(10));
+    topology
+        .subscribers
+        .iter()
+        .map(|&subscriber| {
+            let app = topology
+                .net
+                .node_ref::<DeliveryApp>(subscriber)
+                .expect("subscriber exists");
+            let mut counts = HashMap::new();
+            for tag in &app.delivered {
+                *counts.entry(tag.clone()).or_insert(0usize) += 1;
+            }
+            counts
+        })
+        .collect()
+}
+
+fn strategy_of(index: usize) -> DisseminationConfig {
+    match StrategyKind::ALL[index % 3] {
+        StrategyKind::DirectFanout => DisseminationConfig::direct_fanout(),
+        StrategyKind::RendezvousTree => DisseminationConfig::rendezvous_tree(),
+        // Fanout 64 >= any generated neighbourhood: flooding-with-dedup.
+        StrategyKind::Gossip => DisseminationConfig::gossip(64, 4),
+    }
+}
+
+proptest! {
+    /// Every subscriber receives each published event exactly once, under
+    /// each strategy, on randomized topologies.
+    #[test]
+    fn every_subscriber_receives_each_event_exactly_once(
+        strategy_index in 0usize..3,
+        publishers in 1usize..3,
+        subscribers in 1usize..6,
+        events in 1usize..4,
+        seed in 1u64..5_000,
+    ) {
+        let strategy = strategy_of(strategy_index);
+        let per_subscriber = run(strategy.clone(), publishers, subscribers, events, seed);
+        for (index, counts) in per_subscriber.iter().enumerate() {
+            for p in 0..publishers {
+                for e in 0..events {
+                    let tag = format!("pub{p}-event{e}");
+                    let count = counts.get(&tag).copied().unwrap_or(0);
+                    prop_assert_eq!(
+                        count, 1,
+                        "strategy {} subscriber {} tag {}: delivered {} times (want exactly 1)",
+                        strategy.kind, index, tag, count
+                    );
+                }
+            }
+            prop_assert_eq!(
+                counts.values().sum::<usize>(), publishers * events,
+                "strategy {} subscriber {}: spurious deliveries {:?}",
+                strategy.kind, index, counts
+            );
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace uses: the [`proptest!`] test macro,
+//! `prop_assert*!` assertions, strategies for regex-like string patterns
+//! (a small subset of the regex syntax), numeric ranges, tuples,
+//! `collection::vec`, `option::of`, and `any::<T>()`.
+//!
+//! Each property runs a fixed number of deterministic cases (derived from the
+//! test name), so failures are reproducible run-to-run. There is no input
+//! shrinking: the failing inputs are included in the panic message instead.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of cases each property is exercised with.
+pub const NUM_CASES: u32 = 64;
+
+/// Error produced by a failing `prop_assert*!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deterministic test RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator used to produce test cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (the test name).
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// The next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// Full-range uniform values (the `any::<T>()` strategy).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(pub PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// Numeric-module strategies (`proptest::num::i64::ANY` and friends).
+pub mod num {
+    /// Strategies over `i64`.
+    pub mod i64 {
+        use std::marker::PhantomData;
+        /// The full-range `i64` strategy.
+        pub const ANY: crate::Any<i64> = crate::Any(PhantomData);
+    }
+    /// Strategies over `u64`.
+    pub mod u64 {
+        use std::marker::PhantomData;
+        /// The full-range `u64` strategy.
+        pub const ANY: crate::Any<u64> = crate::Any(PhantomData);
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy generating `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// A strategy generating `Option`s of an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// One atom of the pattern subset: a set of candidate chars plus repetition.
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: CharClass,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    /// Explicit candidates (from a literal or a `[...]` class).
+    Set(Vec<char>),
+    /// `.` / `\PC`: any printable character (ASCII + a sprinkle of unicode).
+    Printable,
+}
+
+/// Draws one printable character: mostly ASCII, with a sprinkle of non-ASCII
+/// so unicode handling is exercised.
+fn printable_char(rng: &mut TestRng) -> char {
+    const POOL: &[char] = &['é', 'ß', 'ü', 'Ω', '→', '€', '☃', '⛷', '山', '界', '𝛼'];
+    if rng.below(5) == 0 {
+        POOL[rng.below(POOL.len() as u64) as usize]
+    } else {
+        // Printable ASCII, space through tilde.
+        char::from_u32(rng.in_range_u64(0x20, 0x7E) as u32).unwrap()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '.' => {
+                i += 1;
+                CharClass::Printable
+            }
+            '\\' => {
+                // Only the `\PC` ("not a control character") escape and
+                // escaped literals are supported.
+                match chars.get(i + 1) {
+                    Some('P') => {
+                        i += 3; // consume \ P <category>
+                        CharClass::Printable
+                    }
+                    Some(&c) => {
+                        i += 2;
+                        CharClass::Set(vec![c])
+                    }
+                    None => panic!("trailing backslash in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if c == '\\' {
+                        i += 1;
+                        set.push(chars[i]);
+                        i += 1;
+                    } else if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+                        let hi = chars[i + 2];
+                        for code in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // consume ']'
+                CharClass::Set(set)
+            }
+            c => {
+                i += 1;
+                CharClass::Set(vec![c])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+                    None => {
+                        let n = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom {
+            choices: class,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.in_range_u64(atom.min as u64, atom.max as u64) as usize;
+            for _ in 0..count {
+                match &atom.choices {
+                    CharClass::Printable => out.push(printable_char(rng)),
+                    CharClass::Set(set) => {
+                        assert!(!set.is_empty(), "empty character class");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`NUM_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case + 1, $crate::NUM_CASES, e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), left, right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn string_patterns_respect_classes_and_bounds() {
+        let mut rng = TestRng::deterministic("shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Za-z][A-Za-z0-9_:-]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_alphanumeric() || "_:-".contains(c)));
+
+            let t = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = Strategy::generate(&"\\PC*", &mut rng);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_vecs_and_options_generate() {
+        let mut rng = TestRng::deterministic("combined");
+        for _ in 0..200 {
+            let (a, b) = Strategy::generate(&(0usize..4, -10.0f64..10.0), &mut rng);
+            assert!(a < 4);
+            assert!((-10.0..10.0).contains(&b));
+            let v = Strategy::generate(&crate::collection::vec(crate::any::<u8>(), 0..5), &mut rng);
+            assert!(v.len() < 5);
+            let _o = Strategy::generate(&crate::option::of(".{0,3}"), &mut rng);
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_round_trips(x in 0u32..1000, s in "[a-z]{0,6}") {
+            prop_assert!(x < 1000);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! The deserialisation half of the serde data model.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// A field appeared twice.
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format_args!("duplicate field `{field}`"))
+    }
+
+    /// An enum variant name was not recognised.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// A compound had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+}
+
+/// A data structure deserialisable from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises `Self` from the given deserialiser.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserialisable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful `Deserialize` (serde's seed mechanism). The only seed this shim
+/// ships is `PhantomData<T>`, which behaves like plain `T::deserialize`.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserialises the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// Walks the values a [`Deserializer`] produces.
+///
+/// Every `visit_*` method defaults to a type-mismatch error; formats call the
+/// one matching the input.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Describes what the visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        formatter.write_str("a value")
+    }
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected bool `{v}`")))
+    }
+
+    /// Visits a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected integer `{v}`")))
+    }
+
+    /// Visits an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected unsigned integer `{v}`")))
+    }
+
+    /// Visits an `f32` (defaults to widening to `f64`).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected float `{v}`")))
+    }
+
+    /// Visits a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected string {v:?}")))
+    }
+
+    /// Visits an owned string (defaults to [`Visitor::visit_str`]).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a unit / null.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected null"))
+    }
+
+    /// Visits an absent optional.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+
+    /// Visits a present optional.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom("unexpected some"))
+    }
+
+    /// Visits a newtype struct's inner value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom("unexpected newtype struct"))
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::custom("unexpected sequence"))
+    }
+
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::custom("unexpected map"))
+    }
+
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(A::Error::custom("unexpected enum"))
+    }
+}
+
+/// A data format that can deserialise any serde-compatible data structure.
+///
+/// Only [`Deserializer::deserialize_any`] is required; every other method
+/// defaults to forwarding to it (self-describing formats, like this
+/// workspace's codec, override only what needs type hints).
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Deserialises whatever the input contains next.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    crate::forward_to_deserialize_any! {
+        bool i8 i16 i32 i64 i128 u8 u16 u32 u64 u128 f32 f64 char str string
+        bytes byte_buf option unit unit_struct newtype_struct seq tuple
+        tuple_struct map struct enum identifier ignored_any
+    }
+}
+
+/// Provides access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Deserialises the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserialises the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// A hint of how many elements remain, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<'de, A: SeqAccess<'de> + ?Sized> SeqAccess<'de> for &mut A {
+    type Error = A::Error;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error> {
+        (**self).next_element_seed(seed)
+    }
+}
+
+/// Provides access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Deserialises the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserialises the value matching the key just returned.
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Self::Error>;
+
+    /// Deserialises the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserialises the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserialises the next key/value entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// A hint of how many entries remain, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<'de, A: MapAccess<'de> + ?Sized> MapAccess<'de> for &mut A {
+    type Error = A::Error;
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, Self::Error> {
+        (**self).next_key_seed(seed)
+    }
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Self::Error> {
+        (**self).next_value_seed(seed)
+    }
+}
+
+/// Provides access to the variant of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+    /// Accessor for the variant's payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserialises the variant identifier with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V)
+        -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserialises the variant identifier.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Provides access to the payload of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Consumes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserialises a newtype variant's payload with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Self::Error>;
+
+    /// Deserialises a newtype variant's payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Visits a tuple variant's payload.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Visits a struct variant's payload.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of plain values into deserialisers (used for enum variant
+/// identifiers).
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The produced deserialiser.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Performs the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// A deserialiser over one owned string.
+pub struct StringDeserializer<E> {
+    value: String,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> Deserializer<'de> for StringDeserializer<E> {
+    type Error = E;
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_string(self.value)
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for String {
+    type Deserializer = StringDeserializer<E>;
+    fn into_deserializer(self) -> StringDeserializer<E> {
+        StringDeserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+/// A value that consumes and discards whatever the input contains (used for
+/// unknown struct fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IgnoredVisitor;
+        impl<'de> Visitor<'de> for IgnoredVisitor {
+            type Value = IgnoredAny;
+            fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<IgnoredAny, D::Error> {
+                IgnoredAny::deserialize(d)
+            }
+            fn visit_newtype_struct<D: Deserializer<'de>>(self, d: D) -> Result<IgnoredAny, D::Error> {
+                IgnoredAny::deserialize(d)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                while map.next_entry::<IgnoredAny, IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+        }
+        deserializer.deserialize_ignored_any(IgnoredVisitor)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BoolVisitor;
+        impl<'de> Visitor<'de> for BoolVisitor {
+            type Value = bool;
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+macro_rules! deserialize_ints {
+    ($($t:ty => $method:ident),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct IntVisitor;
+                impl<'de> Visitor<'de> for IntVisitor {
+                    type Value = $t;
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("integer `{v}` out of range")))
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("integer `{v}` out of range")))
+                    }
+                }
+                deserializer.$method(IntVisitor)
+            }
+        }
+    )*};
+}
+deserialize_ints! {
+    i8 => deserialize_i8,
+    i16 => deserialize_i16,
+    i32 => deserialize_i32,
+    i64 => deserialize_i64,
+    u8 => deserialize_u8,
+    u16 => deserialize_u16,
+    u32 => deserialize_u32,
+    u64 => deserialize_u64,
+    usize => deserialize_u64,
+    isize => deserialize_i64
+}
+
+macro_rules! deserialize_floats {
+    ($($t:ty => $method:ident),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct FloatVisitor;
+                impl<'de> Visitor<'de> for FloatVisitor {
+                    type Value = $t;
+                    fn visit_f32<E: Error>(self, v: f32) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                }
+                deserializer.$method(FloatVisitor)
+            }
+        }
+    )*};
+}
+deserialize_floats! {
+    f32 => deserialize_f32,
+    f64 => deserialize_f64
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CharVisitor;
+        impl<'de> Visitor<'de> for CharVisitor {
+            type Value = char;
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom(format_args!("expected a single character, got {v:?}"))),
+                }
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for MapVisitor<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((key, value)) = map.next_entry()? {
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for MapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_hasher(H::default());
+                while let Some((key, value)) = map.next_entry()? {
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Implements the serde 1.x data-model traits this workspace programs
+//! against: the [`ser`] and [`de`] trait families, the
+//! [`forward_to_deserialize_any!`] macro, implementations for the std types
+//! the codebase serialises, and re-exports of the derive macros from the
+//! sibling `serde_derive` shim.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+#[allow(unused_imports)]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Expands to `deserialize_*` methods that forward to `deserialize_any`,
+/// mirroring serde's macro of the same name. Must be invoked inside an
+/// `impl<'de> Deserializer<'de> for ...` block.
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    ($($kind:tt)*) => {
+        $( $crate::forward_one_to_deserialize_any!{$kind} )*
+    };
+}
+
+/// Implementation detail of [`forward_to_deserialize_any!`]: one method.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_one_to_deserialize_any {
+    (bool) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_bool}
+    };
+    (i8) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i8}
+    };
+    (i16) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i16}
+    };
+    (i32) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i32}
+    };
+    (i64) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i64}
+    };
+    (i128) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i128}
+    };
+    (u8) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u8}
+    };
+    (u16) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u16}
+    };
+    (u32) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u32}
+    };
+    (u64) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u64}
+    };
+    (u128) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u128}
+    };
+    (f32) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_f32}
+    };
+    (f64) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_f64}
+    };
+    (char) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_char}
+    };
+    (str) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_str}
+    };
+    (string) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_string}
+    };
+    (bytes) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_bytes}
+    };
+    (byte_buf) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_byte_buf}
+    };
+    (option) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_option}
+    };
+    (unit) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_unit}
+    };
+    (seq) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_seq}
+    };
+    (map) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_map}
+    };
+    (identifier) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_identifier}
+    };
+    (ignored_any) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_ignored_any}
+    };
+    (unit_struct) => {
+        fn deserialize_unit_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (newtype_struct) => {
+        fn deserialize_newtype_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple) => {
+        fn deserialize_tuple<V: $crate::de::Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple_struct) => {
+        fn deserialize_tuple_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (struct) => {
+        fn deserialize_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (enum) => {
+        fn deserialize_enum<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+}
+
+/// Implementation detail: a `(self, visitor)` forwarding method.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_simple_to_deserialize_any {
+    ($method:ident) => {
+        fn $method<V: $crate::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+}

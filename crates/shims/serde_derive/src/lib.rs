@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses: non-generic structs with named fields and
+//! non-generic enums whose variants are unit, newtype, tuple or struct
+//! shaped. No `#[serde(...)]` attributes are supported.
+//!
+//! The implementation parses the item's token stream by hand (no `syn`) and
+//! emits the impl as source text, which keeps the shim dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// item model + parser
+// ---------------------------------------------------------------------------
+
+enum Item {
+    /// A struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum; each variant is (name, shape).
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`, covering doc comments) and visibility
+/// (`pub`, `pub(...)`) starting at `i`; returns the next index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the named fields of a brace-delimited group, returning field names.
+fn parse_named_fields(group: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            );
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive shim: expected ':' after field, got {:?}",
+                other.map(|t| t.to_string())
+            ),
+        }
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple group.
+fn count_tuple_fields(group: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(group: &TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!(
+            "serde_derive shim: expected item keyword, got {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!(
+            "serde_derive shim: expected item name, got {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generics on `{name}` are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(&g.stream()),
+            },
+            _ => panic!("serde_derive shim: only structs with named fields are supported (`{name}`)"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(&g.stream()),
+            },
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            ));
+            for field in &fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{ {} }}",
+                serialize_fn(&out)
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (index, (variant, shape)) in variants.iter().enumerate() {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{variant}\"),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{variant}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", __f0),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{variant}({}) => {{ let mut __state = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", {arity}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for binder in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {binder})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state) },\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{variant} {{ {} }} => {{ let mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{field}\", {field})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state) },\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            let body = format!("match self {{ {arms} }}");
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{ {} }}",
+                serialize_fn(&body)
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+fn serialize_fn(body: &str) -> String {
+    format!(
+        "fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{ {body} }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits the body of a `visit_map` that builds `constructor { fields }`.
+/// `error_ty` is the in-scope error type expression (e.g. `__A::Error`).
+fn visit_map_body(constructor: &str, fields: &[String], error_ty: &str) -> String {
+    let mut out = String::new();
+    for (k, _) in fields.iter().enumerate() {
+        out.push_str(&format!("let mut __field{k} = ::core::option::Option::None;\n"));
+    }
+    out.push_str(
+        "while let ::core::option::Option::Some(__key) = __map.next_key::<::std::string::String>()? {\n\
+         match __key.as_str() {\n",
+    );
+    for (k, field) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{field}\" => {{ __field{k} = ::core::option::Option::Some(__map.next_value()?); }}\n"
+        ));
+    }
+    out.push_str("_ => { let _ = __map.next_value::<::serde::de::IgnoredAny>()?; }\n} }\n");
+    out.push_str(&format!("::core::result::Result::Ok({constructor} {{\n"));
+    for (k, field) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "{field}: match __field{k} {{ ::core::option::Option::Some(__v) => __v, \
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             <{error_ty} as ::serde::de::Error>::missing_field(\"{field}\")) }},\n"
+        ));
+    }
+    out.push_str("})\n");
+    out
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            let map_body = visit_map_body(&name, &fields, "__A::Error");
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_imports)] use ::serde::de::{{MapAccess as _, SeqAccess as _, EnumAccess as _, VariantAccess as _}};\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{ __f.write_str(\"struct {name}\") }}\n\
+                 fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                 -> ::core::result::Result<{name}, __A::Error> {{\n{map_body}}}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{field_names}], __Visitor)\n\
+                 }}\n}}",
+                field_names = field_list.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let variant_list: Vec<String> = variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+            let mut arms = String::new();
+            for (variant, shape) in &variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "\"{variant}\" => {{ __data.unit_variant()?; ::core::result::Result::Ok({name}::{variant}) }}\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "\"{variant}\" => ::core::result::Result::Ok({name}::{variant}(__data.newtype_variant()?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let mut seq_body = String::new();
+                        for k in 0..*arity {
+                            seq_body.push_str(&format!(
+                                "let __f{k} = match __seq.next_element()? {{ \
+                                 ::core::option::Option::Some(__v) => __v, \
+                                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                                 <__A2::Error as ::serde::de::Error>::invalid_length({k}, &\"tuple variant {variant}\")) }};\n"
+                            ));
+                        }
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        arms.push_str(&format!(
+                            "\"{variant}\" => {{\n\
+                             struct __TupleVisitor;\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __TupleVisitor {{\n\
+                             type Value = {name};\n\
+                             fn visit_seq<__A2: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A2) \
+                             -> ::core::result::Result<{name}, __A2::Error> {{\n\
+                             {seq_body}\
+                             ::core::result::Result::Ok({name}::{variant}({binder_list}))\n\
+                             }}\n}}\n\
+                             __data.tuple_variant({arity}usize, __TupleVisitor)\n\
+                             }}\n",
+                            binder_list = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        let map_body = visit_map_body(&format!("{name}::{variant}"), fields, "__A2::Error");
+                        arms.push_str(&format!(
+                            "\"{variant}\" => {{\n\
+                             struct __StructVisitor;\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __StructVisitor {{\n\
+                             type Value = {name};\n\
+                             fn visit_map<__A2: ::serde::de::MapAccess<'de>>(self, mut __map: __A2) \
+                             -> ::core::result::Result<{name}, __A2::Error> {{\n{map_body}}}\n\
+                             }}\n\
+                             __data.struct_variant(&[{field_names}], __StructVisitor)\n\
+                             }}\n",
+                            field_names = field_list.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_imports)] use ::serde::de::{{MapAccess as _, SeqAccess as _, EnumAccess as _, VariantAccess as _}};\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __access: __A) \
+                 -> ::core::result::Result<{name}, __A::Error> {{\n\
+                 let (__variant, __data): (::std::string::String, _) = __access.variant()?;\n\
+                 match __variant.as_str() {{\n{arms}\
+                 __other => ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::unknown_variant(__other, &[{variant_names}])),\n\
+                 }}\n}}\n}}\n\
+                 ::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{variant_names}], __Visitor)\n\
+                 }}\n}}",
+                variant_names = variant_list.join(", ")
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}

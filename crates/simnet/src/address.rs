@@ -124,7 +124,11 @@ impl SimAddress {
 
     /// Creates an address.
     pub const fn new(transport: TransportKind, host: u32, port: u16) -> Self {
-        SimAddress { transport, host, port }
+        SimAddress {
+            transport,
+            host,
+            port,
+        }
     }
 
     /// Renders the host as a dotted quad.
@@ -147,7 +151,13 @@ impl SimAddress {
 
 impl fmt::Display for SimAddress {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}://{}:{}", self.transport.scheme(), self.host_string(), self.port)
+        write!(
+            f,
+            "{}://{}:{}",
+            self.transport.scheme(),
+            self.host_string(),
+            self.port
+        )
     }
 }
 
@@ -182,7 +192,11 @@ impl FromStr for SimAddress {
         if octets != 4 {
             return Err(err());
         }
-        Ok(SimAddress { transport, host, port })
+        Ok(SimAddress {
+            transport,
+            host,
+            port,
+        })
     }
 }
 

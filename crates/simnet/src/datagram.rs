@@ -82,7 +82,10 @@ impl fmt::Display for SendError {
             }
             SendError::TransportMismatch => f.write_str("address kind does not match transport"),
             SendError::PayloadTooLarge { size, limit } => {
-                write!(f, "payload of {size} bytes exceeds the {limit} byte datagram limit")
+                write!(
+                    f,
+                    "payload of {size} bytes exceeds the {limit} byte datagram limit"
+                )
             }
         }
     }

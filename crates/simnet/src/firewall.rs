@@ -25,20 +25,29 @@ pub struct FirewallPolicy {
 impl FirewallPolicy {
     /// A completely open node (the default).
     pub const fn open() -> Self {
-        FirewallPolicy { allow_inbound_tcp: true, allow_inbound_http: true }
+        FirewallPolicy {
+            allow_inbound_tcp: true,
+            allow_inbound_http: true,
+        }
     }
 
     /// A node behind a restrictive firewall: no inbound TCP, but HTTP polling
     /// still works (the classic JXTA "peer behind a firewall" scenario of the
     /// paper's Figure 6).
     pub const fn behind_firewall() -> Self {
-        FirewallPolicy { allow_inbound_tcp: false, allow_inbound_http: true }
+        FirewallPolicy {
+            allow_inbound_tcp: false,
+            allow_inbound_http: true,
+        }
     }
 
     /// A node that accepts no inbound point-to-point traffic at all; it can
     /// only be reached via relaying on its own subnet.
     pub const fn sealed() -> Self {
-        FirewallPolicy { allow_inbound_tcp: false, allow_inbound_http: false }
+        FirewallPolicy {
+            allow_inbound_tcp: false,
+            allow_inbound_http: false,
+        }
     }
 
     /// Whether an inbound datagram on `transport` is admitted.

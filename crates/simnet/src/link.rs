@@ -126,7 +126,10 @@ pub struct LinkTable {
 impl LinkTable {
     /// Creates a table whose default link is `default`.
     pub fn new(default: LinkSpec) -> Self {
-        LinkTable { default, overrides: HashMap::new() }
+        LinkTable {
+            default,
+            overrides: HashMap::new(),
+        }
     }
 
     /// Sets the link spec between two subnets in **both** directions.

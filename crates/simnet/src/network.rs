@@ -23,9 +23,18 @@ pub const DEFAULT_MAX_DATAGRAM: usize = 1 << 20;
 
 #[derive(Debug)]
 enum EventKind {
-    Start { node: NodeId },
-    Deliver { dst: NodeId, datagram: Datagram },
-    Timer { node: NodeId, token: TimerToken, tag: u64 },
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        dst: NodeId,
+        datagram: Datagram,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        tag: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -107,7 +116,10 @@ impl NetworkBuilder {
 
     /// Adds a node; returns the id it will have in the built network.
     pub fn add_node(&mut self, node: Box<dyn SimNode>, config: NodeConfig) -> NodeId {
-        assert!(!config.transports.is_empty(), "a node needs at least one transport");
+        assert!(
+            !config.transports.is_empty(),
+            "a node needs at least one transport"
+        );
         let id = NodeId::from_raw(self.nodes.len() as u32);
         self.nodes.push((node, config));
         id
@@ -168,7 +180,11 @@ impl NetworkBuilder {
                 interfaces,
                 rx_overhead: config.rx_overhead,
                 tx_overhead: config.tx_overhead,
-                rng: StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(idx as u64)),
+                rng: StdRng::seed_from_u64(
+                    self.seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(idx as u64),
+                ),
                 stats: TrafficStats::default(),
                 alive: true,
             });
@@ -192,7 +208,12 @@ impl NetworkBuilder {
             next_host,
         };
         for idx in 0..network.slots.len() {
-            network.push_event(SimTime::ZERO, EventKind::Start { node: NodeId::from_raw(idx as u32) });
+            network.push_event(
+                SimTime::ZERO,
+                EventKind::Start {
+                    node: NodeId::from_raw(idx as u32),
+                },
+            );
         }
         network
     }
@@ -314,7 +335,8 @@ impl Network {
         }
         let new_addrs: Vec<SimAddress> = slot.interfaces.clone();
         for (old, new) in changes {
-            self.trace.push(self.now, TraceEvent::AddressChanged { node, old, new });
+            self.trace
+                .push(self.now, TraceEvent::AddressChanged { node, old, new });
             self.dispatch_address_change(node, old, new);
         }
         new_addrs
@@ -386,7 +408,10 @@ impl Network {
     ) -> R {
         let slot_alive = self.slots[node.index()].alive;
         assert!(slot_alive, "invoke on a node that has been shut down: {node}");
-        let mut boxed = self.slots[node.index()].node.take().expect("node is re-entrantly borrowed");
+        let mut boxed = self.slots[node.index()]
+            .node
+            .take()
+            .expect("node is re-entrantly borrowed");
         let (result, commands, charged) = {
             let slot = &mut self.slots[node.index()];
             let mut ctx = NodeContext {
@@ -416,13 +441,19 @@ impl Network {
     ///
     /// Returns `None` if the node is of a different type.
     pub fn node_ref<T: SimNode>(&self, node: NodeId) -> Option<&T> {
-        self.slots[node.index()].node.as_ref().and_then(|n| n.as_any().downcast_ref::<T>())
+        self.slots[node.index()]
+            .node
+            .as_ref()
+            .and_then(|n| n.as_any().downcast_ref::<T>())
     }
 
     /// Mutable access to the concrete node type **without** a context; the
     /// closure cannot send or set timers. Prefer [`Network::invoke`].
     pub fn node_mut<T: SimNode>(&mut self, node: NodeId) -> Option<&mut T> {
-        self.slots[node.index()].node.as_mut().and_then(|n| n.as_any_mut().downcast_mut::<T>())
+        self.slots[node.index()]
+            .node
+            .as_mut()
+            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
     }
 
     // ------------------------------------------------------------------
@@ -431,7 +462,11 @@ impl Network {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, kind }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn handle_start(&mut self, node: NodeId) {
@@ -453,7 +488,11 @@ impl Network {
         slot.stats.bytes_delivered += datagram.payload.len() as u64;
         self.trace.push(
             self.now,
-            TraceEvent::DatagramDelivered { from: datagram.src_node, to: dst, bytes: datagram.payload.len() },
+            TraceEvent::DatagramDelivered {
+                from: datagram.src_node,
+                to: dst,
+                bytes: datagram.payload.len(),
+            },
         );
         let commands = self.run_handler(dst, |n, ctx| n.on_datagram(ctx, datagram));
         self.apply_commands(dst, commands);
@@ -482,7 +521,10 @@ impl Network {
         node: NodeId,
         f: impl FnOnce(&mut dyn SimNode, &mut NodeContext<'_>),
     ) -> Vec<Command> {
-        let mut boxed = self.slots[node.index()].node.take().expect("node is re-entrantly borrowed");
+        let mut boxed = self.slots[node.index()]
+            .node
+            .take()
+            .expect("node is re-entrantly borrowed");
         let commands = {
             let slot = &mut self.slots[node.index()];
             let mut ctx = NodeContext {
@@ -505,7 +547,11 @@ impl Network {
     fn apply_commands(&mut self, node: NodeId, commands: Vec<Command>) {
         for command in commands {
             match command {
-                Command::Send { local_delay, dst, payload } => {
+                Command::Send {
+                    local_delay,
+                    dst,
+                    payload,
+                } => {
                     self.process_send(node, local_delay, dst, payload);
                 }
                 Command::SetTimer { token, at, tag } => {
@@ -529,7 +575,14 @@ impl Network {
         if let Some(dst) = dst {
             self.slots[dst.index()].stats.datagrams_dropped += 1;
         }
-        self.trace.push(self.now, TraceEvent::DatagramDropped { from, to_addr, reason });
+        self.trace.push(
+            self.now,
+            TraceEvent::DatagramDropped {
+                from,
+                to_addr,
+                reason,
+            },
+        );
     }
 
     fn process_send(&mut self, from: NodeId, local_delay: SimDuration, dst: SimAddress, payload: Bytes) {
@@ -552,7 +605,14 @@ impl Network {
             stats.datagrams_sent += 1;
             stats.bytes_sent += payload.len() as u64;
         }
-        self.trace.push(self.now, TraceEvent::DatagramSent { from, to_addr: dst, bytes: payload.len() });
+        self.trace.push(
+            self.now,
+            TraceEvent::DatagramSent {
+                from,
+                to_addr: dst,
+                bytes: payload.len(),
+            },
+        );
 
         if dst.is_multicast() {
             let members: Vec<NodeId> = self
@@ -563,7 +623,10 @@ impl Network {
                     *idx != from.index()
                         && slot.alive
                         && slot.subnet == src_subnet
-                        && slot.interfaces.iter().any(|a| a.transport == TransportKind::Multicast)
+                        && slot
+                            .interfaces
+                            .iter()
+                            .any(|a| a.transport == TransportKind::Multicast)
                 })
                 .map(|(idx, _)| NodeId::from_raw(idx as u32))
                 .collect();
@@ -637,7 +700,13 @@ impl Network {
             + spec.transport_penalty(dst_addr.transport)
             + self.slots[target.index()].rx_overhead;
         let at = self.now + delay;
-        self.push_event(at, EventKind::Deliver { dst: target, datagram });
+        self.push_event(
+            at,
+            EventKind::Deliver {
+                dst: target,
+                datagram,
+            },
+        );
     }
 }
 
@@ -654,7 +723,11 @@ mod tests {
 
     impl Echo {
         fn new(echo: bool) -> Self {
-            Echo { received: Vec::new(), echo, timer_tags: Vec::new() }
+            Echo {
+                received: Vec::new(),
+                echo,
+                timer_tags: Vec::new(),
+            }
         }
     }
 
@@ -687,7 +760,12 @@ mod tests {
     #[test]
     fn unicast_delivery_works() {
         let (mut net, a, b) = two_node_net(false);
-        let dst = net.addresses_of(b).iter().copied().find(|x| x.transport == TransportKind::Tcp).unwrap();
+        let dst = net
+            .addresses_of(b)
+            .iter()
+            .copied()
+            .find(|x| x.transport == TransportKind::Tcp)
+            .unwrap();
         net.invoke::<Echo, _>(a, |_n, ctx| {
             ctx.send(dst, Bytes::from_static(b"ping")).unwrap();
         });
@@ -736,14 +814,27 @@ mod tests {
             NodeConfig::lan_peer(SubnetId(1)).with_firewall(FirewallPolicy::behind_firewall()),
         );
         let mut net = builder.build();
-        let tcp = net.addresses_of(b).iter().copied().find(|x| x.transport == TransportKind::Tcp).unwrap();
-        let http = net.addresses_of(b).iter().copied().find(|x| x.transport == TransportKind::Http).unwrap();
+        let tcp = net
+            .addresses_of(b)
+            .iter()
+            .copied()
+            .find(|x| x.transport == TransportKind::Tcp)
+            .unwrap();
+        let http = net
+            .addresses_of(b)
+            .iter()
+            .copied()
+            .find(|x| x.transport == TransportKind::Http)
+            .unwrap();
         net.invoke::<Echo, _>(a, |_n, ctx| {
             ctx.send(tcp, Bytes::from_static(b"blocked")).unwrap();
             ctx.send(http, Bytes::from_static(b"allowed")).unwrap();
         });
         net.run_until_idle();
-        assert_eq!(net.node_ref::<Echo>(b).unwrap().received, vec![b"allowed".to_vec()]);
+        assert_eq!(
+            net.node_ref::<Echo>(b).unwrap().received,
+            vec![b"allowed".to_vec()]
+        );
         assert_eq!(net.drops(DropReason::Firewall), 1);
     }
 
@@ -809,7 +900,10 @@ mod tests {
         }
         net.run_until_idle();
         let received = net.node_ref::<Echo>(b).unwrap().received.len();
-        assert!(received > 50 && received < 150, "loss should be roughly half, got {received}");
+        assert!(
+            received > 50 && received < 150,
+            "loss should be roughly half, got {received}"
+        );
         assert_eq!(net.drops(DropReason::RandomLoss) as usize + received, 200);
     }
 

@@ -115,9 +115,17 @@ pub(crate) enum Command {
         dst: SimAddress,
         payload: Bytes,
     },
-    SetTimer { token: TimerToken, at: SimTime, tag: u64 },
-    CancelTimer { token: TimerToken },
-    Trace { text: String },
+    SetTimer {
+        token: TimerToken,
+        at: SimTime,
+        tag: u64,
+    },
+    CancelTimer {
+        token: TimerToken,
+    },
+    Trace {
+        text: String,
+    },
     Shutdown,
 }
 
@@ -209,7 +217,11 @@ impl<'a> NodeContext<'a> {
         if self.local_address(dst.transport).is_none() {
             return Err(SendError::NoLocalInterface(dst.transport));
         }
-        self.commands.push(Command::Send { local_delay: self.charged, dst, payload });
+        self.commands.push(Command::Send {
+            local_delay: self.charged,
+            dst,
+            payload,
+        });
         Ok(())
     }
 
@@ -280,7 +292,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut next = 0;
         let mut c = ctx(&interfaces, &mut rng, &mut next);
-        assert!(c.send(SimAddress::new(TransportKind::Tcp, 2, 2), Bytes::new()).is_ok());
+        assert!(c
+            .send(SimAddress::new(TransportKind::Tcp, 2, 2), Bytes::new())
+            .is_ok());
         assert_eq!(
             c.send(SimAddress::new(TransportKind::Http, 2, 2), Bytes::new()),
             Err(SendError::NoLocalInterface(TransportKind::Http))
@@ -297,7 +311,8 @@ mod tests {
         c.charge(SimDuration::from_millis(5));
         assert_eq!(c.now(), SimTime::from_millis(15));
         assert_eq!(c.invocation_time(), SimTime::from_millis(10));
-        c.send(SimAddress::new(TransportKind::Tcp, 2, 2), Bytes::new()).unwrap();
+        c.send(SimAddress::new(TransportKind::Tcp, 2, 2), Bytes::new())
+            .unwrap();
         match &c.commands[0] {
             Command::Send { local_delay, .. } => assert_eq!(*local_delay, SimDuration::from_millis(5)),
             other => panic!("unexpected command {other:?}"),

@@ -91,8 +91,17 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = TrafficStats { datagrams_sent: 1, bytes_sent: 10, ..Default::default() };
-        let b = TrafficStats { datagrams_sent: 2, datagrams_delivered: 2, bytes_delivered: 5, ..Default::default() };
+        let mut a = TrafficStats {
+            datagrams_sent: 1,
+            bytes_sent: 10,
+            ..Default::default()
+        };
+        let b = TrafficStats {
+            datagrams_sent: 2,
+            datagrams_delivered: 2,
+            bytes_delivered: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.datagrams_sent, 3);
         assert_eq!(a.datagrams_delivered, 2);
@@ -103,7 +112,11 @@ mod tests {
     #[test]
     fn delivery_ratio_handles_zero_sends() {
         assert_eq!(TrafficStats::default().delivery_ratio(), 1.0);
-        let s = TrafficStats { datagrams_sent: 4, datagrams_delivered: 1, ..Default::default() };
+        let s = TrafficStats {
+            datagrams_sent: 4,
+            datagrams_delivered: 1,
+            ..Default::default()
+        };
         assert!((s.delivery_ratio() - 0.25).abs() < 1e-12);
     }
 

@@ -18,15 +18,27 @@ pub enum TraceEvent {
     /// A node was shut down (no further deliveries).
     NodeStopped { node: NodeId },
     /// A datagram was accepted by the kernel for transmission.
-    DatagramSent { from: NodeId, to_addr: SimAddress, bytes: usize },
+    DatagramSent {
+        from: NodeId,
+        to_addr: SimAddress,
+        bytes: usize,
+    },
     /// A datagram was handed to the destination node's handler.
     DatagramDelivered { from: NodeId, to: NodeId, bytes: usize },
     /// A datagram was dropped in flight.
-    DatagramDropped { from: NodeId, to_addr: SimAddress, reason: DropReason },
+    DatagramDropped {
+        from: NodeId,
+        to_addr: SimAddress,
+        reason: DropReason,
+    },
     /// A timer fired on a node.
     TimerFired { node: NodeId, tag: u64 },
     /// A node's address was re-assigned by the test harness.
-    AddressChanged { node: NodeId, old: SimAddress, new: SimAddress },
+    AddressChanged {
+        node: NodeId,
+        old: SimAddress,
+        new: SimAddress,
+    },
     /// Free-form annotation emitted by a node through
     /// [`crate::NodeContext::trace`].
     Annotation { node: NodeId, text: String },
@@ -53,7 +65,11 @@ impl fmt::Display for TraceRecord {
             TraceEvent::DatagramDelivered { from, to, bytes } => {
                 write!(f, "{to} received {bytes}B from {from}")
             }
-            TraceEvent::DatagramDropped { from, to_addr, reason } => {
+            TraceEvent::DatagramDropped {
+                from,
+                to_addr,
+                reason,
+            } => {
                 write!(f, "datagram {from} -> {to_addr} dropped: {reason}")
             }
             TraceEvent::TimerFired { node, tag } => write!(f, "{node} timer tag={tag} fired"),
@@ -77,14 +93,24 @@ pub struct TraceBuffer {
 impl TraceBuffer {
     /// Creates a disabled buffer (records are discarded).
     pub fn disabled() -> Self {
-        TraceBuffer { enabled: false, capacity: 0, records: Vec::new(), truncated: 0 }
+        TraceBuffer {
+            enabled: false,
+            capacity: 0,
+            records: Vec::new(),
+            truncated: 0,
+        }
     }
 
     /// Creates an enabled buffer keeping at most `capacity` records; older
     /// records beyond the capacity are dropped and counted in
     /// [`TraceBuffer::truncated`].
     pub fn with_capacity(capacity: usize) -> Self {
-        TraceBuffer { enabled: true, capacity, records: Vec::new(), truncated: 0 }
+        TraceBuffer {
+            enabled: true,
+            capacity,
+            records: Vec::new(),
+            truncated: 0,
+        }
     }
 
     /// Whether records are being kept.
@@ -133,7 +159,12 @@ mod tests {
     #[test]
     fn disabled_buffer_discards() {
         let mut buf = TraceBuffer::disabled();
-        buf.push(SimTime::ZERO, TraceEvent::NodeStarted { node: NodeId::from_raw(0) });
+        buf.push(
+            SimTime::ZERO,
+            TraceEvent::NodeStarted {
+                node: NodeId::from_raw(0),
+            },
+        );
         assert!(buf.records().is_empty());
         assert!(!buf.is_enabled());
     }
@@ -142,7 +173,13 @@ mod tests {
     fn capacity_is_enforced() {
         let mut buf = TraceBuffer::with_capacity(2);
         for i in 0..5 {
-            buf.push(SimTime::from_millis(i), TraceEvent::TimerFired { node: NodeId::from_raw(0), tag: i });
+            buf.push(
+                SimTime::from_millis(i),
+                TraceEvent::TimerFired {
+                    node: NodeId::from_raw(0),
+                    tag: i,
+                },
+            );
         }
         assert_eq!(buf.records().len(), 2);
         assert_eq!(buf.truncated(), 3);
@@ -154,17 +191,40 @@ mod tests {
     #[test]
     fn count_matching_filters_events() {
         let mut buf = TraceBuffer::with_capacity(16);
-        buf.push(SimTime::ZERO, TraceEvent::NodeStarted { node: NodeId::from_raw(0) });
-        buf.push(SimTime::ZERO, TraceEvent::TimerFired { node: NodeId::from_raw(0), tag: 1 });
-        buf.push(SimTime::ZERO, TraceEvent::TimerFired { node: NodeId::from_raw(0), tag: 2 });
-        assert_eq!(buf.count_matching(|e| matches!(e, TraceEvent::TimerFired { .. })), 2);
+        buf.push(
+            SimTime::ZERO,
+            TraceEvent::NodeStarted {
+                node: NodeId::from_raw(0),
+            },
+        );
+        buf.push(
+            SimTime::ZERO,
+            TraceEvent::TimerFired {
+                node: NodeId::from_raw(0),
+                tag: 1,
+            },
+        );
+        buf.push(
+            SimTime::ZERO,
+            TraceEvent::TimerFired {
+                node: NodeId::from_raw(0),
+                tag: 2,
+            },
+        );
+        assert_eq!(
+            buf.count_matching(|e| matches!(e, TraceEvent::TimerFired { .. })),
+            2
+        );
     }
 
     #[test]
     fn records_render_for_humans() {
         let rec = TraceRecord {
             at: SimTime::from_millis(3),
-            event: TraceEvent::Annotation { node: NodeId::from_raw(1), text: "hello".into() },
+            event: TraceEvent::Annotation {
+                node: NodeId::from_raw(1),
+                text: "hello".into(),
+            },
         };
         let s = rec.to_string();
         assert!(s.contains("node-1"));

@@ -11,7 +11,10 @@ use crate::jxta_app::Role;
 use crate::node::{Flavor, SkiNode};
 use crate::workload::OfferGenerator;
 use jxta::peer::CostModel;
-use simnet::{Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId, TransportKind};
+use jxta::{DisseminationConfig, StrategyKind};
+use simnet::{
+    Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId, TransportKind,
+};
 
 /// A built scenario: one rendezvous, `publishers` publishing peers and
 /// `subscribers` subscribing peers, all on one LAN segment (the paper's
@@ -19,6 +22,7 @@ use simnet::{Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuratio
 pub struct Scenario {
     net: Network,
     flavor: Flavor,
+    dissemination: DisseminationConfig,
     publishers: Vec<NodeId>,
     subscribers: Vec<NodeId>,
     offers: OfferGenerator,
@@ -39,39 +43,66 @@ impl Scenario {
         seed: u64,
         costs: CostModel,
     ) -> Scenario {
+        Scenario::build_with_dissemination(
+            flavor,
+            DisseminationConfig::default(),
+            publishers,
+            subscribers,
+            seed,
+            costs,
+        )
+    }
+
+    /// Builds a scenario whose peers all run the given dissemination
+    /// strategy.
+    pub fn build_with_dissemination(
+        flavor: Flavor,
+        dissemination: DisseminationConfig,
+        publishers: usize,
+        subscribers: usize,
+        seed: u64,
+        costs: CostModel,
+    ) -> Scenario {
         let mut builder = NetworkBuilder::new(seed);
         // Node 0 is the rendezvous; every other peer seeds to it.
-        let rdv_config = jxta::peer::PeerConfig::rendezvous("rdv").with_costs(costs.clone());
+        let rdv_config = jxta::peer::PeerConfig::rendezvous("rdv")
+            .with_costs(costs.clone())
+            .with_dissemination(dissemination.clone());
         builder.add_node(
-            Box::new(RdvNode { peer: jxta::JxtaPeer::new(rdv_config) }),
+            Box::new(RdvNode {
+                peer: jxta::JxtaPeer::new(rdv_config),
+            }),
             NodeConfig::lan_peer(SubnetId(0)),
         );
         let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
         let mut publisher_ids = Vec::new();
         for i in 0..publishers {
-            let node = SkiNode::boxed(
+            let node = SkiNode::boxed_with_dissemination(
                 flavor,
                 Role::Publisher,
                 &format!("shop-{i}"),
                 vec![rdv_addr],
                 costs.clone(),
+                dissemination.clone(),
             );
             publisher_ids.push(builder.add_node(node, NodeConfig::lan_peer(SubnetId(0))));
         }
         let mut subscriber_ids = Vec::new();
         for i in 0..subscribers {
-            let node = SkiNode::boxed(
+            let node = SkiNode::boxed_with_dissemination(
                 flavor,
                 Role::Subscriber,
                 &format!("skier-{i}"),
                 vec![rdv_addr],
                 costs.clone(),
+                dissemination.clone(),
             );
             subscriber_ids.push(builder.add_node(node, NodeConfig::lan_peer(SubnetId(0))));
         }
         Scenario {
             net: builder.build(),
             flavor,
+            dissemination,
             publishers: publisher_ids,
             subscribers: subscriber_ids,
             offers: OfferGenerator::new(seed ^ 0x5EED),
@@ -81,6 +112,11 @@ impl Scenario {
     /// The flavour this scenario runs.
     pub fn flavor(&self) -> Flavor {
         self.flavor
+    }
+
+    /// The dissemination strategy this scenario's peers run.
+    pub fn dissemination(&self) -> &DisseminationConfig {
+        &self.dissemination
     }
 
     /// Read access to the simulated network (stats, traces).
@@ -128,12 +164,18 @@ impl Scenario {
 
     /// Offers received so far by subscriber `index`, with arrival times.
     pub fn received_times(&self, index: usize) -> Vec<SimTime> {
-        self.net.node_ref::<SkiNode>(self.subscribers[index]).expect("subscriber exists").received_times()
+        self.net
+            .node_ref::<SkiNode>(self.subscribers[index])
+            .expect("subscriber exists")
+            .received_times()
     }
 
     /// Number of offers received so far by subscriber `index`.
     pub fn received_count(&self, index: usize) -> usize {
-        self.net.node_ref::<SkiNode>(self.subscribers[index]).expect("subscriber exists").received_count()
+        self.net
+            .node_ref::<SkiNode>(self.subscribers[index])
+            .expect("subscriber exists")
+            .received_count()
     }
 }
 
@@ -173,9 +215,57 @@ impl simnet::SimNode for RdvNode {
 /// `events` back-to-back publications with `subscribers` connected
 /// subscribers.
 pub fn invocation_time(flavor: Flavor, subscribers: usize, events: usize, seed: u64) -> Vec<f64> {
-    let mut scenario = Scenario::build(flavor, 1, subscribers, seed);
+    invocation_time_with_dissemination(flavor, DisseminationConfig::default(), subscribers, events, seed)
+}
+
+/// The Figure 18 series under an explicit dissemination strategy — the
+/// workload behind the `ablation_dissem` bench. Under the paper baseline the
+/// publisher's invocation time grows linearly with `subscribers`; under the
+/// rendezvous tree it stays flat (one copy to the rendezvous, whatever the
+/// subscriber count).
+pub fn invocation_time_with_dissemination(
+    flavor: Flavor,
+    dissemination: DisseminationConfig,
+    subscribers: usize,
+    events: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut scenario = Scenario::build_with_dissemination(
+        flavor,
+        dissemination,
+        1,
+        subscribers,
+        seed,
+        CostModel::jxta_1_0(),
+    );
     scenario.warm_up();
-    (0..events).map(|_| scenario.publish_one(0).as_millis_f64()).collect()
+    (0..events)
+        .map(|_| scenario.publish_one(0).as_millis_f64())
+        .collect()
+}
+
+/// Runs the same publish workload under every dissemination strategy and
+/// returns `(strategy, mean publisher invocation time in ms)` per strategy —
+/// the scenario behind the dissemination ablation.
+pub fn dissemination_comparison(
+    flavor: Flavor,
+    subscribers: usize,
+    events: usize,
+    seed: u64,
+) -> Vec<(StrategyKind, f64)> {
+    StrategyKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let series = invocation_time_with_dissemination(
+                flavor,
+                DisseminationConfig::of_kind(kind),
+                subscribers,
+                events,
+                seed,
+            );
+            (kind, stats(&series).mean)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -201,7 +291,11 @@ pub fn publisher_throughput(
             scenario.publish_one(0);
         }
         let elapsed = scenario.now().saturating_since(start).as_secs_f64();
-        series.push(if elapsed > 0.0 { per_epoch as f64 / elapsed } else { 0.0 });
+        series.push(if elapsed > 0.0 {
+            per_epoch as f64 / elapsed
+        } else {
+            0.0
+        });
     }
     series
 }
@@ -328,13 +422,23 @@ pub struct SeriesStats {
 /// Computes mean / standard deviation / min / max of a series.
 pub fn stats(series: &[f64]) -> SeriesStats {
     if series.is_empty() {
-        return SeriesStats { mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        return SeriesStats {
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let mean = series.iter().sum::<f64>() / series.len() as f64;
     let variance = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
     let min = series.iter().copied().fold(f64::INFINITY, f64::min);
     let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    SeriesStats { mean, std_dev: variance.sqrt(), min, max }
+    SeriesStats {
+        mean,
+        std_dev: variance.sqrt(),
+        min,
+        max,
+    }
 }
 
 #[cfg(test)]
@@ -359,22 +463,136 @@ mod tests {
     }
 
     #[test]
+    fn functional_delivery_under_every_dissemination_strategy() {
+        for kind in StrategyKind::ALL {
+            let mut scenario = Scenario::build_with_dissemination(
+                Flavor::SrTps,
+                DisseminationConfig::of_kind(kind),
+                1,
+                3,
+                11,
+                CostModel::free(),
+            );
+            scenario.warm_up();
+            for _ in 0..5 {
+                scenario.publish_one(0);
+            }
+            scenario.advance(SimDuration::from_secs(10));
+            for subscriber in 0..3 {
+                assert_eq!(
+                    scenario.received_count(subscriber),
+                    5,
+                    "{kind}: every subscriber receives every offer exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_defaults_deliver_most_events_on_a_wide_neighbourhood() {
+        // Fanout 4 / TTL 4 is a genuinely probabilistic regime: coverage must
+        // stay high at 16 subscribers (duplicate copies re-sample a fresh
+        // fanout on every hop), though a small miss fraction is inherent.
+        let mut scenario = Scenario::build_with_dissemination(
+            Flavor::SrTps,
+            DisseminationConfig::of_kind(StrategyKind::Gossip),
+            1,
+            16,
+            11,
+            CostModel::free(),
+        );
+        scenario.warm_up();
+        for _ in 0..5 {
+            scenario.publish_one(0);
+            scenario.advance(SimDuration::from_secs(1));
+        }
+        scenario.advance(SimDuration::from_secs(20));
+        let delivered: usize = (0..16).map(|i| scenario.received_count(i)).sum();
+        let expected = 16 * 5;
+        assert!(
+            delivered * 10 >= expected * 8,
+            "gossip defaults should reach at least 80% of subscribers (delivered {delivered}/{expected})"
+        );
+    }
+
+    #[test]
+    fn rendezvous_tree_publisher_cost_is_flat_where_direct_fanout_grows() {
+        // The Figure 18 trend (invocation time vs subscribers) per strategy:
+        // the baseline pays one connection service per listener, the tree
+        // pays one per publish, whatever the subscriber count.
+        let direct = |subs| {
+            stats(&invocation_time_with_dissemination(
+                Flavor::SrTps,
+                DisseminationConfig::direct_fanout(),
+                subs,
+                8,
+                2002,
+            ))
+            .mean
+        };
+        let tree = |subs| {
+            stats(&invocation_time_with_dissemination(
+                Flavor::SrTps,
+                DisseminationConfig::rendezvous_tree(),
+                subs,
+                8,
+                2002,
+            ))
+            .mean
+        };
+        let (direct_1, direct_8) = (direct(1), direct(8));
+        let (tree_1, tree_8) = (tree(1), tree(8));
+        assert!(
+            direct_8 > direct_1 * 4.0,
+            "direct fan-out must grow roughly linearly ({direct_1:.1} -> {direct_8:.1} ms)"
+        );
+        assert!(
+            tree_8 < tree_1 * 2.0,
+            "rendezvous tree must stay roughly flat ({tree_1:.1} -> {tree_8:.1} ms)"
+        );
+        assert!(
+            tree_8 < direct_8 / 2.0,
+            "at 8 subscribers the tree publisher must be far cheaper ({tree_8:.1} vs {direct_8:.1} ms)"
+        );
+    }
+
+    #[test]
+    fn dissemination_comparison_covers_all_strategies() {
+        let report = dissemination_comparison(Flavor::SrTps, 2, 3, 7);
+        assert_eq!(report.len(), 3);
+        assert!(report.iter().all(|(_, mean)| *mean > 0.0));
+        assert_eq!(report[0].0, StrategyKind::DirectFanout);
+    }
+
+    #[test]
     fn invocation_time_orders_flavors_like_the_paper() {
         let wire = stats(&invocation_time(Flavor::JxtaWire, 1, 10, 21)).mean;
         let sr_jxta = stats(&invocation_time(Flavor::SrJxta, 1, 10, 21)).mean;
         let sr_tps = stats(&invocation_time(Flavor::SrTps, 1, 10, 21)).mean;
-        assert!(wire < sr_jxta, "raw JXTA-WIRE should be quicker than SR-JXTA ({wire} vs {sr_jxta})");
-        assert!(wire < sr_tps, "raw JXTA-WIRE should be quicker than SR-TPS ({wire} vs {sr_tps})");
+        assert!(
+            wire < sr_jxta,
+            "raw JXTA-WIRE should be quicker than SR-JXTA ({wire} vs {sr_jxta})"
+        );
+        assert!(
+            wire < sr_tps,
+            "raw JXTA-WIRE should be quicker than SR-TPS ({wire} vs {sr_tps})"
+        );
         // SR-TPS and SR-JXTA are within a few percent of each other.
         let relative_gap = (sr_tps - sr_jxta).abs() / sr_jxta;
-        assert!(relative_gap < 0.15, "SR-TPS and SR-JXTA should be close (gap {relative_gap})");
+        assert!(
+            relative_gap < 0.15,
+            "SR-TPS and SR-JXTA should be close (gap {relative_gap})"
+        );
     }
 
     #[test]
     fn more_subscribers_slow_the_publisher_down() {
         let one = stats(&invocation_time(Flavor::SrTps, 1, 10, 33)).mean;
         let four = stats(&invocation_time(Flavor::SrTps, 4, 10, 33)).mean;
-        assert!(four > one * 1.5, "four subscribers should cost noticeably more than one ({one} -> {four})");
+        assert!(
+            four > one * 1.5,
+            "four subscribers should cost noticeably more than one ({one} -> {four})"
+        );
     }
 
     #[test]

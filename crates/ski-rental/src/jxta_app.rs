@@ -78,7 +78,10 @@ impl JxtaSkiApp {
     pub fn new(peer_config: PeerConfig, role: Role, full_featured: bool) -> Self {
         let peer = JxtaPeer::new(peer_config);
         let group = PeerGroup::for_event_type("SkiRental", peer.peer_id());
-        let pipe = group.wire_pipe().expect("event-type groups always embed a pipe").clone();
+        let pipe = group
+            .wire_pipe()
+            .expect("event-type groups always embed a pipe")
+            .clone();
         JxtaSkiApp {
             peer,
             role,
@@ -149,7 +152,11 @@ impl JxtaSkiApp {
         message.add(MessageElement::binary("sr", "Payload", payload));
         let current = message.wire_size();
         if current < TARGET_MESSAGE_SIZE {
-            message.add(MessageElement::binary("sr", "Padding", vec![0u8; TARGET_MESSAGE_SIZE - current]));
+            message.add(MessageElement::binary(
+                "sr",
+                "Padding",
+                vec![0u8; TARGET_MESSAGE_SIZE - current],
+            ));
         }
         let pipes: Vec<_> = if self.full_featured {
             self.known_pipes.iter().map(|p| p.pipe_id).collect()
@@ -157,7 +164,9 @@ impl JxtaSkiApp {
             vec![self.known_pipes[0].pipe_id]
         };
         for pipe_id in pipes {
-            self.peer.wire_send(ctx, pipe_id, &message).map_err(|e| e.to_string())?;
+            self.peer
+                .wire_send(ctx, pipe_id, &message)
+                .map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -192,8 +201,12 @@ impl JxtaSkiApp {
                 }
             }
         }
-        let Some(payload) = message.element("sr", "Payload") else { return };
-        let Ok(offer) = tps::codec::from_slice::<SkiRental>(&payload.body) else { return };
+        let Some(payload) = message.element("sr", "Payload") else {
+            return;
+        };
+        let Ok(offer) = tps::codec::from_slice::<SkiRental>(&payload.body) else {
+            return;
+        };
         self.received.push((ctx.now(), offer));
     }
 
@@ -205,7 +218,10 @@ impl JxtaSkiApp {
         if group_adv.name != self.group.name() {
             return;
         }
-        let Ok(pipe) = PeerGroup::from_advertisement(group_adv.clone()).wire_pipe().cloned() else {
+        let Ok(pipe) = PeerGroup::from_advertisement(group_adv.clone())
+            .wire_pipe()
+            .cloned()
+        else {
             return;
         };
         // The paper's findAdvertisement duplicate check: only genuinely new
@@ -227,9 +243,9 @@ impl JxtaSkiApp {
     fn drain(&mut self, ctx: &mut NodeContext<'_>) {
         for event in self.peer.take_events() {
             match event {
-                JxtaEvent::WireMessageReceived { src_peer, message, .. } => {
-                    self.handle_wire_message(ctx, src_peer, &message)
-                }
+                JxtaEvent::WireMessageReceived {
+                    src_peer, message, ..
+                } => self.handle_wire_message(ctx, src_peer, &message),
                 JxtaEvent::AdvertisementDiscovered { adv, .. } => self.handle_discovered(ctx, &adv),
                 _ => {}
             }
@@ -260,7 +276,8 @@ impl simnet::SimNode for JxtaSkiApp {
         if self.full_featured {
             // AdvertisementsFinder: keep searching for other advertisements
             // of the same type.
-            self.peer.discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
+            self.peer
+                .discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
             ctx.set_timer(self.finder_interval, TIMER_SR_FINDER);
         }
         self.drain(ctx);
@@ -275,13 +292,19 @@ impl simnet::SimNode for JxtaSkiApp {
         if is_jxta_timer(tag) {
             self.peer.on_timer(ctx, tag);
         } else if tag == TIMER_SR_FINDER {
-            self.peer.discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
+            self.peer
+                .discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
             ctx.set_timer(self.finder_interval, TIMER_SR_FINDER);
         }
         self.drain(ctx);
     }
 
-    fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, old: simnet::SimAddress, new: simnet::SimAddress) {
+    fn on_address_changed(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        old: simnet::SimAddress,
+        new: simnet::SimAddress,
+    ) {
         self.peer.on_address_changed(ctx, old, new);
         self.drain(ctx);
     }

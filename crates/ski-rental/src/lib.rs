@@ -16,7 +16,11 @@ pub mod tps_app;
 pub mod types;
 pub mod workload;
 
-pub use harness::{invocation_time, loc_report, publisher_throughput, stats, subscriber_throughput, LocReport, Scenario, SeriesStats};
+pub use harness::{
+    dissemination_comparison, invocation_time, invocation_time_with_dissemination, loc_report,
+    publisher_throughput, stats, subscriber_throughput, LocReport, Scenario, SeriesStats,
+};
+pub use jxta::{DisseminationConfig, StrategyKind};
 pub use jxta_app::{JxtaSkiApp, Role};
 pub use node::{Flavor, SkiNode};
 pub use tps_app::TpsSkiApp;

@@ -42,6 +42,9 @@ impl std::fmt::Display for Flavor {
 }
 
 /// One ski-rental peer of a given flavour and role.
+// Nodes live boxed inside the network kernel, so the size spread between the
+// flavours costs nothing per dispatch.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum SkiNode {
     /// Raw JXTA-WIRE peer.
@@ -58,14 +61,31 @@ impl SkiNode {
     /// `costs` controls the virtual CPU model of the underlying JXTA peer
     /// (use [`CostModel::jxta_1_0`] for the paper's figures,
     /// [`CostModel::free`] for functional tests).
-    pub fn new(
+    pub fn new(flavor: Flavor, role: Role, name: &str, seeds: Vec<SimAddress>, costs: CostModel) -> Self {
+        Self::with_dissemination(
+            flavor,
+            role,
+            name,
+            seeds,
+            costs,
+            jxta::DisseminationConfig::default(),
+        )
+    }
+
+    /// Creates a peer running the given dissemination strategy (the paper
+    /// baseline is [`jxta::DisseminationConfig::direct_fanout`]).
+    pub fn with_dissemination(
         flavor: Flavor,
         role: Role,
         name: &str,
         seeds: Vec<SimAddress>,
         costs: CostModel,
+        dissemination: jxta::DisseminationConfig,
     ) -> Self {
-        let peer_config = PeerConfig::edge(name).with_seeds(seeds).with_costs(costs);
+        let peer_config = PeerConfig::edge(name)
+            .with_seeds(seeds)
+            .with_costs(costs)
+            .with_dissemination(dissemination);
         match flavor {
             Flavor::JxtaWire => SkiNode::Wire(JxtaSkiApp::new(peer_config, role, false)),
             Flavor::SrJxta => SkiNode::SrJxta(JxtaSkiApp::new(peer_config, role, true)),
@@ -85,6 +105,25 @@ impl SkiNode {
         costs: CostModel,
     ) -> Box<Self> {
         Box::new(Self::new(flavor, role, name, seeds, costs))
+    }
+
+    /// Boxed strategy-aware constructor.
+    pub fn boxed_with_dissemination(
+        flavor: Flavor,
+        role: Role,
+        name: &str,
+        seeds: Vec<SimAddress>,
+        costs: CostModel,
+        dissemination: jxta::DisseminationConfig,
+    ) -> Box<Self> {
+        Box::new(Self::with_dissemination(
+            flavor,
+            role,
+            name,
+            seeds,
+            costs,
+            dissemination,
+        ))
     }
 
     /// Publishes one offer.

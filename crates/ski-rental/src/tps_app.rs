@@ -111,7 +111,9 @@ impl simnet::SimNode for TpsSkiApp {
             // The paper's subscription phase: a call-back plus an exception
             // handler, three lines of user code.
             let callback = CollectingCallback::into_sink(Rc::clone(&self.sink));
-            self.engine.interface::<SkiRental>().subscribe(ctx, callback, IgnoreExceptions);
+            self.engine
+                .interface::<SkiRental>()
+                .subscribe(ctx, callback, IgnoreExceptions);
         } else {
             // Publishers eagerly initialise their interface so that the
             // advertisement and pipe resolution start before the first offer.
@@ -130,7 +132,12 @@ impl simnet::SimNode for TpsSkiApp {
         self.collect_new(ctx);
     }
 
-    fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, old: simnet::SimAddress, new: simnet::SimAddress) {
+    fn on_address_changed(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        old: simnet::SimAddress,
+        new: simnet::SimAddress,
+    ) {
         self.engine.on_address_changed(ctx, old, new);
         self.collect_new(ctx);
     }
@@ -151,7 +158,8 @@ mod tests {
 
     #[test]
     fn construction() {
-        let config = TpsConfig::new("skier").with_peer(PeerConfig::edge("skier").with_costs(CostModel::free()));
+        let config =
+            TpsConfig::new("skier").with_peer(PeerConfig::edge("skier").with_costs(CostModel::free()));
         let app = TpsSkiApp::new(config, Role::Subscriber);
         assert!(app.received().is_empty());
         assert!(app.sent().is_empty());

@@ -37,7 +37,12 @@ pub struct SkiRental {
 impl SkiRental {
     /// Creates an offer (same argument order as the paper's constructor).
     pub fn new(shop: impl Into<String>, brand: impl Into<String>, price: f32, number_of_days: f32) -> Self {
-        SkiRental { shop: shop.into(), price, brand: brand.into(), number_of_days }
+        SkiRental {
+            shop: shop.into(),
+            price,
+            brand: brand.into(),
+            number_of_days,
+        }
     }
 }
 

@@ -7,7 +7,13 @@ use rand::{Rng, SeedableRng};
 /// The ski brands the generator draws from.
 pub const BRANDS: [&str; 6] = ["Salomon", "Rossignol", "Atomic", "Head", "Fischer", "Völkl"];
 /// The shops the generator draws from.
-pub const SHOPS: [&str; 5] = ["XTremShop", "AlpinCenter", "GlacierSports", "PowderPro", "EdgeWorks"];
+pub const SHOPS: [&str; 5] = [
+    "XTremShop",
+    "AlpinCenter",
+    "GlacierSports",
+    "PowderPro",
+    "EdgeWorks",
+];
 
 /// A deterministic generator of ski-rental offers.
 #[derive(Debug)]
@@ -19,7 +25,10 @@ pub struct OfferGenerator {
 impl OfferGenerator {
     /// Creates a generator; equal seeds produce equal offer streams.
     pub fn new(seed: u64) -> Self {
-        OfferGenerator { rng: StdRng::seed_from_u64(seed), counter: 0 }
+        OfferGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// The next offer in the stream.

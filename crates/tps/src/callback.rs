@@ -62,7 +62,12 @@ impl<T> CollectingCallback<T> {
     /// Creates the callback and the shared sink it appends to.
     pub fn new() -> (Self, Rc<RefCell<Vec<T>>>) {
         let sink = Rc::new(RefCell::new(Vec::new()));
-        (CollectingCallback { sink: Rc::clone(&sink) }, sink)
+        (
+            CollectingCallback {
+                sink: Rc::clone(&sink),
+            },
+            sink,
+        )
     }
 
     /// Creates a callback appending to an existing sink.
@@ -88,7 +93,12 @@ impl CountingExceptionHandler {
     /// Creates the handler and the shared failure counter.
     pub fn new() -> (Self, Rc<RefCell<u64>>) {
         let count = Rc::new(RefCell::new(0));
-        (CountingExceptionHandler { count: Rc::clone(&count) }, count)
+        (
+            CountingExceptionHandler {
+                count: Rc::clone(&count),
+            },
+            count,
+        )
     }
 }
 

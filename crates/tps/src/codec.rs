@@ -72,7 +72,11 @@ pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
 ///
 /// Returns [`CodecError`] on syntax errors or type mismatches.
 pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, CodecError> {
-    let value = Parser { input: text.as_bytes(), pos: 0 }.parse_document()?;
+    let value = Parser {
+        input: text.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
     T::deserialize(ValueDeserializer(value))
 }
 
@@ -134,12 +138,18 @@ impl<'a> Parser<'a> {
 
     fn peek(&mut self) -> Result<u8, CodecError> {
         self.skip_ws();
-        self.input.get(self.pos).copied().ok_or_else(|| CodecError::new("unexpected end of input"))
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| CodecError::new("unexpected end of input"))
     }
 
     fn expect(&mut self, byte: u8) -> Result<(), CodecError> {
         if self.peek()? != byte {
-            return Err(CodecError::new(format!("expected '{}' at offset {}", byte as char, self.pos)));
+            return Err(CodecError::new(format!(
+                "expected '{}' at offset {}",
+                byte as char, self.pos
+            )));
         }
         self.pos += 1;
         Ok(())
@@ -294,7 +304,9 @@ impl<'a> Parser<'a> {
                 return Ok(Value::UInt(u));
             }
         }
-        text.parse::<f64>().map(Value::Float).map_err(|_| CodecError::new(format!("invalid number '{text}'")))
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| CodecError::new(format!("invalid number '{text}'")))
     }
 }
 
@@ -458,7 +470,10 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
     fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, CodecError> {
         self.out.push('[');
-        Ok(Compound { ser: self, first: true })
+        Ok(Compound {
+            ser: self,
+            first: true,
+        })
     }
     fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, CodecError> {
         self.serialize_seq(Some(len))
@@ -476,11 +491,17 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         self.out.push('{');
         self.write_escaped(variant);
         self.out.push_str(":[");
-        Ok(Compound { ser: self, first: true })
+        Ok(Compound {
+            ser: self,
+            first: true,
+        })
     }
     fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, CodecError> {
         self.out.push('{');
-        Ok(Compound { ser: self, first: true })
+        Ok(Compound {
+            ser: self,
+            first: true,
+        })
     }
     fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Compound<'a>, CodecError> {
         self.serialize_map(Some(len))
@@ -495,7 +516,10 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         self.out.push('{');
         self.write_escaped(variant);
         self.out.push_str(":{");
-        Ok(Compound { ser: self, first: true })
+        Ok(Compound {
+            ser: self,
+            first: true,
+        })
     }
 }
 
@@ -574,7 +598,11 @@ impl<'a> ser::SerializeMap for Compound<'a> {
 impl<'a> ser::SerializeStruct for Compound<'a> {
     type Ok = ();
     type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, key: &'static str, value: &T) -> Result<(), CodecError> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
         self.sep();
         self.ser.write_escaped(key);
         self.ser.out.push(':');
@@ -589,7 +617,11 @@ impl<'a> ser::SerializeStruct for Compound<'a> {
 impl<'a> ser::SerializeStructVariant for Compound<'a> {
     type Ok = ();
     type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, key: &'static str, value: &T) -> Result<(), CodecError> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
         self.sep();
         self.ser.write_escaped(key);
         self.ser.out.push(':');
@@ -619,11 +651,16 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer {
             Value::Float(f) => visitor.visit_f64(f),
             Value::String(s) => visitor.visit_string(s),
             Value::Array(items) => {
-                let mut seq = SeqAccess { iter: items.into_iter() };
+                let mut seq = SeqAccess {
+                    iter: items.into_iter(),
+                };
                 visitor.visit_seq(&mut seq)
             }
             Value::Object(map) => {
-                let mut access = MapAccess { iter: map.into_iter(), value: None };
+                let mut access = MapAccess {
+                    iter: map.into_iter(),
+                    value: None,
+                };
                 visitor.visit_map(&mut access)
             }
         }
@@ -660,7 +697,10 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer {
                 if iter.next().is_some() {
                     return Err(CodecError::new("enum object must have exactly one key"));
                 }
-                visitor.visit_enum(EnumAccess { variant, value: Some(value) })
+                visitor.visit_enum(EnumAccess {
+                    variant,
+                    value: Some(value),
+                })
             }
             _ => Err(CodecError::new("expected string or object for enum")),
         }
@@ -716,7 +756,10 @@ struct MapAccess {
 impl<'de> de::MapAccess<'de> for MapAccess {
     type Error = CodecError;
 
-    fn next_key_seed<K: de::DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, CodecError> {
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
         match self.iter.next() {
             Some((key, value)) => {
                 self.value = Some(value);
@@ -727,7 +770,10 @@ impl<'de> de::MapAccess<'de> for MapAccess {
     }
 
     fn next_value_seed<V: de::DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
-        let value = self.value.take().ok_or_else(|| CodecError::new("value requested before key"))?;
+        let value = self
+            .value
+            .take()
+            .ok_or_else(|| CodecError::new("value requested before key"))?;
         seed.deserialize(ValueDeserializer(value))
     }
 }
@@ -741,7 +787,10 @@ impl<'de> de::EnumAccess<'de> for EnumAccess {
     type Error = CodecError;
     type Variant = VariantAccess;
 
-    fn variant_seed<V: de::DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, VariantAccess), CodecError> {
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, VariantAccess), CodecError> {
         let variant = seed.deserialize(self.variant.clone().into_deserializer())?;
         Ok((variant, VariantAccess { value: self.value }))
     }
@@ -762,12 +811,16 @@ impl<'de> de::VariantAccess<'de> for VariantAccess {
     }
 
     fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
-        let value = self.value.ok_or_else(|| CodecError::new("missing payload for newtype variant"))?;
+        let value = self
+            .value
+            .ok_or_else(|| CodecError::new("missing payload for newtype variant"))?;
         seed.deserialize(ValueDeserializer(value))
     }
 
     fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, CodecError> {
-        let value = self.value.ok_or_else(|| CodecError::new("missing payload for tuple variant"))?;
+        let value = self
+            .value
+            .ok_or_else(|| CodecError::new("missing payload for tuple variant"))?;
         ValueDeserializer(value).deserialize_any(visitor)
     }
 
@@ -776,7 +829,9 @@ impl<'de> de::VariantAccess<'de> for VariantAccess {
         _fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        let value = self.value.ok_or_else(|| CodecError::new("missing payload for struct variant"))?;
+        let value = self
+            .value
+            .ok_or_else(|| CodecError::new("missing payload for struct variant"))?;
         ValueDeserializer(value).deserialize_any(visitor)
     }
 }
@@ -813,7 +868,12 @@ mod tests {
     }
 
     fn ski() -> SkiRental {
-        SkiRental { shop: "XTremShop \"the best\"".into(), price: 14.0, brand: "Salomon".into(), number_of_days: 100.0 }
+        SkiRental {
+            shop: "XTremShop \"the best\"".into(),
+            price: 14.0,
+            brand: "Salomon".into(),
+            number_of_days: 100.0,
+        }
     }
 
     #[test]
@@ -839,14 +899,22 @@ mod tests {
         let back: Nested = from_slice(&to_vec(&original).unwrap()).unwrap();
         assert_eq!(back, original);
 
-        let with_some = Nested { maybe: Some(-5), ..original };
+        let with_some = Nested {
+            maybe: Some(-5),
+            ..original
+        };
         let back: Nested = from_str(&to_string(&with_some).unwrap()).unwrap();
         assert_eq!(back.maybe, Some(-5));
     }
 
     #[test]
     fn enum_variants_roundtrip() {
-        for value in [Mixed::Unit, Mixed::One(7), Mixed::Pair(1, "x".into()), Mixed::Rec { a: true, b: 2.5 }] {
+        for value in [
+            Mixed::Unit,
+            Mixed::One(7),
+            Mixed::Pair(1, "x".into()),
+            Mixed::Rec { a: true, b: 2.5 },
+        ] {
             let text = to_string(&value).unwrap();
             let back: Mixed = from_str(&text).unwrap();
             assert_eq!(back, value);
@@ -884,13 +952,16 @@ mod tests {
         let back: String = from_str(&text).unwrap();
         assert_eq!(back, "line\nbreak\t\"quoted\" \\slash\u{1}");
 
-        assert_eq!(from_str::<bool>(&to_string(&true).unwrap()).unwrap(), true);
+        assert!(from_str::<bool>(&to_string(&true).unwrap()).unwrap());
         assert_eq!(from_str::<i64>(&to_string(&-42i64).unwrap()).unwrap(), -42);
         assert_eq!(from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(), u64::MAX);
         assert_eq!(from_str::<f64>(&to_string(&1.25f64).unwrap()).unwrap(), 1.25);
         assert_eq!(from_str::<char>(&to_string(&'é').unwrap()).unwrap(), 'é');
         assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
-        assert_eq!(from_str::<Vec<u8>>(&to_string(&vec![1u8, 2, 3]).unwrap()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            from_str::<Vec<u8>>(&to_string(&vec![1u8, 2, 3]).unwrap()).unwrap(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -7,21 +7,30 @@
 //! call-back runs; it corresponds to the `Criteria` parameter of the paper's
 //! `TPSEngine.newInterface`.
 
+/// A boxed content predicate over events of type `T`.
+type Predicate<T> = Box<dyn Fn(&T) -> bool + 'static>;
+
 /// A content filter over events of type `T`.
 pub struct Criteria<T> {
-    predicate: Option<Box<dyn Fn(&T) -> bool + 'static>>,
+    predicate: Option<Predicate<T>>,
     description: String,
 }
 
 impl<T> Criteria<T> {
     /// Accepts every event (the `null` criteria of the paper's example).
     pub fn any() -> Self {
-        Criteria { predicate: None, description: "any".to_owned() }
+        Criteria {
+            predicate: None,
+            description: "any".to_owned(),
+        }
     }
 
     /// Accepts only events satisfying `predicate`.
     pub fn filter(description: impl Into<String>, predicate: impl Fn(&T) -> bool + 'static) -> Self {
-        Criteria { predicate: Some(Box::new(predicate)), description: description.into() }
+        Criteria {
+            predicate: Some(Box::new(predicate)),
+            description: description.into(),
+        }
     }
 
     /// Whether an event passes the filter.
@@ -51,7 +60,9 @@ impl<T> Default for Criteria<T> {
 
 impl<T> std::fmt::Debug for Criteria<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Criteria").field("description", &self.description).finish()
+        f.debug_struct("Criteria")
+            .field("description", &self.description)
+            .finish()
     }
 }
 

@@ -87,17 +87,30 @@ impl TpsConfig {
         self.peer.seed_rendezvous = seeds;
         self
     }
+
+    /// Builder-style selection of the dissemination strategy the underlying
+    /// wire service runs (direct fan-out, rendezvous tree or gossip).
+    pub fn with_dissemination(mut self, dissemination: jxta::DisseminationConfig) -> Self {
+        self.peer.dissemination = dissemination;
+        self
+    }
 }
+
+/// A boxed delivery closure: `(actual_type_name, payload)`.
+type DeliveryFn = Box<dyn FnMut(&str, &[u8]) + 'static>;
 
 struct Subscription {
     id: SubscriptionId,
     type_name: &'static str,
-    deliver: Box<dyn FnMut(&str, &[u8]) + 'static>,
+    deliver: DeliveryFn,
 }
 
 impl std::fmt::Debug for Subscription {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Subscription").field("id", &self.id).field("type_name", &self.type_name).finish()
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .field("type_name", &self.type_name)
+            .finish()
     }
 }
 
@@ -268,7 +281,9 @@ impl TpsEngine {
             }
             let pipes: Vec<PipeId> = self.channels[type_name].pipes.iter().map(|p| p.pipe_id).collect();
             for pipe_id in pipes {
-                self.peer.wire_send(ctx, pipe_id, &message).map_err(PsException::from)?;
+                self.peer
+                    .wire_send(ctx, pipe_id, &message)
+                    .map_err(PsException::from)?;
             }
         }
         self.sent.push((T::TYPE_NAME.to_owned(), payload));
@@ -311,8 +326,8 @@ impl TpsEngine {
         let id = SubscriptionId(self.next_subscription);
         let mut callback = callback;
         let mut exception_handler = exception_handler;
-        let deliver = Box::new(move |_actual: &str, payload: &[u8]| {
-            match codec::from_slice::<T>(payload) {
+        let deliver = Box::new(
+            move |_actual: &str, payload: &[u8]| match codec::from_slice::<T>(payload) {
                 Ok(event) => {
                     if criteria.accepts(&event) {
                         if let Err(e) = callback.handle(event) {
@@ -321,9 +336,13 @@ impl TpsEngine {
                     }
                 }
                 Err(e) => exception_handler.handle(&PsException::Unmarshal(e.to_string())),
-            }
+            },
+        );
+        self.subscriptions.push(Subscription {
+            id,
+            type_name: T::TYPE_NAME,
+            deliver,
         });
-        self.subscriptions.push(Subscription { id, type_name: T::TYPE_NAME, deliver });
         id
     }
 
@@ -409,9 +428,13 @@ impl TpsEngine {
         // mean independently-started peers converge on the same pipe), publish
         // it, and keep looking for advertisements others may have created.
         let group = PeerGroup::for_event_type(type_name, self.peer.peer_id());
-        let pipe = group.wire_pipe().expect("for_event_type always embeds a wire pipe").clone();
+        let pipe = group
+            .wire_pipe()
+            .expect("for_event_type always embeds a wire pipe")
+            .clone();
         self.peer.author_group(ctx, group.advertisement());
-        self.peer.remote_publish(ctx, AnyAdvertisement::Group(group.advertisement().clone()));
+        self.peer
+            .remote_publish(ctx, AnyAdvertisement::Group(group.advertisement().clone()));
         self.peer.publish_local(ctx, AnyAdvertisement::Pipe(pipe.clone()));
         self.pipe_to_type.insert(pipe.pipe_id, type_name.to_owned());
         self.channels.insert(
@@ -449,7 +472,11 @@ impl TpsEngine {
         for event in events {
             match event {
                 JxtaEvent::AdvertisementDiscovered { adv, .. } => self.handle_discovered(ctx, adv),
-                JxtaEvent::WireMessageReceived { pipe_id, src_peer, message } => {
+                JxtaEvent::WireMessageReceived {
+                    pipe_id,
+                    src_peer,
+                    message,
+                } => {
                     self.handle_wire_message(pipe_id, src_peer, &message);
                 }
                 _ => {}
@@ -462,10 +489,13 @@ impl TpsEngine {
         let Some(type_name) = group_adv.name.strip_prefix(jxta::PS_PREFIX).map(str::to_owned) else {
             return;
         };
-        let Some(channel_exists) = self.channels.get(&type_name).map(|_| ()) else { return };
-        let _ = channel_exists;
+        if !self.channels.contains_key(&type_name) {
+            return;
+        }
         let group = PeerGroup::from_advertisement(group_adv.clone());
-        let Ok(pipe) = group.wire_pipe().cloned() else { return };
+        let Ok(pipe) = group.wire_pipe().cloned() else {
+            return;
+        };
         let channel = self.channels.get_mut(&type_name).expect("checked above");
         if channel.pipes.iter().any(|p| p.pipe_id == pipe.pipe_id) {
             return;
@@ -488,13 +518,20 @@ impl TpsEngine {
             return;
         }
         self.publishers_seen.insert(src_peer);
-        let Some(actual) = message.element_text(TPS_NS, "ActualType") else { return };
-        let Some(payload) = message.element(TPS_NS, "Payload").map(|e| e.body.to_vec()) else { return };
+        let Some(actual) = message.element_text(TPS_NS, "ActualType") else {
+            return;
+        };
+        let Some(payload) = message.element(TPS_NS, "Payload").map(|e| e.body.to_vec()) else {
+            return;
+        };
         // Learn the hierarchy the publisher declared, so that objects_received
         // and subtype matching work even for types not linked locally.
         if let Some(supertypes) = message.element_text(TPS_NS, "Supertypes") {
-            let ancestors: Vec<String> =
-                supertypes.split(',').filter(|s| !s.is_empty() && *s != actual).map(str::to_owned).collect();
+            let ancestors: Vec<String> = supertypes
+                .split(',')
+                .filter(|s| !s.is_empty() && *s != actual)
+                .map(str::to_owned)
+                .collect();
             self.registry.register_raw(&actual, ancestors);
         }
         // Duplicate suppression by event id (the event may arrive on several
@@ -552,6 +589,24 @@ mod tests {
     }
 
     #[test]
+    fn dissemination_strategy_threads_through_to_the_wire_service() {
+        let config = TpsConfig::new("alice").with_dissemination(jxta::DisseminationConfig::rendezvous_tree());
+        let engine = TpsEngine::new(config);
+        assert_eq!(
+            engine.peer().wire().strategy_kind(),
+            jxta::StrategyKind::RendezvousTree
+        );
+        assert_eq!(
+            TpsEngine::new(TpsConfig::new("bob"))
+                .peer()
+                .wire()
+                .strategy_kind(),
+            jxta::StrategyKind::DirectFanout,
+            "the paper baseline stays the default"
+        );
+    }
+
+    #[test]
     fn unsubscribe_unknown_id_errors() {
         let mut engine = TpsEngine::new(TpsConfig::new("alice"));
         assert!(matches!(
@@ -570,8 +625,17 @@ mod tests {
     #[test]
     fn padding_brings_messages_to_target_size() {
         let engine = TpsEngine::new(TpsConfig::new("alice"));
-        let payload = codec::to_vec(&SkiRental { shop: "x".into(), price: 1.0 }).unwrap();
-        let message = engine.build_message("SkiRental", &["SkiRental".to_owned()], Uuid::derive("e"), &payload);
+        let payload = codec::to_vec(&SkiRental {
+            shop: "x".into(),
+            price: 1.0,
+        })
+        .unwrap();
+        let message = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("e"),
+            &payload,
+        );
         assert!(message.wire_size() >= 1910);
         assert!(message.wire_size() < 1910 + 64);
     }
@@ -612,16 +676,33 @@ mod tests {
             .clone();
         engine.pipe_to_type.insert(pipe.pipe_id, "SkiRental".to_owned());
 
-        let cheap = codec::to_vec(&SkiRental { shop: "a".into(), price: 10.0 }).unwrap();
-        let pricey = codec::to_vec(&SkiRental { shop: "b".into(), price: 99.0 }).unwrap();
+        let cheap = codec::to_vec(&SkiRental {
+            shop: "a".into(),
+            price: 10.0,
+        })
+        .unwrap();
+        let pricey = codec::to_vec(&SkiRental {
+            shop: "b".into(),
+            price: 99.0,
+        })
+        .unwrap();
         let msg1 = engine.build_message("SkiRental", &["SkiRental".to_owned()], Uuid::derive("e1"), &cheap);
-        let msg2 = engine.build_message("SkiRental", &["SkiRental".to_owned()], Uuid::derive("e2"), &pricey);
+        let msg2 = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("e2"),
+            &pricey,
+        );
         let publisher = jxta::PeerId::derive("remote-shop");
         engine.handle_wire_message(pipe.pipe_id, publisher, &msg1);
         engine.handle_wire_message(pipe.pipe_id, publisher, &msg2);
         engine.handle_wire_message(pipe.pipe_id, publisher, &msg1); // duplicate
 
-        assert_eq!(sink.borrow().len(), 1, "criteria should filter the expensive offer");
+        assert_eq!(
+            sink.borrow().len(),
+            1,
+            "criteria should filter the expensive offer"
+        );
         assert_eq!(sink.borrow()[0].shop, "a");
         assert_eq!(engine.counters().events_received, 2);
         assert_eq!(engine.counters().duplicates_dropped, 1);

@@ -63,7 +63,9 @@ pub struct CallBackException {
 impl CallBackException {
     /// Creates a callback exception with the given reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        CallBackException { reason: reason.into() }
+        CallBackException {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -85,7 +87,9 @@ mod tests {
         assert!(e.to_string().contains("jxta"));
         let e: PsException = CallBackException::new("gui crashed").into();
         assert!(e.to_string().contains("gui crashed"));
-        assert!(PsException::UnknownType("SkiRental".into()).to_string().contains("SkiRental"));
+        assert!(PsException::UnknownType("SkiRental".into())
+            .to_string()
+            .contains("SkiRental"));
         assert!(PsException::UnknownSubscription(7).to_string().contains('7'));
     }
 }

@@ -58,7 +58,10 @@ impl TypeRegistry {
 
     /// Registers an event type and its declared supertype edges.
     pub fn register<T: TpsEvent>(&mut self) {
-        self.register_raw(T::TYPE_NAME, T::SUPERTYPES.iter().map(|s| s.to_string()).collect());
+        self.register_raw(
+            T::TYPE_NAME,
+            T::SUPERTYPES.iter().map(|s| s.to_string()).collect(),
+        );
     }
 
     /// Registers a type by name (used when only the name is known, e.g. for
@@ -75,7 +78,10 @@ impl TypeRegistry {
     /// Whether the type has been registered (directly or as a supertype).
     pub fn knows(&self, type_name: &str) -> bool {
         self.supertypes.contains_key(type_name)
-            || self.supertypes.values().any(|sups| sups.iter().any(|s| s == type_name))
+            || self
+                .supertypes
+                .values()
+                .any(|sups| sups.iter().any(|s| s == type_name))
     }
 
     /// Whether `candidate` is `ancestor` or a (transitive) subtype of it.
@@ -205,7 +211,10 @@ mod tests {
     #[test]
     fn ancestors_match_figure_7_flows() {
         let reg = figure7();
-        assert_eq!(reg.ancestors_of("D"), vec!["D".to_owned(), "A".into(), "B".into(), "C".into()]);
+        assert_eq!(
+            reg.ancestors_of("D"),
+            vec!["D".to_owned(), "A".into(), "B".into(), "C".into()]
+        );
         assert_eq!(reg.ancestors_of("B"), vec!["B".to_owned(), "A".into()]);
         assert_eq!(reg.ancestors_of("A"), vec!["A".to_owned()]);
         // Unknown types are their own only ancestor.

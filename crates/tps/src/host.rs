@@ -20,7 +20,9 @@ pub struct TpsHost {
 impl TpsHost {
     /// Creates a host from a TPS configuration.
     pub fn new(config: TpsConfig) -> Self {
-        TpsHost { engine: TpsEngine::new(config) }
+        TpsHost {
+            engine: TpsEngine::new(config),
+        }
     }
 
     /// Creates a boxed host, convenient for `NetworkBuilder::add_node`.
@@ -77,14 +79,18 @@ mod tests {
     }
 
     fn config(name: &str, seeds: Vec<simnet::SimAddress>) -> TpsConfig {
-        TpsConfig::new(name)
-            .with_peer(PeerConfig::edge(name).with_seeds(seeds).with_costs(CostModel::free()))
+        TpsConfig::new(name).with_peer(
+            PeerConfig::edge(name)
+                .with_seeds(seeds)
+                .with_costs(CostModel::free()),
+        )
     }
 
     #[test]
     fn publish_subscribe_end_to_end_on_a_simulated_network() {
         let mut builder = NetworkBuilder::new(7);
-        let rdv_config = TpsConfig::new("rdv").with_peer(PeerConfig::rendezvous("rdv").with_costs(CostModel::free()));
+        let rdv_config =
+            TpsConfig::new("rdv").with_peer(PeerConfig::rendezvous("rdv").with_costs(CostModel::free()));
         let _rdv = builder.add_node(TpsHost::boxed(rdv_config), NodeConfig::lan_peer(SubnetId(0)));
         let rdv_addr = simnet::SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
         let publisher = builder.add_node(
@@ -101,7 +107,9 @@ mod tests {
         // Subscribe on one peer, publish on the other.
         net.invoke::<TpsHost, _>(subscriber, |host, ctx| {
             let (cb, _sink) = CollectingCallback::<SkiRental>::new();
-            host.engine.interface::<SkiRental>().subscribe(ctx, cb, IgnoreExceptions);
+            host.engine
+                .interface::<SkiRental>()
+                .subscribe(ctx, cb, IgnoreExceptions);
         });
         net.run_for(SimDuration::from_secs(15));
         net.invoke::<TpsHost, _>(publisher, |host, ctx| {
@@ -109,16 +117,33 @@ mod tests {
                 .interface::<SkiRental>()
                 .publish(
                     ctx,
-                    SkiRental { shop: "XTremShop".into(), price: 14.0, brand: "Salomon".into(), number_of_days: 100.0 },
+                    SkiRental {
+                        shop: "XTremShop".into(),
+                        price: 14.0,
+                        brand: "Salomon".into(),
+                        number_of_days: 100.0,
+                    },
                 )
                 .unwrap();
         });
         net.run_for(SimDuration::from_secs(10));
 
-        let received = net.node_ref::<TpsHost>(subscriber).unwrap().engine.objects_received::<SkiRental>();
-        assert_eq!(received.len(), 1, "the subscriber should have received exactly one offer");
+        let received = net
+            .node_ref::<TpsHost>(subscriber)
+            .unwrap()
+            .engine
+            .objects_received::<SkiRental>();
+        assert_eq!(
+            received.len(),
+            1,
+            "the subscriber should have received exactly one offer"
+        );
         assert_eq!(received[0].shop, "XTremShop");
-        let sent = net.node_ref::<TpsHost>(publisher).unwrap().engine.objects_sent::<SkiRental>();
+        let sent = net
+            .node_ref::<TpsHost>(publisher)
+            .unwrap()
+            .engine
+            .objects_sent::<SkiRental>();
         assert_eq!(sent.len(), 1);
     }
 }

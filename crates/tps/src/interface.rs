@@ -25,6 +25,10 @@ use crate::event::TpsEvent;
 use simnet::NodeContext;
 use std::marker::PhantomData;
 
+/// A boxed call-back / exception-handler pair, as accepted by
+/// [`TpsInterface::subscribe_many`].
+pub type CallbackPair<T> = (Box<dyn TpsCallBack<T>>, Box<dyn TpsExceptionHandler<T>>);
+
 /// A typed view over a [`TpsEngine`] for one event type.
 pub struct TpsInterface<'e, T: TpsEvent> {
     engine: &'e mut TpsEngine,
@@ -43,7 +47,10 @@ pub trait TpsInterfaceExt {
 impl TpsInterfaceExt for TpsEngine {
     fn interface<T: TpsEvent>(&mut self) -> TpsInterface<'_, T> {
         self.register_type::<T>();
-        TpsInterface { engine: self, _marker: PhantomData }
+        TpsInterface {
+            engine: self,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -66,7 +73,8 @@ impl<'e, T: TpsEvent> TpsInterface<'e, T> {
         callback: impl TpsCallBack<T>,
         exception_handler: impl TpsExceptionHandler<T>,
     ) -> SubscriptionId {
-        self.engine.subscribe(ctx, callback, exception_handler, Criteria::any())
+        self.engine
+            .subscribe(ctx, callback, exception_handler, Criteria::any())
     }
 
     /// Subscribes with an additional content filter (the `Criteria` parameter
@@ -86,11 +94,14 @@ impl<'e, T: TpsEvent> TpsInterface<'e, T> {
     pub fn subscribe_many(
         &mut self,
         ctx: &mut NodeContext<'_>,
-        pairs: Vec<(Box<dyn TpsCallBack<T>>, Box<dyn TpsExceptionHandler<T>>)>,
+        pairs: Vec<CallbackPair<T>>,
     ) -> Vec<SubscriptionId> {
         pairs
             .into_iter()
-            .map(|(cb, exh)| self.engine.subscribe(ctx, BoxedCallback(cb), BoxedHandler(exh), Criteria::any()))
+            .map(|(cb, exh)| {
+                self.engine
+                    .subscribe(ctx, BoxedCallback(cb), BoxedHandler(exh), Criteria::any())
+            })
             .collect()
     }
 

@@ -40,7 +40,12 @@ pub mod event;
 pub mod host;
 pub mod interface;
 
-pub use callback::{CallbackFn, CollectingCallback, CountingExceptionHandler, ExceptionHandlerFn, IgnoreExceptions, TpsCallBack, TpsExceptionHandler};
+pub use jxta::{DisseminationConfig, StrategyKind};
+
+pub use callback::{
+    CallbackFn, CollectingCallback, CountingExceptionHandler, ExceptionHandlerFn, IgnoreExceptions,
+    TpsCallBack, TpsExceptionHandler,
+};
 pub use criteria::Criteria;
 pub use engine::{is_tps_timer, SubscriptionId, TpsConfig, TpsCounters, TpsEngine, TIMER_FINDER};
 pub use error::{CallBackException, PsException};

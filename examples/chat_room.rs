@@ -41,7 +41,9 @@ fn main() {
     for peer in &peers {
         net.invoke::<TpsHost, _>(*peer, |host, ctx| {
             let (callback, _sink) = CollectingCallback::<ChatMessage>::new();
-            host.engine.interface::<ChatMessage>().subscribe(ctx, callback, IgnoreExceptions);
+            host.engine
+                .interface::<ChatMessage>()
+                .subscribe(ctx, callback, IgnoreExceptions);
         });
     }
     net.run_for(SimDuration::from_secs(15));
@@ -52,7 +54,13 @@ fn main() {
         net.invoke::<TpsHost, _>(*peer, |host, ctx| {
             host.engine
                 .interface::<ChatMessage>()
-                .publish(ctx, ChatMessage { from: from.clone(), body: format!("hello from {from}") })
+                .publish(
+                    ctx,
+                    ChatMessage {
+                        from: from.clone(),
+                        body: format!("hello from {from}"),
+                    },
+                )
                 .unwrap();
         });
         net.run_for(SimDuration::from_secs(2));
@@ -60,7 +68,11 @@ fn main() {
     net.run_for(SimDuration::from_secs(10));
 
     for (index, peer) in peers.iter().enumerate() {
-        let inbox = net.node_ref::<TpsHost>(*peer).unwrap().engine.objects_received::<ChatMessage>();
+        let inbox = net
+            .node_ref::<TpsHost>(*peer)
+            .unwrap()
+            .engine
+            .objects_received::<ChatMessage>();
         println!("{} received {} messages", names[index], inbox.len());
         // Each participant hears the two others (publishers do not receive
         // their own events, as with a JXTA wire pipe).

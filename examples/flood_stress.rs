@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example flood_stress`.
 
-use ski_rental::{subscriber_throughput, stats, Flavor};
+use ski_rental::{stats, subscriber_throughput, Flavor};
 
 fn main() {
     for publishers in [1usize, 2, 4] {

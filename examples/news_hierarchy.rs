@@ -66,7 +66,9 @@ fn main() {
         host.engine.register_type::<SportsNews>();
         host.engine.register_type::<SkiRaceResult>();
         let (callback, _sink) = CollectingCallback::<NewsItem>::new();
-        host.engine.interface::<NewsItem>().subscribe(ctx, callback, IgnoreExceptions);
+        host.engine
+            .interface::<NewsItem>()
+            .subscribe(ctx, callback, IgnoreExceptions);
     });
     net.run_for(SimDuration::from_secs(15));
 
@@ -74,32 +76,55 @@ fn main() {
     net.invoke::<TpsHost, _>(agency, |host, ctx| {
         host.engine
             .interface::<NewsItem>()
-            .publish(ctx, NewsItem { headline: "P2P acclaimed by jury of peers".into(), importance: 3 })
+            .publish(
+                ctx,
+                NewsItem {
+                    headline: "P2P acclaimed by jury of peers".into(),
+                    importance: 3,
+                },
+            )
             .unwrap();
         host.engine
             .interface::<SportsNews>()
-            .publish(ctx, SportsNews {
-                headline: "Ski season opens".into(),
-                importance: 5,
-                discipline: "alpine".into(),
-            })
+            .publish(
+                ctx,
+                SportsNews {
+                    headline: "Ski season opens".into(),
+                    importance: 5,
+                    discipline: "alpine".into(),
+                },
+            )
             .unwrap();
         host.engine
             .interface::<SkiRaceResult>()
-            .publish(ctx, SkiRaceResult {
-                headline: "Lauberhorn downhill".into(),
-                importance: 9,
-                discipline: "downhill".into(),
-                winner: "A. Racer".into(),
-            })
+            .publish(
+                ctx,
+                SkiRaceResult {
+                    headline: "Lauberhorn downhill".into(),
+                    importance: 9,
+                    discipline: "downhill".into(),
+                    winner: "A. Racer".into(),
+                },
+            )
             .unwrap();
     });
     net.run_for(SimDuration::from_secs(10));
 
-    let items = net.node_ref::<TpsHost>(reader).unwrap().engine.objects_received::<NewsItem>();
-    println!("reader subscribed to NewsItem only and received {} items:", items.len());
+    let items = net
+        .node_ref::<TpsHost>(reader)
+        .unwrap()
+        .engine
+        .objects_received::<NewsItem>();
+    println!(
+        "reader subscribed to NewsItem only and received {} items:",
+        items.len()
+    );
     for item in &items {
         println!("  [{}] {}", item.importance, item.headline);
     }
-    assert_eq!(items.len(), 3, "the NewsItem subscriber must see all three publications");
+    assert_eq!(
+        items.len(),
+        3,
+        "the NewsItem subscriber must see all three publications"
+    );
 }

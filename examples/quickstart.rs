@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use simnet::{NetworkBuilder, NodeConfig, SimAddress, SimDuration, SubnetId, TransportKind};
-use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsHost, TpsInterfaceExt, TpsEvent};
+use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEvent, TpsHost, TpsInterfaceExt};
 
 // ---- phase 1: type definition ------------------------------------------------
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -44,7 +44,9 @@ fn main() {
     // ---- phase 3: subscription ------------------------------------------------
     net.invoke::<TpsHost, _>(skier, |host, ctx| {
         let (callback, _sink) = CollectingCallback::<SkiRental>::new();
-        host.engine.interface::<SkiRental>().subscribe(ctx, callback, IgnoreExceptions);
+        host.engine
+            .interface::<SkiRental>()
+            .subscribe(ctx, callback, IgnoreExceptions);
     });
     net.run_for(SimDuration::from_secs(15));
 
@@ -52,20 +54,30 @@ fn main() {
     net.invoke::<TpsHost, _>(shop, |host, ctx| {
         host.engine
             .interface::<SkiRental>()
-            .publish(ctx, SkiRental {
-                shop: "XTremShop".into(),
-                price: 14.0,
-                brand: "Salomon".into(),
-                number_of_days: 100.0,
-            })
+            .publish(
+                ctx,
+                SkiRental {
+                    shop: "XTremShop".into(),
+                    price: 14.0,
+                    brand: "Salomon".into(),
+                    number_of_days: 100.0,
+                },
+            )
             .expect("publish failed");
     });
     net.run_for(SimDuration::from_secs(10));
 
-    let received = net.node_ref::<TpsHost>(skier).unwrap().engine.objects_received::<SkiRental>();
+    let received = net
+        .node_ref::<TpsHost>(skier)
+        .unwrap()
+        .engine
+        .objects_received::<SkiRental>();
     println!("skier received {} offer(s):", received.len());
     for offer in &received {
-        println!("  skis that could be rented: {} {} at {} CHF/day", offer.shop, offer.brand, offer.price);
+        println!(
+            "  skis that could be rented: {} {} at {} CHF/day",
+            offer.shop, offer.brand, offer.price
+        );
     }
     assert_eq!(received.len(), 1);
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --example ski_rental`.
 
-use ski_rental::{Flavor, OfferGenerator, Scenario};
 use simnet::SimDuration;
+use ski_rental::{Flavor, OfferGenerator, Scenario};
 
 fn main() {
     // Three shops, one skier, over the TPS layer with the JXTA 1.0 cost model.
@@ -16,15 +16,23 @@ fn main() {
     for round in 0..5 {
         for publisher in 0..3 {
             scenario.publish_one(publisher);
+            // Shops publish every few seconds, not back-to-back: give the
+            // skier time to service each offer (the receive-side capacity
+            // model drops events under flooding, as JXTA 1.0 did — that
+            // regime is exercised by `flood_stress` and Figure 20 instead).
+            scenario.advance(SimDuration::from_secs(2));
         }
         let _ = generator.next_offer();
-        println!("round {round}: skier has received {} offers so far", scenario.received_count(0));
+        println!(
+            "round {round}: skier has received {} offers so far",
+            scenario.received_count(0)
+        );
     }
     scenario.advance(SimDuration::from_secs(10));
-    println!("final count: {} offers received by the skier", scenario.received_count(0));
     println!(
-        "network stats: {}",
-        scenario.network().total_stats()
+        "final count: {} offers received by the skier",
+        scenario.received_count(0)
     );
+    println!("network stats: {}", scenario.network().total_stats());
     assert!(scenario.received_count(0) >= 10);
 }

@@ -9,9 +9,15 @@ fn figure_18_shape_wire_fastest_and_sr_layers_close() {
     let wire = stats(&invocation_time(Flavor::JxtaWire, 1, 40, 2002)).mean;
     let sr_jxta = stats(&invocation_time(Flavor::SrJxta, 1, 40, 2002)).mean;
     let sr_tps = stats(&invocation_time(Flavor::SrTps, 1, 40, 2002)).mean;
-    assert!(wire < sr_jxta && wire < sr_tps, "JXTA-WIRE must be the fastest layer");
+    assert!(
+        wire < sr_jxta && wire < sr_tps,
+        "JXTA-WIRE must be the fastest layer"
+    );
     let gap = (sr_tps - sr_jxta).abs() / sr_jxta;
-    assert!(gap < 0.10, "SR-TPS and SR-JXTA should be within ~10% (measured gap {gap:.3})");
+    assert!(
+        gap < 0.10,
+        "SR-TPS and SR-JXTA should be within ~10% (measured gap {gap:.3})"
+    );
     // Same order of magnitude as the paper (hundreds of milliseconds).
     assert!(sr_tps > 100.0 && sr_tps < 1_000.0);
 }
@@ -20,7 +26,10 @@ fn figure_18_shape_wire_fastest_and_sr_layers_close() {
 fn figure_18_shape_invocation_time_grows_with_subscribers() {
     let one = stats(&invocation_time(Flavor::SrJxta, 1, 10, 7)).mean;
     let four = stats(&invocation_time(Flavor::SrJxta, 4, 10, 7)).mean;
-    assert!(four > one * 2.0, "4 subscribers should be at least 2x slower than 1 ({one:.1} -> {four:.1})");
+    assert!(
+        four > one * 2.0,
+        "4 subscribers should be at least 2x slower than 1 ({one:.1} -> {four:.1})"
+    );
 }
 
 #[test]
@@ -30,7 +39,10 @@ fn figure_19_shape_throughput_drops_with_subscribers_and_layers_converge() {
     let wire_4 = stats(&publisher_throughput(Flavor::JxtaWire, 4, 30, 3, 2002)).mean;
     let tps_4 = stats(&publisher_throughput(Flavor::SrTps, 4, 30, 3, 2002)).mean;
     assert!(wire_1 > tps_1, "wire outpaces SR-TPS with one subscriber");
-    assert!(wire_4 < wire_1 && tps_4 < tps_1, "more subscribers lower the publisher's rate");
+    assert!(
+        wire_4 < wire_1 && tps_4 < tps_1,
+        "more subscribers lower the publisher's rate"
+    );
     // The absolute gap between layers shrinks as subscribers increase.
     assert!((wire_4 - tps_4) < (wire_1 - tps_1));
 }
@@ -39,8 +51,14 @@ fn figure_19_shape_throughput_drops_with_subscribers_and_layers_converge() {
 fn figure_20_shape_subscriber_saturates_and_drops_with_more_publishers() {
     let one = stats(&subscriber_throughput(Flavor::SrTps, 1, 20, 2002)).mean;
     let four = stats(&subscriber_throughput(Flavor::SrTps, 4, 20, 2002)).mean;
-    assert!(one > 3.0 && one < 10.0, "1-publisher rate should be a few events/sec ({one:.2})");
-    assert!(four < one / 2.0, "4 publishers should cut the received rate by ~2-3x ({one:.2} -> {four:.2})");
+    assert!(
+        one > 3.0 && one < 10.0,
+        "1-publisher rate should be a few events/sec ({one:.2})"
+    );
+    assert!(
+        four < one / 2.0,
+        "4 publishers should cut the received rate by ~2-3x ({one:.2} -> {four:.2})"
+    );
 }
 
 #[test]

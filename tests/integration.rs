@@ -40,7 +40,8 @@ fn host(name: &str) -> Box<TpsHost> {
 
 fn rendezvous_host() -> Box<TpsHost> {
     TpsHost::boxed(
-        TpsConfig::new("rdv").with_peer(jxta::PeerConfig::rendezvous("rdv").with_costs(jxta::CostModel::free())),
+        TpsConfig::new("rdv")
+            .with_peer(jxta::PeerConfig::rendezvous("rdv").with_costs(jxta::CostModel::free())),
     )
 }
 
@@ -57,7 +58,11 @@ fn world(seed: u64) -> World {
     let subscriber = builder.add_node(host("subscriber"), NodeConfig::lan_peer(SubnetId(0)));
     let mut net = builder.build();
     net.run_for(SimDuration::from_secs(2));
-    World { net, publisher, subscriber }
+    World {
+        net,
+        publisher,
+        subscriber,
+    }
 }
 
 #[test]
@@ -65,20 +70,33 @@ fn typed_publish_subscribe_end_to_end() {
     let mut w = world(1);
     w.net.invoke::<TpsHost, _>(w.subscriber, |host, ctx| {
         let (cb, _sink) = CollectingCallback::<Offer>::new();
-        host.engine.interface::<Offer>().subscribe(ctx, cb, IgnoreExceptions);
+        host.engine
+            .interface::<Offer>()
+            .subscribe(ctx, cb, IgnoreExceptions);
     });
     w.net.run_for(SimDuration::from_secs(15));
     for i in 0..5 {
         w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
             host.engine
                 .interface::<Offer>()
-                .publish(ctx, Offer { shop: format!("shop-{i}"), price: 10.0 + i as f32 })
+                .publish(
+                    ctx,
+                    Offer {
+                        shop: format!("shop-{i}"),
+                        price: 10.0 + i as f32,
+                    },
+                )
                 .unwrap();
         });
         w.net.run_for(SimDuration::from_secs(1));
     }
     w.net.run_for(SimDuration::from_secs(10));
-    let received = w.net.node_ref::<TpsHost>(w.subscriber).unwrap().engine.objects_received::<Offer>();
+    let received = w
+        .net
+        .node_ref::<TpsHost>(w.subscriber)
+        .unwrap()
+        .engine
+        .objects_received::<Offer>();
     assert_eq!(received.len(), 5);
     assert_eq!(received[0].shop, "shop-0");
 }
@@ -89,18 +107,36 @@ fn subtype_instances_reach_supertype_subscribers() {
     w.net.invoke::<TpsHost, _>(w.subscriber, |host, ctx| {
         host.engine.register_type::<LastMinuteOffer>();
         let (cb, _sink) = CollectingCallback::<Offer>::new();
-        host.engine.interface::<Offer>().subscribe(ctx, cb, IgnoreExceptions);
+        host.engine
+            .interface::<Offer>()
+            .subscribe(ctx, cb, IgnoreExceptions);
     });
     w.net.run_for(SimDuration::from_secs(15));
     w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
         host.engine
             .interface::<LastMinuteOffer>()
-            .publish(ctx, LastMinuteOffer { shop: "XTremShop".into(), price: 5.0, hours_left: 3 })
+            .publish(
+                ctx,
+                LastMinuteOffer {
+                    shop: "XTremShop".into(),
+                    price: 5.0,
+                    hours_left: 3,
+                },
+            )
             .unwrap();
     });
     w.net.run_for(SimDuration::from_secs(10));
-    let as_supertype = w.net.node_ref::<TpsHost>(w.subscriber).unwrap().engine.objects_received::<Offer>();
-    assert_eq!(as_supertype.len(), 1, "the supertype subscriber must receive the subtype instance");
+    let as_supertype = w
+        .net
+        .node_ref::<TpsHost>(w.subscriber)
+        .unwrap()
+        .engine
+        .objects_received::<Offer>();
+    assert_eq!(
+        as_supertype.len(),
+        1,
+        "the supertype subscriber must receive the subtype instance"
+    );
     assert_eq!(as_supertype[0].shop, "XTremShop");
     assert_eq!(as_supertype[0].price, 5.0);
 }
@@ -120,7 +156,16 @@ fn criteria_filter_events_by_content() {
     w.net.run_for(SimDuration::from_secs(15));
     for price in [10.0_f32, 50.0, 15.0, 99.0] {
         w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
-            host.engine.interface::<Offer>().publish(ctx, Offer { shop: "s".into(), price }).unwrap();
+            host.engine
+                .interface::<Offer>()
+                .publish(
+                    ctx,
+                    Offer {
+                        shop: "s".into(),
+                        price,
+                    },
+                )
+                .unwrap();
         });
         w.net.run_for(SimDuration::from_secs(1));
     }
@@ -138,7 +183,9 @@ fn unsubscribe_stops_delivery_to_callbacks() {
     let mut w = world(4);
     let id = w.net.invoke::<TpsHost, _>(w.subscriber, |host, ctx| {
         let (cb, _sink) = CollectingCallback::<Offer>::new();
-        host.engine.interface::<Offer>().subscribe(ctx, cb, IgnoreExceptions)
+        host.engine
+            .interface::<Offer>()
+            .subscribe(ctx, cb, IgnoreExceptions)
     });
     w.net.run_for(SimDuration::from_secs(15));
     w.net.invoke::<TpsHost, _>(w.subscriber, |host, _ctx| {
@@ -146,7 +193,16 @@ fn unsubscribe_stops_delivery_to_callbacks() {
         assert_eq!(host.engine.subscription_count(), 0);
     });
     w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
-        host.engine.interface::<Offer>().publish(ctx, Offer { shop: "late".into(), price: 1.0 }).unwrap();
+        host.engine
+            .interface::<Offer>()
+            .publish(
+                ctx,
+                Offer {
+                    shop: "late".into(),
+                    price: 1.0,
+                },
+            )
+            .unwrap();
     });
     w.net.run_for(SimDuration::from_secs(10));
     let host = w.net.node_ref::<TpsHost>(w.subscriber).unwrap();
@@ -169,10 +225,23 @@ fn exception_handlers_receive_callback_failures() {
     });
     w.net.run_for(SimDuration::from_secs(15));
     w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
-        host.engine.interface::<Offer>().publish(ctx, Offer { shop: "s".into(), price: 2.0 }).unwrap();
+        host.engine
+            .interface::<Offer>()
+            .publish(
+                ctx,
+                Offer {
+                    shop: "s".into(),
+                    price: 2.0,
+                },
+            )
+            .unwrap();
     });
     w.net.run_for(SimDuration::from_secs(10));
-    assert_eq!(*failures.borrow(), 1, "the exception handler must see the callback failure");
+    assert_eq!(
+        *failures.borrow(),
+        1,
+        "the exception handler must see the callback failure"
+    );
 }
 
 #[test]
@@ -180,11 +249,22 @@ fn delivery_survives_a_subscriber_address_change() {
     let mut w = world(6);
     w.net.invoke::<TpsHost, _>(w.subscriber, |host, ctx| {
         let (cb, _sink) = CollectingCallback::<Offer>::new();
-        host.engine.interface::<Offer>().subscribe(ctx, cb, IgnoreExceptions);
+        host.engine
+            .interface::<Offer>()
+            .subscribe(ctx, cb, IgnoreExceptions);
     });
     w.net.run_for(SimDuration::from_secs(15));
     w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
-        host.engine.interface::<Offer>().publish(ctx, Offer { shop: "before".into(), price: 1.0 }).unwrap();
+        host.engine
+            .interface::<Offer>()
+            .publish(
+                ctx,
+                Offer {
+                    shop: "before".into(),
+                    price: 1.0,
+                },
+            )
+            .unwrap();
     });
     w.net.run_for(SimDuration::from_secs(5));
 
@@ -195,10 +275,24 @@ fn delivery_survives_a_subscriber_address_change() {
     w.net.run_for(SimDuration::from_secs(40));
 
     w.net.invoke::<TpsHost, _>(w.publisher, |host, ctx| {
-        host.engine.interface::<Offer>().publish(ctx, Offer { shop: "after".into(), price: 2.0 }).unwrap();
+        host.engine
+            .interface::<Offer>()
+            .publish(
+                ctx,
+                Offer {
+                    shop: "after".into(),
+                    price: 2.0,
+                },
+            )
+            .unwrap();
     });
     w.net.run_for(SimDuration::from_secs(20));
-    let received = w.net.node_ref::<TpsHost>(w.subscriber).unwrap().engine.objects_received::<Offer>();
+    let received = w
+        .net
+        .node_ref::<TpsHost>(w.subscriber)
+        .unwrap()
+        .engine
+        .objects_received::<Offer>();
     let shops: Vec<&str> = received.iter().map(|o| o.shop.as_str()).collect();
     assert!(shops.contains(&"before"));
     assert!(
