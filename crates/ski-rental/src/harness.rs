@@ -162,6 +162,22 @@ impl Scenario {
         })
     }
 
+    /// Publishes `count` generated offers from publisher `index` as **one**
+    /// batch (`Publisher::publish_batch` under SR-TPS) and returns the
+    /// invocation time the single batched call consumed at the publisher.
+    /// The clock advances by the same amount.
+    pub fn publish_batch(&mut self, index: usize, count: usize) -> SimDuration {
+        let offers: Vec<_> = (0..count).map(|_| self.offers.next_offer()).collect();
+        let node = self.publishers[index];
+        let charged = self.net.invoke::<SkiNode, _>(node, |peer, ctx| {
+            peer.publish_offer_batch(ctx, &offers)
+                .expect("batch publish failed");
+            ctx.charged()
+        });
+        self.net.run_for(charged);
+        charged
+    }
+
     /// Offers received so far by subscriber `index`, with arrival times.
     pub fn received_times(&self, index: usize) -> Vec<SimTime> {
         self.net
@@ -266,6 +282,48 @@ pub fn dissemination_comparison(
             (kind, stats(&series).mean)
         })
         .collect()
+}
+
+/// The batching ablation: publisher-side invocation time (ms) for `events`
+/// offers published one by one versus as a single `publish_batch` call,
+/// under the given dissemination strategy. Returns `(singles_ms, batch_ms)`
+/// — the *total* virtual CPU time the publisher spent invoking `publish`.
+///
+/// Batching flattens the per-event cost because the per-message charges
+/// (connection service per listener, message padding) are paid once per
+/// batch instead of once per event.
+pub fn batch_comparison(
+    flavor: Flavor,
+    dissemination: DisseminationConfig,
+    subscribers: usize,
+    events: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let singles = {
+        let mut scenario = Scenario::build_with_dissemination(
+            flavor,
+            dissemination.clone(),
+            1,
+            subscribers,
+            seed,
+            CostModel::jxta_1_0(),
+        );
+        scenario.warm_up();
+        (0..events).map(|_| scenario.publish_one(0).as_millis_f64()).sum()
+    };
+    let batch = {
+        let mut scenario = Scenario::build_with_dissemination(
+            flavor,
+            dissemination,
+            1,
+            subscribers,
+            seed,
+            CostModel::jxta_1_0(),
+        );
+        scenario.warm_up();
+        scenario.publish_batch(0, events).as_millis_f64()
+    };
+    (singles, batch)
 }
 
 // ---------------------------------------------------------------------------
@@ -554,6 +612,36 @@ mod tests {
             tree_8 < direct_8 / 2.0,
             "at 8 subscribers the tree publisher must be far cheaper ({tree_8:.1} vs {direct_8:.1} ms)"
         );
+    }
+
+    #[test]
+    fn batched_publish_is_far_cheaper_than_singles_under_direct_fanout() {
+        // The ablation_batch acceptance criterion: publishing 64 offers as
+        // one batch must cost the publisher measurably less invocation time
+        // than 64 single publishes (the per-message connection services are
+        // paid once per batch instead of once per event).
+        let (singles, batch) =
+            batch_comparison(Flavor::SrTps, DisseminationConfig::direct_fanout(), 2, 64, 2002);
+        assert!(
+            batch * 4.0 < singles,
+            "a 64-event batch should be at least 4x cheaper than 64 singles \
+             ({batch:.1} vs {singles:.1} ms)"
+        );
+    }
+
+    #[test]
+    fn batched_publish_delivers_every_event() {
+        let mut scenario = Scenario::build_with_costs(Flavor::SrTps, 1, 2, 13, CostModel::free());
+        scenario.warm_up();
+        scenario.publish_batch(0, 8);
+        scenario.advance(SimDuration::from_secs(10));
+        for subscriber in 0..2 {
+            assert_eq!(
+                scenario.received_count(subscriber),
+                8,
+                "every batched offer reaches every subscriber exactly once"
+            );
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub mod types;
 pub mod workload;
 
 pub use harness::{
-    dissemination_comparison, invocation_time, invocation_time_with_dissemination, loc_report,
-    publisher_throughput, stats, subscriber_throughput, LocReport, Scenario, SeriesStats,
+    batch_comparison, dissemination_comparison, invocation_time, invocation_time_with_dissemination,
+    loc_report, publisher_throughput, stats, subscriber_throughput, LocReport, Scenario, SeriesStats,
 };
 pub use jxta::{DisseminationConfig, StrategyKind};
 pub use jxta_app::{JxtaSkiApp, Role};

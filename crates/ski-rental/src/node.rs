@@ -138,6 +138,30 @@ impl SkiNode {
         }
     }
 
+    /// Publishes several offers at once. The SR-TPS flavour marshals them
+    /// into **one** wire message (`Publisher::publish_batch`); the JXTA
+    /// flavours have no batching support and fall back to one message per
+    /// offer, which is exactly the per-event cost the batch path removes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable error if the underlying layer rejects the publish.
+    pub fn publish_offer_batch(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        offers: &[SkiRental],
+    ) -> Result<(), String> {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => {
+                for offer in offers {
+                    app.publish_offer(ctx, offer)?;
+                }
+                Ok(())
+            }
+            SkiNode::SrTps(app) => app.publish_offer_batch(ctx, offers),
+        }
+    }
+
     /// Virtual arrival times of every offer received so far.
     pub fn received_times(&self) -> Vec<SimTime> {
         match self {

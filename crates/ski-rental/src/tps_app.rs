@@ -1,15 +1,14 @@
-//! The ski-rental application written **over TPS** — the paper's SR-TPS.
+//! The ski-rental application written **over TPS** — the paper's SR-TPS,
+//! on the v2 session handles.
 //!
 //! Note how little is left to write compared to [`crate::jxta_app`]: define
-//! the type, initialise the engine, subscribe with a call-back, publish.
-//! That difference *is* the paper's programming-effort argument (Section 4),
-//! quantified by [`crate::harness::loc_report`].
+//! the type, mint a publisher and a subscriber handle, subscribe in pull
+//! mode, publish. That difference *is* the paper's programming-effort
+//! argument (Section 4), quantified by [`crate::harness::loc_report`].
 
 use crate::types::SkiRental;
 use simnet::{Datagram, NodeContext, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
-use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEngine, TpsInterfaceExt};
+use tps::{MailboxPolicy, Publisher, Subscriber, SubscriptionGuard, TpsConfig, TpsEngine};
 
 use crate::jxta_app::Role;
 
@@ -28,19 +27,31 @@ const CONNECTION_SCALE: f64 = 0.8;
 pub struct TpsSkiApp {
     engine: TpsEngine,
     role: Role,
-    sink: Rc<RefCell<Vec<SkiRental>>>,
+    offers_out: Option<Publisher<SkiRental>>,
+    inbox: Subscriber<SkiRental>,
+    subscription: Option<SubscriptionGuard>,
     received: Vec<(SimTime, SkiRental)>,
     overloaded_drops: u64,
     busy_until: SimTime,
 }
 
 impl TpsSkiApp {
-    /// Creates the application peer.
+    /// Creates the application peer. Handles are minted immediately; the
+    /// commands they enqueue (publisher channel preparation, subscription)
+    /// run when the engine starts. Subscriber-role peers mint their
+    /// publisher handle lazily on first publish, so they do not eagerly open
+    /// an output channel they may never use.
     pub fn new(config: TpsConfig, role: Role) -> Self {
+        let engine = TpsEngine::new(config);
+        let session = engine.session();
+        let offers_out = (role == Role::Publisher).then(|| session.publisher::<SkiRental>());
+        let inbox = session.subscriber::<SkiRental>();
         TpsSkiApp {
-            engine: TpsEngine::new(config),
+            engine,
             role,
-            sink: Rc::new(RefCell::new(Vec::new())),
+            offers_out,
+            inbox,
+            subscription: None,
             received: Vec::new(),
             overloaded_drops: 0,
             busy_until: SimTime::ZERO,
@@ -62,17 +73,56 @@ impl TpsSkiApp {
         self.engine.objects_sent::<SkiRental>()
     }
 
-    /// Publishes an offer through the TPS interface.
+    /// Publishes an offer through the owned publisher handle, draining the
+    /// command at once so `ctx.charged()` captures the invocation cost.
     ///
     /// # Errors
     ///
     /// Returns a readable error when the TPS layer reports a `PSException`.
     pub fn publish_offer(&mut self, ctx: &mut NodeContext<'_>, offer: &SkiRental) -> Result<(), String> {
         ctx.charge(TPS_GENERICITY_OVERHEAD);
-        self.engine
-            .interface::<SkiRental>()
-            .publish(ctx, offer.clone())
-            .map_err(|e| e.to_string())
+        self.publisher().publish(offer).map_err(|e| e.to_string())?;
+        self.engine.pump(ctx);
+        self.take_publish_error()
+    }
+
+    /// Publishes a whole batch of offers as **one** wire message (the v2
+    /// `publish_batch` path): the publisher pays the per-message connection
+    /// costs once per batch instead of once per offer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable error when the TPS layer reports a `PSException`.
+    pub fn publish_offer_batch(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        offers: &[SkiRental],
+    ) -> Result<(), String> {
+        ctx.charge(TPS_GENERICITY_OVERHEAD);
+        self.publisher()
+            .publish_batch(offers)
+            .map_err(|e| e.to_string())?;
+        self.engine.pump(ctx);
+        self.take_publish_error()
+    }
+
+    fn publisher(&mut self) -> &Publisher<SkiRental> {
+        let session = self.engine.session();
+        self.offers_out
+            .get_or_insert_with(|| session.publisher::<SkiRental>())
+    }
+
+    fn take_publish_error(&mut self) -> Result<(), String> {
+        let errors = self.engine.session().take_errors();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; "))
+        }
     }
 
     /// Events lost because the subscriber was still busy servicing earlier
@@ -81,24 +131,32 @@ impl TpsSkiApp {
         self.overloaded_drops
     }
 
-    /// Collects newly delivered offers from the call-back sink, timestamps
-    /// them with the current virtual time and applies the same receive-side
-    /// capacity model as the direct-JXTA application (base service cost plus
-    /// a penalty per additional publisher connection; excess events are lost).
+    /// Pulls newly delivered offers from the subscriber handle's mailbox,
+    /// timestamps them with the current virtual time and applies the same
+    /// receive-side capacity model as the direct-JXTA application (base
+    /// service cost plus a penalty per additional publisher connection;
+    /// excess events are lost).
     fn collect_new(&mut self, ctx: &NodeContext<'_>) {
+        let offers = self.inbox.drain();
+        if offers.is_empty() {
+            return;
+        }
         let base = self.engine.config().peer.costs.wire_listener_fixed.mul_f64(0.85);
         let connections = self.engine.distinct_publishers().max(1);
         let service_cost =
             base.mul_f64(1.0 + CONNECTION_SCALE * (connections - 1) as f64) + SR_DELIVER_OVERHEAD;
-        let offers: Vec<SkiRental> = self.sink.borrow_mut().drain(..).collect();
-        for offer in offers {
-            if base > simnet::SimDuration::ZERO {
-                if ctx.now() < self.busy_until {
-                    self.overloaded_drops += 1;
-                    continue;
-                }
-                self.busy_until = ctx.now() + service_cost;
+        if base > simnet::SimDuration::ZERO {
+            // Events arriving while the peer is still servicing earlier ones
+            // are lost, as under JXTA 1.0 flooding (the Figure 20 regime).
+            if ctx.now() < self.busy_until {
+                self.overloaded_drops += offers.len() as u64;
+                return;
             }
+            // Events unwrapped from one wire message (a batch) are already in
+            // local memory: they are serviced back-to-back, not dropped.
+            self.busy_until = ctx.now() + service_cost.mul_f64(offers.len() as f64);
+        }
+        for offer in offers {
             self.received.push((ctx.now(), offer));
         }
     }
@@ -106,19 +164,20 @@ impl TpsSkiApp {
 
 impl simnet::SimNode for TpsSkiApp {
     fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
-        self.engine.on_start(ctx);
         if self.role == Role::Subscriber {
-            // The paper's subscription phase: a call-back plus an exception
-            // handler, three lines of user code.
-            let callback = CollectingCallback::into_sink(Rc::clone(&self.sink));
-            self.engine
-                .interface::<SkiRental>()
-                .subscribe(ctx, callback, IgnoreExceptions);
-        } else {
-            // Publishers eagerly initialise their interface so that the
-            // advertisement and pipe resolution start before the first offer.
-            self.engine.prepare_publisher::<SkiRental>(ctx);
+            // The paper's subscription phase, in pull mode: one line of user
+            // code, detached into `self.subscription` so it lives as long as
+            // the peer. The mailbox is sized far above the workload: loss is
+            // modelled by the receive-side capacity model below, not by the
+            // mailbox overflow policy.
+            self.subscription = Some(
+                self.inbox
+                    .subscribe_pull_with(MailboxPolicy::bounded(1 << 16), tps::Criteria::any()),
+            );
         }
+        // Publishers need no explicit step: minting the handle already
+        // enqueued the channel preparation, executed by this first pump.
+        self.engine.on_start(ctx);
         self.collect_new(ctx);
     }
 
@@ -164,5 +223,9 @@ mod tests {
         assert!(app.received().is_empty());
         assert!(app.sent().is_empty());
         assert_eq!(app.engine().subscription_count(), 0);
+        assert!(
+            app.engine().session().pending_commands() > 0,
+            "handle creation enqueues channel preparation for the first pump"
+        );
     }
 }

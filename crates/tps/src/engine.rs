@@ -12,22 +12,34 @@
 //! * **Connections** — input/output wire pipes and readers, managed through
 //!   the underlying [`JxtaPeer`] (`TPSWireServiceFinder`, `TPSMyInputPipe`,
 //!   `TPSMyOutputPipe`, `TPSPipeReader`).
+//!
+//! Programs normally drive the engine through the v2 session handles
+//! ([`TpsEngine::session`] → [`crate::session::Publisher`] /
+//! [`crate::session::Subscriber`]); the commands those handles enqueue are
+//! drained by [`TpsEngine::pump`] at every lifecycle hook and on a periodic
+//! mailbox timer. The v1 facade ([`crate::interface::TpsInterface`]) calls
+//! the same core operations synchronously, preserving the paper's exact API.
 
 use crate::callback::{TpsCallBack, TpsExceptionHandler};
 use crate::codec;
 use crate::criteria::Criteria;
 use crate::error::PsException;
 use crate::event::{TpsEvent, TypeRegistry};
+use crate::session::{DeliveryFn, Session, SessionCommand, SessionShared};
 use jxta::peer::{is_jxta_timer, PeerConfig};
 use jxta::{
     AdvKind, AnyAdvertisement, JxtaEvent, JxtaPeer, Message, MessageElement, PeerGroup, PeerId,
     PipeAdvertisement, PipeId, SearchFilter, Uuid,
 };
 use simnet::{Datagram, NodeContext, SimAddress, SimDuration};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 /// Timer tag of the periodic advertisement finder.
 pub const TIMER_FINDER: u64 = 0x5450_0001;
+
+/// Timer tag of the periodic session-mailbox drain.
+pub const TIMER_MAILBOX: u64 = 0x5450_0002;
 
 /// Whether a timer tag belongs to the TPS layer.
 pub fn is_tps_timer(tag: u64) -> bool {
@@ -39,7 +51,8 @@ const TPS_NS: &str = "tps";
 
 /// Identifies one registered subscription (one call-back / exception-handler
 /// pair). The paper unsubscribes by passing the call-back object again; in
-/// Rust the id returned by `subscribe` plays that role.
+/// Rust the id returned by `subscribe` (or carried by a
+/// [`crate::session::SubscriptionGuard`]) plays that role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubscriptionId(pub u64);
 
@@ -51,16 +64,28 @@ pub struct TpsConfig {
     /// How often the advertisement finder re-queries the network
     /// (the `SLEEPING_TIME` of the paper's `AdvertisementsFinder`).
     pub finder_interval: SimDuration,
+    /// How often the engine drains the session-command mailbox when no other
+    /// event (datagram, timer) triggers a drain first.
+    pub mailbox_interval: SimDuration,
     /// How many advertisements each remote peer is asked for
     /// (`NUMBER_OF_ADV_PER_PEER`).
     pub adv_threshold: usize,
-    /// Fixed virtual CPU cost of marshalling one event.
+    /// Fixed virtual CPU cost of marshalling one wire message.
     pub marshal_fixed: SimDuration,
     /// Additional marshalling cost per payload byte, in microseconds.
     pub marshal_per_byte_us: u64,
     /// Events smaller than this are padded up to it, so that wire messages
     /// match the paper's 1910-byte message size. `0` disables padding.
     pub target_event_size: usize,
+    /// Maximum number of events kept in each of the sent/received histories
+    /// backing `objects_received` / `objects_sent` (oldest entries are
+    /// evicted first). `0` keeps the histories unbounded, as in the paper.
+    pub history_limit: usize,
+    /// Size of the sliding event-id window used for duplicate suppression
+    /// (oldest ids are forgotten first; a forgotten id arriving again would
+    /// be re-delivered, as with the wire service's bounded dedup). `0` keeps
+    /// the window unbounded.
+    pub dedup_window: usize,
 }
 
 impl TpsConfig {
@@ -69,10 +94,13 @@ impl TpsConfig {
         TpsConfig {
             peer: PeerConfig::edge(name),
             finder_interval: SimDuration::from_secs(10),
+            mailbox_interval: SimDuration::from_millis(50),
             adv_threshold: 10,
             marshal_fixed: SimDuration::from_millis(2),
             marshal_per_byte_us: 1,
             target_event_size: 1910,
+            history_limit: 1024,
+            dedup_window: 8192,
         }
     }
 
@@ -94,14 +122,24 @@ impl TpsConfig {
         self.peer.dissemination = dissemination;
         self
     }
-}
 
-/// A boxed delivery closure: `(actual_type_name, payload)`.
-type DeliveryFn = Box<dyn FnMut(&str, &[u8]) + 'static>;
+    /// Builder-style override of the event-history cap (`0` = unbounded).
+    pub fn with_history_limit(mut self, limit: usize) -> Self {
+        self.history_limit = limit;
+        self
+    }
+
+    /// Builder-style override of the mailbox drain interval.
+    pub fn with_mailbox_interval(mut self, interval: SimDuration) -> Self {
+        self.mailbox_interval = interval;
+        self
+    }
+}
 
 struct Subscription {
     id: SubscriptionId,
     type_name: &'static str,
+    paused: bool,
     deliver: DeliveryFn,
 }
 
@@ -110,6 +148,7 @@ impl std::fmt::Debug for Subscription {
         f.debug_struct("Subscription")
             .field("id", &self.id)
             .field("type_name", &self.type_name)
+            .field("paused", &self.paused)
             .finish()
     }
 }
@@ -124,8 +163,10 @@ struct TypeChannel {
 /// Counters exposed for experiments and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TpsCounters {
-    /// Events handed to `publish`.
+    /// Events handed to `publish` (batched events count individually).
     pub events_published: u64,
+    /// Wire messages sent per type channel (a batch is one message).
+    pub messages_sent: u64,
     /// Event deliveries to local call-backs (one per matching subscription).
     pub events_delivered: u64,
     /// Events received from the network (after duplicate suppression).
@@ -144,9 +185,11 @@ pub struct TpsEngine {
     pipe_to_type: HashMap<PipeId, String>,
     subscriptions: Vec<Subscription>,
     next_subscription: u64,
-    received: Vec<(String, Vec<u8>)>,
-    sent: Vec<(String, Vec<u8>)>,
+    session: Rc<SessionShared>,
+    received: VecDeque<(String, Vec<u8>)>,
+    sent: VecDeque<(String, Vec<u8>)>,
     seen_events: HashSet<Uuid>,
+    seen_order: VecDeque<Uuid>,
     publishers_seen: HashSet<PeerId>,
     counters: TpsCounters,
 }
@@ -163,9 +206,11 @@ impl TpsEngine {
             pipe_to_type: HashMap::new(),
             subscriptions: Vec::new(),
             next_subscription: 0,
-            received: Vec::new(),
-            sent: Vec::new(),
+            session: SessionShared::new(),
+            received: VecDeque::new(),
+            sent: VecDeque::new(),
             seen_events: HashSet::new(),
+            seen_order: VecDeque::new(),
             publishers_seen: HashSet::new(),
             counters: TpsCounters::default(),
         }
@@ -191,9 +236,30 @@ impl TpsEngine {
         self.counters
     }
 
+    /// A cloneable session from which owned [`crate::session::Publisher`] and
+    /// [`crate::session::Subscriber`] handles are minted. Handles enqueue
+    /// commands into this engine's mailbox; the engine drains it at every
+    /// lifecycle hook, on the periodic [`TIMER_MAILBOX`] tick, and whenever
+    /// [`TpsEngine::pump`] is called explicitly.
+    pub fn session(&self) -> Session {
+        Session::new(Rc::clone(&self.session))
+    }
+
     /// The number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
         self.subscriptions.len()
+    }
+
+    /// Total events received from the network so far (after duplicate
+    /// suppression) — a counter, unlike `objects_received` which clones a
+    /// bounded history.
+    pub fn received_count(&self) -> u64 {
+        self.counters.events_received
+    }
+
+    /// Total events published so far (batched events count individually).
+    pub fn sent_count(&self) -> u64 {
+        self.counters.events_published
     }
 
     /// How many distinct publishers have delivered events to this engine so
@@ -216,13 +282,17 @@ impl TpsEngine {
     pub fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
         self.peer.on_start(ctx);
         ctx.set_timer(self.config.finder_interval, TIMER_FINDER);
-        self.drain_jxta(ctx);
+        // The mailbox tick must run even while no handle exists yet: handles
+        // are routinely minted mid-simulation (via `Network::invoke`), and
+        // the tick is what bounds the latency of their first commands.
+        ctx.set_timer(self.config.mailbox_interval, TIMER_MAILBOX);
+        self.pump(ctx);
     }
 
     /// Forwarded from the owning node's `on_datagram`.
     pub fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, datagram: &Datagram) {
         self.peer.on_datagram(ctx, datagram);
-        self.drain_jxta(ctx);
+        self.pump(ctx);
     }
 
     /// Forwarded from the owning node's `on_timer`. Returns `true` if the tag
@@ -234,25 +304,93 @@ impl TpsEngine {
             self.run_finder(ctx);
             ctx.set_timer(self.config.finder_interval, TIMER_FINDER);
             true
+        } else if tag == TIMER_MAILBOX {
+            ctx.set_timer(self.config.mailbox_interval, TIMER_MAILBOX);
+            true
         } else {
             false
         };
-        self.drain_jxta(ctx);
+        self.pump(ctx);
         consumed
     }
 
     /// Forwarded from the owning node's `on_address_changed`.
     pub fn on_address_changed(&mut self, ctx: &mut NodeContext<'_>, old: SimAddress, new: SimAddress) {
         self.peer.on_address_changed(ctx, old, new);
-        self.drain_jxta(ctx);
+        self.pump(ctx);
     }
 
     // ------------------------------------------------------------------
-    // the TPS API (used through `TpsInterface<T>`)
+    // session-command mailbox
+    // ------------------------------------------------------------------
+
+    /// Drains the session-command mailbox (publishes, subscriptions, guard
+    /// drops, pause/resume) and the underlying JXTA event queue. Called from
+    /// every lifecycle hook; call it directly to execute pending handle
+    /// commands at a precise virtual instant (e.g. to measure the publisher's
+    /// invocation time through `ctx.charged()`).
+    pub fn pump(&mut self, ctx: &mut NodeContext<'_>) {
+        let commands = self.session.take_commands();
+        for command in commands {
+            self.execute(ctx, command);
+        }
+        self.drain_jxta(ctx);
+    }
+
+    fn execute(&mut self, ctx: &mut NodeContext<'_>, command: SessionCommand) {
+        match command {
+            SessionCommand::RegisterType {
+                type_name,
+                supertypes,
+            } => {
+                self.registry
+                    .register_raw(type_name, supertypes.iter().map(|s| s.to_string()).collect());
+            }
+            SessionCommand::PreparePublisher { type_name } => {
+                // Publishes go out on the type's channel *and* every ancestor
+                // channel, so eager preparation must cover all of them (the
+                // handle's RegisterType command precedes this one, so the
+                // registry already knows the supertype edges).
+                for ancestor in self.registry.ancestors_of(type_name) {
+                    self.prepare_publisher_channel(ctx, &ancestor);
+                }
+            }
+            SessionCommand::Publish { type_name, payloads } => {
+                if let Err(error) = self.core_publish(ctx, type_name, payloads) {
+                    self.session.record_error(error);
+                }
+            }
+            SessionCommand::Subscribe {
+                id,
+                type_name,
+                deliver,
+            } => {
+                self.core_subscribe(ctx, id, type_name, deliver);
+            }
+            SessionCommand::Unsubscribe { id } => {
+                // A second drop of a cloned handle's guard cannot happen
+                // (guards are not Clone), but a detach-then-engine-restart
+                // might replay; ignore unknown ids.
+                let _ = self.unsubscribe(id);
+            }
+            SessionCommand::Pause { id } => self.set_paused(id, true),
+            SessionCommand::Resume { id } => self.set_paused(id, false),
+        }
+    }
+
+    fn set_paused(&mut self, id: SubscriptionId, paused: bool) {
+        if let Some(subscription) = self.subscriptions.iter_mut().find(|s| s.id == id) {
+            subscription.paused = paused;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // the TPS core (used by the session handles and the v1 facade)
     // ------------------------------------------------------------------
 
     /// Publishes an event; subscribers of the event's type *and of any of its
-    /// supertypes* receive it (Figure 7 semantics).
+    /// supertypes* receive it (Figure 7 semantics). This is the v1 immediate
+    /// path; session publishers route through the same internal core.
     ///
     /// # Errors
     ///
@@ -261,33 +399,44 @@ impl TpsEngine {
     pub fn publish<T: TpsEvent>(&mut self, ctx: &mut NodeContext<'_>, event: &T) -> Result<(), PsException> {
         self.registry.register::<T>();
         let payload = codec::to_vec(event).map_err(|e| PsException::Marshal(e.to_string()))?;
+        self.core_publish(ctx, T::TYPE_NAME, vec![payload])
+    }
+
+    /// Sends `payloads` (already marshalled events of `type_name`) as one
+    /// wire message per type channel: the single shared publish path of the
+    /// v1 facade, the session publisher and the batch publisher.
+    fn core_publish(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        type_name: &str,
+        payloads: Vec<Vec<u8>>,
+    ) -> Result<(), PsException> {
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        let payload_bytes: usize = payloads.iter().map(Vec::len).sum();
         let marshal_cost = self.config.marshal_fixed
-            + SimDuration::from_micros(self.config.marshal_per_byte_us * payload.len() as u64);
+            + SimDuration::from_micros(self.config.marshal_per_byte_us * payload_bytes as u64);
         ctx.charge(marshal_cost);
 
-        let ancestors = self.registry.ancestors_of(T::TYPE_NAME);
+        let ancestors = self.registry.ancestors_of(type_name);
         let event_id = Uuid::generate(ctx.rng());
-        let message = self.build_message(T::TYPE_NAME, &ancestors, event_id, &payload);
+        let message = self.build_message(type_name, &ancestors, event_id, &payloads);
 
-        for type_name in &ancestors {
-            self.ensure_channel(ctx, type_name);
-            let channel = self.channels.get_mut(type_name).expect("channel just ensured");
-            if !channel.output_open {
-                channel.output_open = true;
-                let pipes = channel.pipes.clone();
-                for pipe in &pipes {
-                    self.peer.resolve_wire_output_pipe(ctx, pipe);
-                }
-            }
-            let pipes: Vec<PipeId> = self.channels[type_name].pipes.iter().map(|p| p.pipe_id).collect();
+        for ancestor in &ancestors {
+            self.prepare_publisher_channel(ctx, ancestor);
+            let pipes: Vec<PipeId> = self.channels[ancestor].pipes.iter().map(|p| p.pipe_id).collect();
             for pipe_id in pipes {
                 self.peer
                     .wire_send(ctx, pipe_id, &message)
                     .map_err(PsException::from)?;
             }
+            self.counters.messages_sent += 1;
         }
-        self.sent.push((T::TYPE_NAME.to_owned(), payload));
-        self.counters.events_published += 1;
+        for payload in payloads {
+            self.push_history(HistoryLog::Sent, type_name.to_owned(), payload);
+            self.counters.events_published += 1;
+        }
         Ok(())
     }
 
@@ -299,20 +448,25 @@ impl TpsEngine {
         self.registry.register::<T>();
         let ancestors = self.registry.ancestors_of(T::TYPE_NAME);
         for type_name in &ancestors {
-            self.ensure_channel(ctx, type_name);
-            let channel = self.channels.get_mut(type_name).expect("channel just ensured");
-            if !channel.output_open {
-                channel.output_open = true;
-                let pipes = channel.pipes.clone();
-                for pipe in &pipes {
-                    self.peer.resolve_wire_output_pipe(ctx, pipe);
-                }
+            self.prepare_publisher_channel(ctx, type_name);
+        }
+    }
+
+    fn prepare_publisher_channel(&mut self, ctx: &mut NodeContext<'_>, type_name: &str) {
+        self.ensure_channel(ctx, type_name);
+        let channel = self.channels.get_mut(type_name).expect("channel just ensured");
+        if !channel.output_open {
+            channel.output_open = true;
+            let pipes = channel.pipes.clone();
+            for pipe in &pipes {
+                self.peer.resolve_wire_output_pipe(ctx, pipe);
             }
         }
     }
 
     /// Subscribes to events of type `T` (and its subtypes) with a call-back
-    /// object, an exception handler and a content filter.
+    /// object, an exception handler and a content filter (the v1 immediate
+    /// path; session subscribers route through the same core).
     pub fn subscribe<T: TpsEvent>(
         &mut self,
         ctx: &mut NodeContext<'_>,
@@ -321,7 +475,6 @@ impl TpsEngine {
         criteria: Criteria<T>,
     ) -> SubscriptionId {
         self.registry.register::<T>();
-        self.open_input_channel(ctx, T::TYPE_NAME);
         self.next_subscription += 1;
         let id = SubscriptionId(self.next_subscription);
         let mut callback = callback;
@@ -338,12 +491,26 @@ impl TpsEngine {
                 Err(e) => exception_handler.handle(&PsException::Unmarshal(e.to_string())),
             },
         );
+        self.core_subscribe(ctx, id, T::TYPE_NAME, deliver);
+        id
+    }
+
+    /// Installs a subscription under a caller-chosen id: opens the input
+    /// channel of `type_name` and stores the delivery closure.
+    fn core_subscribe(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        id: SubscriptionId,
+        type_name: &'static str,
+        deliver: DeliveryFn,
+    ) {
+        self.open_input_channel(ctx, type_name);
         self.subscriptions.push(Subscription {
             id,
-            type_name: T::TYPE_NAME,
+            type_name,
+            paused: false,
             deliver,
         });
-        id
     }
 
     /// Removes one subscription; the paper's `unsubscribe(cb, exh)`.
@@ -371,19 +538,21 @@ impl TpsEngine {
         self.subscriptions.retain(|s| s.type_name != T::TYPE_NAME);
     }
 
-    /// Every event received so far that is of type `T` (or a subtype),
-    /// decoded as `T` — the paper's `objectsReceived()`.
+    /// Every event in the (bounded, see [`TpsConfig::history_limit`]) receive
+    /// history that is of type `T` (or a subtype), decoded as `T` — the
+    /// paper's `objectsReceived()`. Prefer [`TpsEngine::received_count`] when
+    /// only the number matters.
     pub fn objects_received<T: TpsEvent>(&self) -> Vec<T> {
         self.project::<T>(&self.received)
     }
 
-    /// Every event sent so far that is of type `T` (or a subtype), decoded as
-    /// `T` — the paper's `objectsSent()`.
+    /// Every event in the (bounded) send history that is of type `T` (or a
+    /// subtype), decoded as `T` — the paper's `objectsSent()`.
     pub fn objects_sent<T: TpsEvent>(&self) -> Vec<T> {
         self.project::<T>(&self.sent)
     }
 
-    fn project<T: TpsEvent>(&self, log: &[(String, Vec<u8>)]) -> Vec<T> {
+    fn project<T: TpsEvent>(&self, log: &VecDeque<(String, Vec<u8>)>) -> Vec<T> {
         log.iter()
             .filter(|(actual, _)| self.registry.is_subtype_of(actual, T::TYPE_NAME))
             .filter_map(|(_, payload)| codec::from_slice::<T>(payload).ok())
@@ -394,12 +563,46 @@ impl TpsEngine {
     // internals
     // ------------------------------------------------------------------
 
-    fn build_message(&self, actual: &str, ancestors: &[String], event_id: Uuid, payload: &[u8]) -> Message {
+    fn push_history(&mut self, log: HistoryLog, type_name: String, payload: Vec<u8>) {
+        let limit = self.config.history_limit;
+        let log = match log {
+            HistoryLog::Sent => &mut self.sent,
+            HistoryLog::Received => &mut self.received,
+        };
+        log.push_back((type_name, payload));
+        if limit > 0 {
+            while log.len() > limit {
+                log.pop_front();
+            }
+        }
+    }
+
+    fn build_message(
+        &self,
+        actual: &str,
+        ancestors: &[String],
+        event_id: Uuid,
+        payloads: &[Vec<u8>],
+    ) -> Message {
         let mut message = Message::new();
         message.add(MessageElement::text(TPS_NS, "ActualType", actual));
         message.add(MessageElement::text(TPS_NS, "Supertypes", ancestors.join(",")));
         message.add(MessageElement::text(TPS_NS, "EventId", event_id.to_hex()));
-        message.add(MessageElement::binary(TPS_NS, "Payload", payload.to_vec()));
+        if payloads.len() == 1 {
+            // Paper-identical single-event layout.
+            message.add(MessageElement::binary(TPS_NS, "Payload", payloads[0].clone()));
+        } else {
+            // Batched layout: a count plus one indexed payload per event,
+            // unwrapped back into individual events at the subscriber edge.
+            message.add(MessageElement::text(TPS_NS, "Count", payloads.len().to_string()));
+            for (index, payload) in payloads.iter().enumerate() {
+                message.add(MessageElement::binary(
+                    TPS_NS,
+                    format!("Payload{index}"),
+                    payload.clone(),
+                ));
+            }
+        }
         if self.config.target_event_size > 0 {
             let current = message.wire_size();
             if current < self.config.target_event_size {
@@ -408,6 +611,22 @@ impl TpsEngine {
             }
         }
         message
+    }
+
+    /// The payloads carried by a TPS wire message: the single `Payload`
+    /// element, or the indexed `Payload0..N` elements of a batch.
+    fn message_payloads(message: &Message) -> Vec<Vec<u8>> {
+        if let Some(single) = message.element(TPS_NS, "Payload") {
+            return vec![single.body.to_vec()];
+        }
+        let count = message
+            .element_text(TPS_NS, "Count")
+            .and_then(|c| c.parse::<usize>().ok())
+            .unwrap_or(0);
+        (0..count)
+            .filter_map(|index| message.element(TPS_NS, &format!("Payload{index}")))
+            .map(|element| element.body.to_vec())
+            .collect()
     }
 
     fn open_input_channel(&mut self, ctx: &mut NodeContext<'_>, type_name: &str) {
@@ -521,9 +740,10 @@ impl TpsEngine {
         let Some(actual) = message.element_text(TPS_NS, "ActualType") else {
             return;
         };
-        let Some(payload) = message.element(TPS_NS, "Payload").map(|e| e.body.to_vec()) else {
+        let payloads = Self::message_payloads(message);
+        if payloads.is_empty() {
             return;
-        };
+        }
         // Learn the hierarchy the publisher declared, so that objects_received
         // and subtype matching work even for types not linked locally.
         if let Some(supertypes) = message.element_text(TPS_NS, "Supertypes") {
@@ -534,25 +754,46 @@ impl TpsEngine {
                 .collect();
             self.registry.register_raw(&actual, ancestors);
         }
-        // Duplicate suppression by event id (the event may arrive on several
-        // of the type's pipes, or through several propagation paths).
+        // Duplicate suppression by event id (the message may arrive on several
+        // of the type's pipes, or through several propagation paths; a batch
+        // is suppressed as a unit).
         if let Some(id_hex) = message.element_text(TPS_NS, "EventId") {
             if let Ok(id) = Uuid::from_hex(&id_hex) {
                 if !self.seen_events.insert(id) {
-                    self.counters.duplicates_dropped += 1;
+                    self.counters.duplicates_dropped += payloads.len() as u64;
                     return;
+                }
+                // Sliding dedup window (same shape as the wire service's):
+                // bounded memory under sustained traffic.
+                self.seen_order.push_back(id);
+                if self.config.dedup_window > 0 {
+                    while self.seen_order.len() > self.config.dedup_window {
+                        if let Some(old) = self.seen_order.pop_front() {
+                            self.seen_events.remove(&old);
+                        }
+                    }
                 }
             }
         }
-        self.counters.events_received += 1;
-        self.received.push((actual.clone(), payload.clone()));
-        for subscription in &mut self.subscriptions {
-            if self.registry.is_subtype_of(&actual, subscription.type_name) {
-                (subscription.deliver)(&actual, &payload);
-                self.counters.events_delivered += 1;
+        // Unwrap the (possibly batched) message into individual events at
+        // the subscriber edge.
+        for payload in payloads {
+            self.counters.events_received += 1;
+            self.push_history(HistoryLog::Received, actual.clone(), payload.clone());
+            for subscription in &mut self.subscriptions {
+                if !subscription.paused && self.registry.is_subtype_of(&actual, subscription.type_name) {
+                    (subscription.deliver)(&actual, &payload);
+                    self.counters.events_delivered += 1;
+                }
             }
         }
     }
+}
+
+/// Which bounded history [`TpsEngine::push_history`] appends to.
+enum HistoryLog {
+    Sent,
+    Received,
 }
 
 #[cfg(test)]
@@ -576,6 +817,8 @@ mod tests {
         assert_eq!(config.target_event_size, 1910);
         assert_eq!(config.adv_threshold, 10);
         assert!(config.finder_interval > SimDuration::ZERO);
+        assert!(config.mailbox_interval > SimDuration::ZERO);
+        assert_eq!(config.history_limit, 1024);
     }
 
     #[test]
@@ -585,6 +828,8 @@ mod tests {
         assert!(engine.registry().knows("SkiRental"));
         assert_eq!(engine.subscription_count(), 0);
         assert_eq!(engine.counters(), TpsCounters::default());
+        assert_eq!(engine.received_count(), 0);
+        assert_eq!(engine.sent_count(), 0);
         assert_eq!(engine.peer().peer_id(), jxta::PeerId::derive("alice"));
     }
 
@@ -618,6 +863,7 @@ mod tests {
     #[test]
     fn timer_tag_spaces_do_not_overlap() {
         assert!(is_tps_timer(TIMER_FINDER));
+        assert!(is_tps_timer(TIMER_MAILBOX));
         assert!(!is_tps_timer(jxta::TIMER_HOUSEKEEPING));
         assert!(!jxta::is_jxta_timer(TIMER_FINDER));
     }
@@ -634,10 +880,63 @@ mod tests {
             "SkiRental",
             &["SkiRental".to_owned()],
             Uuid::derive("e"),
-            &payload,
+            std::slice::from_ref(&payload),
         );
         assert!(message.wire_size() >= 1910);
         assert!(message.wire_size() < 1910 + 64);
+    }
+
+    #[test]
+    fn batch_messages_round_trip_their_payloads() {
+        let engine = TpsEngine::new(TpsConfig::new("alice"));
+        let payloads: Vec<Vec<u8>> = (0..5)
+            .map(|i| {
+                codec::to_vec(&SkiRental {
+                    shop: format!("shop-{i}"),
+                    price: i as f32,
+                })
+                .unwrap()
+            })
+            .collect();
+        let message = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("batch"),
+            &payloads,
+        );
+        assert_eq!(TpsEngine::message_payloads(&message), payloads);
+        // Single-event messages keep the paper's layout.
+        let single = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("one"),
+            &payloads[..1],
+        );
+        assert!(single.element(TPS_NS, "Payload").is_some());
+        assert_eq!(TpsEngine::message_payloads(&single), payloads[..1].to_vec());
+    }
+
+    #[test]
+    fn history_limit_bounds_the_event_logs() {
+        let mut engine = TpsEngine::new(TpsConfig::new("alice").with_history_limit(3));
+        for i in 0..10 {
+            let payload = codec::to_vec(&SkiRental {
+                shop: format!("s{i}"),
+                price: i as f32,
+            })
+            .unwrap();
+            engine.push_history(HistoryLog::Received, "SkiRental".to_owned(), payload);
+        }
+        engine.registry.register::<SkiRental>();
+        let view = engine.objects_received::<SkiRental>();
+        assert_eq!(view.len(), 3, "history must be capped at the limit");
+        assert_eq!(view[0].shop, "s7", "oldest entries are evicted first");
+        // limit 0 = unbounded (the paper's semantics)
+        let mut unbounded = TpsEngine::new(TpsConfig::new("bob").with_history_limit(0));
+        for i in 0..10 {
+            unbounded.push_history(HistoryLog::Sent, "SkiRental".to_owned(), vec![i]);
+        }
+        assert_eq!(unbounded.sent.len(), 10);
     }
 
     // The callback type-checking below is a compile-time property: the engine
@@ -656,6 +955,7 @@ mod tests {
         engine.subscriptions.push(Subscription {
             id,
             type_name: SkiRental::TYPE_NAME,
+            paused: false,
             deliver: Box::new(move |_a, p| match codec::from_slice::<SkiRental>(p) {
                 Ok(ev) => {
                     if criteria.accepts(&ev) {
@@ -686,12 +986,17 @@ mod tests {
             price: 99.0,
         })
         .unwrap();
-        let msg1 = engine.build_message("SkiRental", &["SkiRental".to_owned()], Uuid::derive("e1"), &cheap);
+        let msg1 = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("e1"),
+            std::slice::from_ref(&cheap),
+        );
         let msg2 = engine.build_message(
             "SkiRental",
             &["SkiRental".to_owned()],
             Uuid::derive("e2"),
-            &pricey,
+            std::slice::from_ref(&pricey),
         );
         let publisher = jxta::PeerId::derive("remote-shop");
         engine.handle_wire_message(pipe.pipe_id, publisher, &msg1);
@@ -707,6 +1012,139 @@ mod tests {
         assert_eq!(engine.counters().events_received, 2);
         assert_eq!(engine.counters().duplicates_dropped, 1);
         assert_eq!(engine.objects_received::<SkiRental>().len(), 2);
+        assert_eq!(engine.received_count(), 2);
         assert_eq!(engine.distinct_publishers(), 1);
+    }
+
+    #[test]
+    fn batched_wire_message_delivers_every_event_and_dedups_as_a_unit() {
+        let mut engine = TpsEngine::new(TpsConfig::new("alice"));
+        engine.registry.register::<SkiRental>();
+        let (cb, sink) = CollectingCallback::<SkiRental>::new();
+        let mut callback = cb;
+        engine.subscriptions.push(Subscription {
+            id: SubscriptionId(1),
+            type_name: SkiRental::TYPE_NAME,
+            paused: false,
+            deliver: Box::new(move |_a, p| {
+                if let Ok(ev) = codec::from_slice::<SkiRental>(p) {
+                    let _ = callback.handle(ev);
+                }
+            }),
+        });
+        let pipe = PeerGroup::for_event_type("SkiRental", jxta::PeerId::derive("x"))
+            .wire_pipe()
+            .unwrap()
+            .clone();
+        engine.pipe_to_type.insert(pipe.pipe_id, "SkiRental".to_owned());
+        let payloads: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                codec::to_vec(&SkiRental {
+                    shop: format!("s{i}"),
+                    price: i as f32,
+                })
+                .unwrap()
+            })
+            .collect();
+        let batch = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("batch"),
+            &payloads,
+        );
+        let publisher = jxta::PeerId::derive("remote-shop");
+        engine.handle_wire_message(pipe.pipe_id, publisher, &batch);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &batch); // duplicate batch
+
+        assert_eq!(sink.borrow().len(), 4, "each batched event is delivered once");
+        assert_eq!(engine.counters().events_received, 4);
+        assert_eq!(engine.counters().duplicates_dropped, 4);
+        let order: Vec<String> = sink.borrow().iter().map(|e| e.shop.clone()).collect();
+        assert_eq!(order, vec!["s0", "s1", "s2", "s3"], "batch order is preserved");
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_and_slides() {
+        let mut engine = TpsEngine::new(TpsConfig::new("alice"));
+        engine.config.dedup_window = 2;
+        engine.registry.register::<SkiRental>();
+        let pipe = PeerGroup::for_event_type("SkiRental", jxta::PeerId::derive("x"))
+            .wire_pipe()
+            .unwrap()
+            .clone();
+        engine.pipe_to_type.insert(pipe.pipe_id, "SkiRental".to_owned());
+        let payload = codec::to_vec(&SkiRental {
+            shop: "a".into(),
+            price: 1.0,
+        })
+        .unwrap();
+        let publisher = jxta::PeerId::derive("remote-shop");
+        let msg = |engine: &TpsEngine, tag: &str| {
+            engine.build_message(
+                "SkiRental",
+                &["SkiRental".to_owned()],
+                Uuid::derive(tag),
+                std::slice::from_ref(&payload),
+            )
+        };
+        let e1 = msg(&engine, "e1");
+        engine.handle_wire_message(pipe.pipe_id, publisher, &e1);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &e1); // in-window dup
+        assert_eq!(engine.counters().duplicates_dropped, 1);
+        for tag in ["e2", "e3"] {
+            engine.handle_wire_message(pipe.pipe_id, publisher, &msg(&engine, tag));
+        }
+        assert!(engine.seen_events.len() <= 2, "window stays bounded");
+        // e1 slid out of the window: replaying it is no longer suppressed.
+        engine.handle_wire_message(pipe.pipe_id, publisher, &e1);
+        assert_eq!(engine.counters().duplicates_dropped, 1);
+        assert_eq!(engine.counters().events_received, 4);
+    }
+
+    #[test]
+    fn paused_subscriptions_skip_delivery_but_keep_history() {
+        let mut engine = TpsEngine::new(TpsConfig::new("alice"));
+        engine.registry.register::<SkiRental>();
+        let (cb, sink) = CollectingCallback::<SkiRental>::new();
+        let mut callback = cb;
+        engine.subscriptions.push(Subscription {
+            id: SubscriptionId(1),
+            type_name: SkiRental::TYPE_NAME,
+            paused: false,
+            deliver: Box::new(move |_a, p| {
+                if let Ok(ev) = codec::from_slice::<SkiRental>(p) {
+                    let _ = callback.handle(ev);
+                }
+            }),
+        });
+        let pipe = PeerGroup::for_event_type("SkiRental", jxta::PeerId::derive("x"))
+            .wire_pipe()
+            .unwrap()
+            .clone();
+        engine.pipe_to_type.insert(pipe.pipe_id, "SkiRental".to_owned());
+        let payload = codec::to_vec(&SkiRental {
+            shop: "a".into(),
+            price: 1.0,
+        })
+        .unwrap();
+        let publisher = jxta::PeerId::derive("remote-shop");
+        let send = |engine: &mut TpsEngine, tag: &str| {
+            let msg = engine.build_message(
+                "SkiRental",
+                &["SkiRental".to_owned()],
+                Uuid::derive(tag),
+                std::slice::from_ref(&payload),
+            );
+            engine.handle_wire_message(pipe.pipe_id, publisher, &msg);
+        };
+        send(&mut engine, "e1");
+        engine.set_paused(SubscriptionId(1), true);
+        send(&mut engine, "e2");
+        send(&mut engine, "e3");
+        engine.set_paused(SubscriptionId(1), false);
+        send(&mut engine, "e4");
+        assert_eq!(sink.borrow().len(), 2, "paused window events are not delivered");
+        assert_eq!(engine.received_count(), 4, "the engine still receives everything");
+        assert_eq!(engine.objects_received::<SkiRental>().len(), 4);
     }
 }

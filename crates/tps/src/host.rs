@@ -29,6 +29,14 @@ impl TpsHost {
     pub fn boxed(config: TpsConfig) -> Box<Self> {
         Box::new(Self::new(config))
     }
+
+    /// A session for minting owned [`crate::session::Publisher`] /
+    /// [`crate::session::Subscriber`] handles; the handles may be moved out
+    /// of the simulation (e.g. returned from `Network::invoke`) and used
+    /// between `run_for` calls.
+    pub fn session(&self) -> crate::session::Session {
+        self.engine.session()
+    }
 }
 
 impl SimNode for TpsHost {
@@ -60,9 +68,7 @@ impl SimNode for TpsHost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::callback::{CollectingCallback, IgnoreExceptions};
     use crate::event::TpsEvent;
-    use crate::interface::TpsInterfaceExt;
     use jxta::peer::{CostModel, PeerConfig};
     use serde::{Deserialize, Serialize};
     use simnet::{NetworkBuilder, NodeConfig, SimDuration, SubnetId, TransportKind};
@@ -104,35 +110,24 @@ mod tests {
         let mut net = builder.build();
         net.run_for(SimDuration::from_secs(2));
 
-        // Subscribe on one peer, publish on the other.
-        net.invoke::<TpsHost, _>(subscriber, |host, ctx| {
-            let (cb, _sink) = CollectingCallback::<SkiRental>::new();
-            host.engine
-                .interface::<SkiRental>()
-                .subscribe(ctx, cb, IgnoreExceptions);
-        });
+        // v2 handles: mint them inside the simulation, hold them outside it.
+        let inbox =
+            net.invoke::<TpsHost, _>(subscriber, |host, _ctx| host.session().subscriber::<SkiRental>());
+        let _guard = inbox.subscribe_pull();
         net.run_for(SimDuration::from_secs(15));
-        net.invoke::<TpsHost, _>(publisher, |host, ctx| {
-            host.engine
-                .interface::<SkiRental>()
-                .publish(
-                    ctx,
-                    SkiRental {
-                        shop: "XTremShop".into(),
-                        price: 14.0,
-                        brand: "Salomon".into(),
-                        number_of_days: 100.0,
-                    },
-                )
-                .unwrap();
-        });
+        let offers =
+            net.invoke::<TpsHost, _>(publisher, |host, _ctx| host.session().publisher::<SkiRental>());
+        offers
+            .publish(&SkiRental {
+                shop: "XTremShop".into(),
+                price: 14.0,
+                brand: "Salomon".into(),
+                number_of_days: 100.0,
+            })
+            .unwrap();
         net.run_for(SimDuration::from_secs(10));
 
-        let received = net
-            .node_ref::<TpsHost>(subscriber)
-            .unwrap()
-            .engine
-            .objects_received::<SkiRental>();
+        let received = inbox.drain();
         assert_eq!(
             received.len(),
             1,

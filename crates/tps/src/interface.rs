@@ -1,4 +1,5 @@
-//! The typed facade over the engine: the paper's `TPSInterface<Type>`.
+//! The v1 typed facade over the engine: the paper's `TPSInterface<Type>`,
+//! kept as a **paper-fidelity adapter** over the v2 core.
 //!
 //! ```text
 //! public interface TPSInterface<Type> {
@@ -15,7 +16,14 @@
 //! The Rust rendition is a short-lived typed view borrowed from the
 //! [`TpsEngine`] (obtained with [`TpsEngine::interface`] via
 //! [`TpsInterfaceExt`]); subscriptions are identified by the
-//! [`SubscriptionId`] returned at subscribe time.
+//! [`SubscriptionId`] returned at subscribe time. Because the view borrows
+//! the engine mutably, only one interface can exist at a time — that
+//! restriction (absent from the Java original, which hands out callback
+//! objects) is exactly what the owned-handle session API
+//! ([`crate::session`]) removes. New code should prefer
+//! [`TpsEngine::session`](crate::engine::TpsEngine::session); this facade
+//! stays for literal method-by-method correspondence with the published API
+//! and routes through the same publish/subscribe core as the handles.
 
 use crate::callback::{TpsCallBack, TpsExceptionHandler};
 use crate::criteria::Criteria;
@@ -25,9 +33,14 @@ use crate::event::TpsEvent;
 use simnet::NodeContext;
 use std::marker::PhantomData;
 
-/// A boxed call-back / exception-handler pair, as accepted by
-/// [`TpsInterface::subscribe_many`].
-pub type CallbackPair<T> = (Box<dyn TpsCallBack<T>>, Box<dyn TpsExceptionHandler<T>>);
+/// A boxed call-back / exception-handler pair with an optional content
+/// filter, as accepted by [`TpsInterface::subscribe_many`] (`None` filters
+/// nothing, like the paper's `null` criteria).
+pub type CallbackPair<T> = (
+    Box<dyn TpsCallBack<T>>,
+    Box<dyn TpsExceptionHandler<T>>,
+    Option<Criteria<T>>,
+);
 
 /// A typed view over a [`TpsEngine`] for one event type.
 pub struct TpsInterface<'e, T: TpsEvent> {
@@ -91,6 +104,7 @@ impl<'e, T: TpsEvent> TpsInterface<'e, T> {
 
     /// Registers several call-back objects at once, "to handle the events in
     /// different ways" (method (3): console + GUI in the paper's example).
+    /// Each pair carries its own optional content filter.
     pub fn subscribe_many(
         &mut self,
         ctx: &mut NodeContext<'_>,
@@ -98,9 +112,13 @@ impl<'e, T: TpsEvent> TpsInterface<'e, T> {
     ) -> Vec<SubscriptionId> {
         pairs
             .into_iter()
-            .map(|(cb, exh)| {
-                self.engine
-                    .subscribe(ctx, BoxedCallback(cb), BoxedHandler(exh), Criteria::any())
+            .map(|(cb, exh, criteria)| {
+                self.engine.subscribe(
+                    ctx,
+                    BoxedCallback(cb),
+                    BoxedHandler(exh),
+                    criteria.unwrap_or_default(),
+                )
             })
             .collect()
     }
@@ -119,12 +137,13 @@ impl<'e, T: TpsEvent> TpsInterface<'e, T> {
         self.engine.unsubscribe_type::<T>();
     }
 
-    /// The events of this type received so far (method (6)).
+    /// The events of this type received so far (method (6); a bounded view,
+    /// see [`crate::TpsConfig::history_limit`]).
     pub fn objects_received(&self) -> Vec<T> {
         self.engine.objects_received::<T>()
     }
 
-    /// The events of this type sent so far (method (7)).
+    /// The events of this type sent so far (method (7); a bounded view).
     pub fn objects_sent(&self) -> Vec<T> {
         self.engine.objects_sent::<T>()
     }

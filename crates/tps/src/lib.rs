@@ -13,22 +13,40 @@
 //! * Subscribers to a type also receive instances of its declared subtypes
 //!   (the paper's Figure 7), structurally projected onto the supertype by a
 //!   tolerant self-describing codec ([`codec`]).
-//! * The programmer-facing API is the paper's `TPSEngine` / `TPSInterface`
-//!   pair: [`TpsEngine`] plus the typed facade [`TpsInterface`], with
-//!   call-back objects, exception handlers and content-filtering
-//!   [`Criteria`].
+//! * The programmer-facing API is the v2 **session** layer: owned, cloneable
+//!   typed handles ([`Publisher`], [`Subscriber`]) minted from
+//!   [`TpsEngine::session`], with callback *and* pull-mode consumption,
+//!   drop-to-unsubscribe [`SubscriptionGuard`]s and batched publication
+//!   ([`Publisher::publish_batch`]).
 //!
-//! ## The four phases of a TPS application (paper Figure 14)
+//! ## The four phases of a TPS application (paper Figure 14, v2 handles)
 //!
 //! 1. **Type definition** — define a serde-serialisable type and implement
 //!    [`TpsEvent`].
 //! 2. **Initialisation** — create a [`TpsEngine`] (one per peer) and take a
-//!    typed [`TpsInterface`] from it.
-//! 3. **Subscription** — `subscribe(callback, exception_handler)`.
-//! 4. **Publication** — `publish(instance)`.
+//!    [`Session`] from it; mint as many [`Publisher<T>`] and
+//!    [`Subscriber<T>`] handles as the application needs. Handles do not
+//!    borrow the engine: they enqueue commands into the engine's mailbox,
+//!    drained at the next simulation tick, so they can be held alongside one
+//!    another and across simulation steps.
+//! 3. **Subscription** — `subscriber.subscribe(callback, exception_handler)`
+//!    for the paper's push style, or `subscriber.subscribe_pull()` to
+//!    consume events at the application's own pace with
+//!    [`Subscriber::try_recv`] / [`Subscriber::drain`]. Both return a
+//!    [`SubscriptionGuard`]: dropping it unsubscribes, and
+//!    `pause()`/`resume()` suspend delivery without losing the subscription.
+//! 4. **Publication** — `publisher.publish(&instance)`, or
+//!    `publisher.publish_batch(&instances)` to marshal many events into one
+//!    wire message.
+//!
+//! The paper's original `TPSEngine`/`TPSInterface` borrow-based pair is kept
+//! verbatim as a thin **paper-fidelity adapter** over the same core:
+//! [`TpsInterface`] (via [`TpsInterfaceExt::interface`]) exposes methods
+//! (1)–(7) of the published API and routes them through the identical
+//! publish/subscribe internals the session handles use.
 //!
 //! See `examples/quickstart.rs` at the workspace root for the full runnable
-//! version of the paper's ski-rental walk-through.
+//! version of the paper's ski-rental walk-through on the v2 handles.
 #![warn(rust_2018_idioms)]
 
 pub mod callback;
@@ -39,6 +57,7 @@ pub mod error;
 pub mod event;
 pub mod host;
 pub mod interface;
+pub mod session;
 
 pub use jxta::{DisseminationConfig, StrategyKind};
 
@@ -47,8 +66,11 @@ pub use callback::{
     TpsCallBack, TpsExceptionHandler,
 };
 pub use criteria::Criteria;
-pub use engine::{is_tps_timer, SubscriptionId, TpsConfig, TpsCounters, TpsEngine, TIMER_FINDER};
+pub use engine::{
+    is_tps_timer, SubscriptionId, TpsConfig, TpsCounters, TpsEngine, TIMER_FINDER, TIMER_MAILBOX,
+};
 pub use error::{CallBackException, PsException};
 pub use event::{TpsEvent, TypeRegistry};
 pub use host::TpsHost;
-pub use interface::{TpsInterface, TpsInterfaceExt};
+pub use interface::{CallbackPair, TpsInterface, TpsInterfaceExt};
+pub use session::{MailboxPolicy, OverflowPolicy, Publisher, Session, Subscriber, SubscriptionGuard};

@@ -1,12 +1,14 @@
 //! A small decoupled chat application over TPS: every participant both
 //! publishes and subscribes to `ChatMessage`, illustrating the many-to-many
-//! (space- and time-decoupled) interaction the paper motivates.
+//! (space- and time-decoupled) interaction the paper motivates — and the v2
+//! handle model, where one node holds a `Publisher` *and* a `Subscriber`
+//! simultaneously (impossible with the v1 borrow-based facade).
 //!
 //! Run with `cargo run --example chat_room`.
 
 use serde::{Deserialize, Serialize};
 use simnet::{NetworkBuilder, NodeConfig, SimAddress, SimDuration, SubnetId, TransportKind};
-use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEvent, TpsHost, TpsInterfaceExt};
+use tps::{Publisher, Subscriber, TpsConfig, TpsEvent, TpsHost};
 
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 struct ChatMessage {
@@ -37,42 +39,34 @@ fn main() {
     let mut net = builder.build();
     net.run_for(SimDuration::from_secs(2));
 
-    // Everyone subscribes.
+    // Every participant holds both ends of the room.
+    let mut mouths: Vec<Publisher<ChatMessage>> = Vec::new();
+    let mut ears: Vec<Subscriber<ChatMessage>> = Vec::new();
+    let mut guards = Vec::new();
     for peer in &peers {
-        net.invoke::<TpsHost, _>(*peer, |host, ctx| {
-            let (callback, _sink) = CollectingCallback::<ChatMessage>::new();
-            host.engine
-                .interface::<ChatMessage>()
-                .subscribe(ctx, callback, IgnoreExceptions);
-        });
+        let session = net.invoke::<TpsHost, _>(*peer, |host, _| host.session());
+        mouths.push(session.publisher::<ChatMessage>());
+        let ear = session.subscriber::<ChatMessage>();
+        guards.push(ear.subscribe_pull());
+        ears.push(ear);
     }
     net.run_for(SimDuration::from_secs(15));
 
-    // Everyone says hello.
-    for (index, peer) in peers.iter().enumerate() {
+    // Everyone says hello, straight through the owned handles.
+    for (index, mouth) in mouths.iter().enumerate() {
         let from = names[index].to_owned();
-        net.invoke::<TpsHost, _>(*peer, |host, ctx| {
-            host.engine
-                .interface::<ChatMessage>()
-                .publish(
-                    ctx,
-                    ChatMessage {
-                        from: from.clone(),
-                        body: format!("hello from {from}"),
-                    },
-                )
-                .unwrap();
-        });
+        mouth
+            .publish(&ChatMessage {
+                body: format!("hello from {from}"),
+                from,
+            })
+            .unwrap();
         net.run_for(SimDuration::from_secs(2));
     }
     net.run_for(SimDuration::from_secs(10));
 
-    for (index, peer) in peers.iter().enumerate() {
-        let inbox = net
-            .node_ref::<TpsHost>(*peer)
-            .unwrap()
-            .engine
-            .objects_received::<ChatMessage>();
+    for (index, ear) in ears.iter().enumerate() {
+        let inbox = ear.drain();
         println!("{} received {} messages", names[index], inbox.len());
         // Each participant hears the two others (publishers do not receive
         // their own events, as with a JXTA wire pipe).

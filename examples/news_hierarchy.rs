@@ -1,12 +1,12 @@
 //! Subtype delivery (the paper's Figure 7): a subscriber to a *supertype*
 //! receives instances of every subtype, structurally projected onto the
-//! supertype's fields.
+//! supertype's fields — consumed here through a v2 pull-mode subscriber.
 //!
 //! Run with `cargo run --example news_hierarchy`.
 
 use serde::{Deserialize, Serialize};
 use simnet::{NetworkBuilder, NodeConfig, SimAddress, SimDuration, SubnetId, TransportKind};
-use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEvent, TpsHost, TpsInterfaceExt};
+use tps::{TpsConfig, TpsEvent, TpsHost};
 
 /// The root of the hierarchy (type `A` in Figure 7).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -61,60 +61,45 @@ fn main() {
     let mut net = builder.build();
     net.run_for(SimDuration::from_secs(2));
 
-    // The reader subscribes only to the *root* type.
-    net.invoke::<TpsHost, _>(reader, |host, ctx| {
-        host.engine.register_type::<SportsNews>();
-        host.engine.register_type::<SkiRaceResult>();
-        let (callback, _sink) = CollectingCallback::<NewsItem>::new();
-        host.engine
-            .interface::<NewsItem>()
-            .subscribe(ctx, callback, IgnoreExceptions);
-    });
+    // The reader session registers the whole hierarchy (so the subtype
+    // relation is known locally) but subscribes only to the *root* type.
+    let reader_session = net.invoke::<TpsHost, _>(reader, |host, _| host.session());
+    reader_session.register::<SportsNews>();
+    reader_session.register::<SkiRaceResult>();
+    let inbox = reader_session.subscriber::<NewsItem>();
+    let _guard = inbox.subscribe_pull();
     net.run_for(SimDuration::from_secs(15));
 
-    // The agency publishes instances of the whole hierarchy.
-    net.invoke::<TpsHost, _>(agency, |host, ctx| {
-        host.engine
-            .interface::<NewsItem>()
-            .publish(
-                ctx,
-                NewsItem {
-                    headline: "P2P acclaimed by jury of peers".into(),
-                    importance: 3,
-                },
-            )
-            .unwrap();
-        host.engine
-            .interface::<SportsNews>()
-            .publish(
-                ctx,
-                SportsNews {
-                    headline: "Ski season opens".into(),
-                    importance: 5,
-                    discipline: "alpine".into(),
-                },
-            )
-            .unwrap();
-        host.engine
-            .interface::<SkiRaceResult>()
-            .publish(
-                ctx,
-                SkiRaceResult {
-                    headline: "Lauberhorn downhill".into(),
-                    importance: 9,
-                    discipline: "downhill".into(),
-                    winner: "A. Racer".into(),
-                },
-            )
-            .unwrap();
-    });
+    // The agency holds one publisher handle per hierarchy level — coexisting
+    // on the same node, something the v1 borrow-based facade cannot express.
+    let agency_session = net.invoke::<TpsHost, _>(agency, |host, _| host.session());
+    let news_desk = agency_session.publisher::<NewsItem>();
+    let sports_desk = agency_session.publisher::<SportsNews>();
+    let race_desk = agency_session.publisher::<SkiRaceResult>();
+    news_desk
+        .publish(&NewsItem {
+            headline: "P2P acclaimed by jury of peers".into(),
+            importance: 3,
+        })
+        .unwrap();
+    sports_desk
+        .publish(&SportsNews {
+            headline: "Ski season opens".into(),
+            importance: 5,
+            discipline: "alpine".into(),
+        })
+        .unwrap();
+    race_desk
+        .publish(&SkiRaceResult {
+            headline: "Lauberhorn downhill".into(),
+            importance: 9,
+            discipline: "downhill".into(),
+            winner: "A. Racer".into(),
+        })
+        .unwrap();
     net.run_for(SimDuration::from_secs(10));
 
-    let items = net
-        .node_ref::<TpsHost>(reader)
-        .unwrap()
-        .engine
-        .objects_received::<NewsItem>();
+    let items = inbox.drain();
     println!(
         "reader subscribed to NewsItem only and received {} items:",
         items.len()

@@ -1,13 +1,20 @@
-//! Quickstart: the paper's four programming phases (Figure 14) in ~40 lines
-//! of user code.
+//! Quickstart: the paper's four programming phases (Figure 14) on the v2
+//! session handles, in ~40 lines of user code.
 //!
-//! 1. type definition, 2. initialisation, 3. subscription, 4. publication.
+//! 1. type definition, 2. initialisation (mint owned handles),
+//! 3. subscription (pull mode + guard), 4. publication.
+//!
+//! The handles do not borrow the engine: they are minted inside the
+//! simulation but *held outside it*, enqueueing commands that the engine
+//! drains at its next tick. The paper's original borrow-based
+//! `TPSInterface` is kept as `TpsEngine::interface::<T>()` for
+//! method-by-method fidelity with the published API.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use serde::{Deserialize, Serialize};
 use simnet::{NetworkBuilder, NodeConfig, SimAddress, SimDuration, SubnetId, TransportKind};
-use tps::{CollectingCallback, IgnoreExceptions, TpsConfig, TpsEvent, TpsHost, TpsInterfaceExt};
+use tps::{TpsConfig, TpsEvent, TpsHost};
 
 // ---- phase 1: type definition ------------------------------------------------
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -23,7 +30,7 @@ impl TpsEvent for SkiRental {
 }
 
 fn main() {
-    // ---- phase 2: initialisation (one engine per peer) -----------------------
+    // ---- phase 2: initialisation (one engine per peer, owned handles) --------
     let mut builder = NetworkBuilder::new(42);
     let _rdv = builder.add_node(
         TpsHost::boxed(TpsConfig::new("rdv").with_peer(jxta::PeerConfig::rendezvous("rdv"))),
@@ -41,37 +48,27 @@ fn main() {
     let mut net = builder.build();
     net.run_for(SimDuration::from_secs(2));
 
-    // ---- phase 3: subscription ------------------------------------------------
-    net.invoke::<TpsHost, _>(skier, |host, ctx| {
-        let (callback, _sink) = CollectingCallback::<SkiRental>::new();
-        host.engine
-            .interface::<SkiRental>()
-            .subscribe(ctx, callback, IgnoreExceptions);
-    });
+    // A publisher handle on the shop, a subscriber handle on the skier. Both
+    // are owned values living *outside* the simulated network.
+    let offers = net.invoke::<TpsHost, _>(shop, |host, _| host.session().publisher::<SkiRental>());
+    let inbox = net.invoke::<TpsHost, _>(skier, |host, _| host.session().subscriber::<SkiRental>());
+
+    // ---- phase 3: subscription (pull mode; the guard owns the subscription) ---
+    let guard = inbox.subscribe_pull();
     net.run_for(SimDuration::from_secs(15));
 
     // ---- phase 4: publication -------------------------------------------------
-    net.invoke::<TpsHost, _>(shop, |host, ctx| {
-        host.engine
-            .interface::<SkiRental>()
-            .publish(
-                ctx,
-                SkiRental {
-                    shop: "XTremShop".into(),
-                    price: 14.0,
-                    brand: "Salomon".into(),
-                    number_of_days: 100.0,
-                },
-            )
-            .expect("publish failed");
-    });
+    offers
+        .publish(&SkiRental {
+            shop: "XTremShop".into(),
+            price: 14.0,
+            brand: "Salomon".into(),
+            number_of_days: 100.0,
+        })
+        .expect("publish failed");
     net.run_for(SimDuration::from_secs(10));
 
-    let received = net
-        .node_ref::<TpsHost>(skier)
-        .unwrap()
-        .engine
-        .objects_received::<SkiRental>();
+    let received = inbox.drain();
     println!("skier received {} offer(s):", received.len());
     for offer in &received {
         println!(
@@ -80,4 +77,16 @@ fn main() {
         );
     }
     assert_eq!(received.len(), 1);
+
+    // Dropping the guard unsubscribes at the skier's next tick.
+    drop(guard);
+    net.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        net.node_ref::<TpsHost>(skier)
+            .unwrap()
+            .engine
+            .subscription_count(),
+        0,
+        "dropping the guard must unsubscribe"
+    );
 }

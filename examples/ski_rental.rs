@@ -33,6 +33,18 @@ fn main() {
         "final count: {} offers received by the skier",
         scenario.received_count(0)
     );
+
+    // v2 batching: shop 0 pushes its whole Monday-morning catalogue as one
+    // wire message (one connection service per listener for the entire
+    // batch, instead of one per offer).
+    let before = scenario.received_count(0);
+    let charged = scenario.publish_batch(0, 8);
+    scenario.advance(SimDuration::from_secs(10));
+    println!(
+        "batch of 8 offers published in {:.1} ms of publisher time; skier received {} more",
+        charged.as_millis_f64(),
+        scenario.received_count(0) - before
+    );
     println!("network stats: {}", scenario.network().total_stats());
     assert!(scenario.received_count(0) >= 10);
 }
