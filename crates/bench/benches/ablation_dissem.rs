@@ -1,19 +1,25 @@
 //! Ablation A4: dissemination-strategy sweep. Re-runs the Figure 18
 //! experiment (publisher-side invocation time) under each dissemination
-//! strategy at 1–32 subscribers.
+//! strategy at 1–32 subscribers, plus the sharded rendezvous-mesh series at
+//! N ∈ {1, 2, 4, 8} shards.
 //!
 //! The interesting output is the *virtual* invocation time table printed
 //! before the wall-clock samples: DirectFanout grows linearly with the
 //! subscriber count (the paper's Figure 18 trend), RendezvousTree stays flat
 //! (the publisher sends O(1) copies and the fan-out cost moves to the
-//! rendezvous), and Gossip sits in between, governed by its fanout.
+//! rendezvous), RendezvousMesh stays flat too *and* splits the rendezvous
+//! fan-out across shards, and Gossip sits in between, governed by its
+//! fanout. The mesh table shows publisher copies independent of the
+//! subscriber count while the per-rendezvous fan-out shrinks ≈ subscribers/N
+//! (plus the N-1 mesh links).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ski_rental::harness::{dissemination_comparison, invocation_time_with_dissemination};
+use ski_rental::harness::{dissemination_comparison, invocation_time_with_dissemination, mesh_fanout_report};
 use ski_rental::{DisseminationConfig, Flavor, StrategyKind};
 use std::time::Duration;
 
 const SUBSCRIBER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const MESH_SHARDS: [usize; 4] = [1, 2, 4, 8];
 const EVENTS: usize = 5;
 const SEED: u64 = 2002;
 
@@ -37,8 +43,31 @@ fn virtual_time_table() {
     }
 }
 
+fn mesh_series_table() {
+    println!("\nrendezvous-mesh cost structure (16 subscribers unless noted, seed {SEED})");
+    println!(
+        "{:>7} {:>12} {:>15} {:>17} {:>11} {:>10}",
+        "shards", "subscribers", "pub copies", "max rdv fan-out", "max leases", "delivered"
+    );
+    for &shards in &MESH_SHARDS {
+        for &subs in &[16usize, 32] {
+            let report = mesh_fanout_report(subs, shards, EVENTS, SEED);
+            println!(
+                "{:>7} {:>12} {:>15} {:>17} {:>11} {:>9.0}%",
+                report.shards,
+                report.subscribers,
+                report.publisher_copies,
+                report.max_rendezvous_fanout,
+                report.max_rendezvous_clients,
+                report.delivered_ratio * 100.0
+            );
+        }
+    }
+}
+
 fn bench(c: &mut Criterion) {
     virtual_time_table();
+    mesh_series_table();
     let mut group = c.benchmark_group("ablation_dissem");
     group.sample_size(10).measurement_time(Duration::from_secs(5));
     for kind in StrategyKind::ALL {
@@ -55,6 +84,11 @@ fn bench(c: &mut Criterion) {
                 })
             });
         }
+    }
+    for shards in MESH_SHARDS {
+        group.bench_with_input(BenchmarkId::new("mesh-shards", shards), &shards, |b, &shards| {
+            b.iter(|| mesh_fanout_report(16, shards, EVENTS, SEED))
+        });
     }
     group.finish();
 }

@@ -7,13 +7,19 @@
 //! [`DisseminationStrategy`] decides, per publish, which copies go to which
 //! next hops, and, per received copy, where it is forwarded.
 //!
-//! Three strategies ship today:
+//! Four strategies ship today:
 //!
 //! * [`DirectFanout`] — the paper-faithful baseline: one unicast per bound
 //!   listener; rendezvous peers re-propagate down their client leases.
 //! * [`RendezvousTree`] — edge publishers send **one** copy to their
 //!   rendezvous, which fans out down its client-lease tree. Publisher-side
 //!   invocation time becomes O(1) in the subscriber count.
+//! * [`RendezvousMesh`] — the sharded generalisation of the tree: subscribers
+//!   are sharded by peer-id hash across N rendezvous peers joined by a full
+//!   mesh of rendezvous-to-rendezvous links. Publishers still send one copy
+//!   (to their own shard's rendezvous); that rendezvous forwards once across
+//!   the mesh before fanning down its client leases, so the per-rendezvous
+//!   fan-out shrinks to ≈ subscribers/N while the publisher cost stays O(1).
 //! * [`Gossip`] — probabilistic forwarding with configurable fanout and TTL;
 //!   duplicate copies are suppressed by the receivers' existing per-pipe
 //!   seen-windows.
@@ -38,15 +44,19 @@ pub enum StrategyKind {
     DirectFanout,
     /// One copy to the rendezvous, which fans out down its lease tree.
     RendezvousTree,
+    /// Sharded rendezvous trees joined by rendezvous-to-rendezvous mesh
+    /// links; one publisher copy, per-rendezvous fan-out ≈ subscribers/N.
+    RendezvousMesh,
     /// Probabilistic forwarding with bounded fanout and TTL.
     Gossip,
 }
 
 impl StrategyKind {
     /// All strategies, in ablation order.
-    pub const ALL: [StrategyKind; 3] = [
+    pub const ALL: [StrategyKind; 4] = [
         StrategyKind::DirectFanout,
         StrategyKind::RendezvousTree,
+        StrategyKind::RendezvousMesh,
         StrategyKind::Gossip,
     ];
 
@@ -55,6 +65,7 @@ impl StrategyKind {
         match self {
             StrategyKind::DirectFanout => "direct-fanout",
             StrategyKind::RendezvousTree => "rendezvous-tree",
+            StrategyKind::RendezvousMesh => "rendezvous-mesh",
             StrategyKind::Gossip => "gossip",
         }
     }
@@ -79,6 +90,11 @@ pub struct DisseminationConfig {
     pub gossip_fanout: usize,
     /// Gossip only: hop budget of forwarded copies.
     pub gossip_ttl: u8,
+    /// RendezvousMesh only: how many rendezvous shards the deployment runs.
+    /// Edge peers hash themselves ([`shard_index`]) onto one of the first
+    /// `mesh_shards` seed rendezvous addresses they can reach (clamped to
+    /// the number of usable seeds); `0` everywhere else.
+    pub mesh_shards: usize,
 }
 
 impl Default for DisseminationConfig {
@@ -94,6 +110,7 @@ impl DisseminationConfig {
             kind: StrategyKind::DirectFanout,
             gossip_fanout: 0,
             gossip_ttl: 0,
+            mesh_shards: 0,
         }
     }
 
@@ -103,6 +120,19 @@ impl DisseminationConfig {
             kind: StrategyKind::RendezvousTree,
             gossip_fanout: 0,
             gossip_ttl: 0,
+            mesh_shards: 0,
+        }
+    }
+
+    /// Sharded rendezvous-mesh propagation over `shards` rendezvous peers.
+    /// `shards == 1` degenerates to [`DisseminationConfig::rendezvous_tree`]
+    /// semantics (no mesh links).
+    pub fn rendezvous_mesh(shards: usize) -> Self {
+        DisseminationConfig {
+            kind: StrategyKind::RendezvousMesh,
+            gossip_fanout: 0,
+            gossip_ttl: 0,
+            mesh_shards: shards.max(1),
         }
     }
 
@@ -112,6 +142,7 @@ impl DisseminationConfig {
             kind: StrategyKind::Gossip,
             gossip_fanout: fanout,
             gossip_ttl: ttl,
+            mesh_shards: 0,
         }
     }
 
@@ -125,6 +156,7 @@ impl DisseminationConfig {
         match kind {
             StrategyKind::DirectFanout => DisseminationConfig::direct_fanout(),
             StrategyKind::RendezvousTree => DisseminationConfig::rendezvous_tree(),
+            StrategyKind::RendezvousMesh => DisseminationConfig::rendezvous_mesh(4),
             StrategyKind::Gossip => DisseminationConfig::gossip(4, 4),
         }
     }
@@ -134,6 +166,7 @@ impl DisseminationConfig {
         match self.kind {
             StrategyKind::DirectFanout => Box::new(DirectFanout),
             StrategyKind::RendezvousTree => Box::new(RendezvousTree),
+            StrategyKind::RendezvousMesh => Box::new(RendezvousMesh),
             StrategyKind::Gossip => Box::new(Gossip {
                 fanout: self.gossip_fanout.max(1),
                 ttl: self.gossip_ttl,
@@ -156,6 +189,10 @@ pub struct NeighborView<P> {
     /// The clients currently holding leases with this peer (rendezvous role),
     /// in deterministic order.
     pub clients: Vec<P>,
+    /// The other rendezvous peers this peer keeps mesh links with
+    /// (rendezvous role, [`RendezvousMesh`] deployments), in deterministic
+    /// order. Empty everywhere else.
+    pub mesh_links: Vec<P>,
     /// The listeners bound to the output pipe being published on (publisher
     /// side; empty on pure forwarding hops).
     pub listeners: Vec<P>,
@@ -325,6 +362,121 @@ impl<P: Copy + Eq + Ord + fmt::Debug> DisseminationStrategy<P> for RendezvousTre
 }
 
 // ---------------------------------------------------------------------------
+// RendezvousMesh
+// ---------------------------------------------------------------------------
+
+/// Sharded rendezvous trees joined by a full mesh of
+/// rendezvous-to-rendezvous links.
+///
+/// Subscribers (and publishers) are sharded across N rendezvous peers by a
+/// hash of their peer id ([`shard_index`]); each edge holds a lease with
+/// exactly one shard. A publish costs the edge publisher **one** copy — to
+/// its own rendezvous — exactly as under [`RendezvousTree`]. The receiving
+/// rendezvous recognises the origin as one of its own lease clients and
+/// forwards the copy across every mesh link *and* down its local client
+/// leases; the other rendezvous peers see an origin that is not their client
+/// (the copy arrived over a mesh link) and fan down their local leases only.
+/// Redundant mesh copies (full-mesh echoes) are absorbed by the receivers'
+/// existing seen-windows.
+///
+/// Cost profile per event: publisher O(1); origin's rendezvous
+/// ≈ subscribers/N + (N-1) mesh links; every other rendezvous
+/// ≈ subscribers/N. Killing one rendezvous loses only its shard's in-flight
+/// events — the churn tests drive exactly that scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RendezvousMesh;
+
+impl<P: Copy + Eq + Ord + fmt::Debug> DisseminationStrategy<P> for RendezvousMesh {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::RendezvousMesh
+    }
+
+    fn plan_publish(&mut self, view: &NeighborView<P>, _rng: &mut dyn RngCore) -> PublishPlan<P> {
+        if view.is_rendezvous {
+            // A publishing rendezvous is its own shard's root: one copy per
+            // local client plus one per mesh link.
+            let mut unicast: Vec<P> = view
+                .clients
+                .iter()
+                .chain(view.mesh_links.iter())
+                .copied()
+                .filter(|&p| p != view.local)
+                .collect();
+            unicast.sort();
+            unicast.dedup();
+            return PublishPlan {
+                propagate: unicast.is_empty(),
+                ttl: view.ttl_budget,
+                unicast,
+            };
+        }
+        match view.rendezvous {
+            // One copy to the shard's rendezvous — publisher cost stays O(1)
+            // in both the subscriber count and the shard count.
+            Some(rendezvous) => PublishPlan {
+                unicast: vec![rendezvous],
+                propagate: false,
+                ttl: view.ttl_budget,
+            },
+            // Disconnected edge: fall back to the baseline so isolated or
+            // multicast-only deployments still deliver.
+            None => listener_fanout_plan(view),
+        }
+    }
+
+    fn plan_forward(
+        &mut self,
+        view: &NeighborView<P>,
+        origin: P,
+        ttl: u8,
+        _rng: &mut dyn RngCore,
+    ) -> ForwardPlan<P> {
+        if !view.is_rendezvous || ttl == 0 {
+            return ForwardPlan::none();
+        }
+        let mut forward: Vec<P> = view
+            .clients
+            .iter()
+            .copied()
+            .filter(|&p| p != origin && p != view.local)
+            .collect();
+        // Only the origin's own rendezvous relays across the mesh: a copy
+        // whose origin is not a local client arrived *over* a mesh link and
+        // fans down the local shard only. This keeps the mesh traffic at
+        // N-1 copies per event instead of (N-1)^2 echoes (which the
+        // seen-window would drop anyway, at the cost of burnt bandwidth).
+        if view.clients.contains(&origin) {
+            forward.extend(
+                view.mesh_links
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != origin && p != view.local),
+            );
+            forward.sort();
+            forward.dedup();
+        }
+        ForwardPlan { forward }
+    }
+}
+
+/// Which of `shards` rendezvous shards a peer with the given id hash belongs
+/// to. Deterministic and uniform in the hash; every layer (edge connect-time
+/// shard selection, harness topology builder, tests) uses this one function
+/// so shard assignment cannot drift between them.
+pub fn shard_index(id_hash: u128, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    // Splitmix-style finalizer so that structured ids (derived from
+    // sequential names) still spread uniformly.
+    let mut z = (id_hash as u64) ^ ((id_hash >> 64) as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+// ---------------------------------------------------------------------------
 // Gossip
 // ---------------------------------------------------------------------------
 
@@ -395,13 +547,14 @@ impl<P: Copy + Eq + Ord + fmt::Debug> DisseminationStrategy<P> for Gossip {
 }
 
 /// The deduplicated overlay neighbours of the local peer: bound listeners,
-/// the lease clients (rendezvous role) and the connected rendezvous (edge
-/// role), minus the local peer and `exclude`.
+/// the lease clients and mesh links (rendezvous role) and the connected
+/// rendezvous (edge role), minus the local peer and `exclude`.
 fn neighbors<P: Copy + Eq + Ord>(view: &NeighborView<P>, exclude: Option<P>) -> Vec<P> {
     let mut all: Vec<P> = view
         .listeners
         .iter()
         .chain(view.clients.iter())
+        .chain(view.mesh_links.iter())
         .chain(view.rendezvous.iter())
         .copied()
         .filter(|&p| p != view.local && Some(p) != exclude)
@@ -458,6 +611,7 @@ mod tests {
             is_rendezvous,
             rendezvous: None,
             clients: vec![],
+            mesh_links: vec![],
             listeners: vec![],
             ttl_budget: 3,
         }
@@ -531,6 +685,82 @@ mod tests {
     }
 
     #[test]
+    fn mesh_edge_publisher_sends_one_copy_to_its_shard() {
+        let mut strategy = RendezvousMesh;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(1, false);
+        v.rendezvous = Some(9);
+        v.listeners = vec![2, 3, 4, 5, 6, 7, 8];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(
+            plan.unicast,
+            vec![9],
+            "publisher cost is O(1) whatever the subscriber or shard count"
+        );
+        assert!(!plan.propagate);
+
+        // Disconnected edges fall back to the listener baseline.
+        v.rendezvous = None;
+        let fallback = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(fallback.unicast.len(), 7);
+    }
+
+    #[test]
+    fn mesh_origin_rendezvous_relays_to_mesh_and_clients() {
+        let mut strategy = RendezvousMesh;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(10, true);
+        v.clients = vec![1, 2, 3];
+        v.mesh_links = vec![11, 12];
+        // Origin 1 is a local client: this rendezvous is its shard root —
+        // relay across the mesh and fan down the other local leases.
+        let plan = strategy.plan_forward(&v, 1, 2, &mut rng);
+        assert_eq!(plan.forward, vec![2, 3, 11, 12]);
+        // Origin 7 is not a local client: the copy arrived over a mesh link
+        // — fan down the local shard only, never back into the mesh.
+        let plan = strategy.plan_forward(&v, 7, 2, &mut rng);
+        assert_eq!(plan.forward, vec![1, 2, 3]);
+        // Edge peers and exhausted TTLs never forward.
+        assert!(strategy
+            .plan_forward(&view(1, false), 1, 2, &mut rng)
+            .forward
+            .is_empty());
+        assert!(strategy.plan_forward(&v, 1, 0, &mut rng).forward.is_empty());
+    }
+
+    #[test]
+    fn mesh_publishing_rendezvous_covers_clients_and_mesh() {
+        let mut strategy = RendezvousMesh;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = view(10, true);
+        v.clients = vec![1, 2];
+        v.mesh_links = vec![11];
+        let plan = strategy.plan_publish(&v, &mut rng);
+        assert_eq!(plan.unicast, vec![1, 2, 11]);
+        assert!(!plan.propagate);
+    }
+
+    #[test]
+    fn shard_index_is_stable_bounded_and_spread() {
+        assert_eq!(shard_index(12345, 1), 0);
+        assert_eq!(shard_index(12345, 0), 0);
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for i in 0..1_000u128 {
+                let shard = shard_index(i * 0x1_0000_0001, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, shard_index(i * 0x1_0000_0001, shards), "deterministic");
+                counts[shard] += 1;
+            }
+            let expected = 1_000 / shards;
+            assert!(
+                counts.iter().all(|&c| c > expected / 2 && c < expected * 2),
+                "{shards} shards spread badly: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
     fn gossip_respects_fanout_and_ttl() {
         let mut strategy = Gossip { fanout: 2, ttl: 4 };
         let mut rng = StdRng::seed_from_u64(42);
@@ -572,6 +802,7 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(StrategyKind::DirectFanout.to_string(), "direct-fanout");
         assert_eq!(StrategyKind::RendezvousTree.to_string(), "rendezvous-tree");
+        assert_eq!(StrategyKind::RendezvousMesh.to_string(), "rendezvous-mesh");
         assert_eq!(StrategyKind::Gossip.to_string(), "gossip");
     }
 }

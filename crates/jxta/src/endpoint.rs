@@ -59,6 +59,17 @@ pub enum WireMessage {
         /// Lease duration in virtual milliseconds.
         lease_ms: u64,
     },
+    /// A rendezvous announcing itself to a fellow rendezvous, establishing
+    /// (or refreshing) a rendezvous-to-rendezvous mesh link for sharded
+    /// deployments. `ack` breaks the hello ping-pong: a hello (`ack: false`)
+    /// is answered with the receiver's own announcement (`ack: true`), which
+    /// is never answered again.
+    MeshLink {
+        /// The announcing rendezvous peer's advertisement (id + endpoints).
+        peer: PeerAdvertisement,
+        /// Whether this announcement answers a received hello.
+        ack: bool,
+    },
     /// An unsolicited advertisement push (`remotePublish`).
     Publish {
         /// The advertisement being pushed, as XML.
@@ -84,6 +95,7 @@ impl WireMessage {
             WireMessage::ResolverResponse(_) => "resolver-response",
             WireMessage::RendezvousConnect { .. } => "rdv-connect",
             WireMessage::RendezvousLease { .. } => "rdv-lease",
+            WireMessage::MeshLink { .. } => "mesh-link",
             WireMessage::Publish { .. } => "publish",
             WireMessage::WireData(_) => "wire-data",
             WireMessage::Relay { .. } => "relay",
@@ -107,6 +119,14 @@ impl WireMessage {
             }
             WireMessage::RendezvousConnect { peer } => {
                 msg.add(MessageElement::xml(NAMESPACE, "PeerAdv", peer.to_xml().to_xml()));
+            }
+            WireMessage::MeshLink { peer, ack } => {
+                msg.add(MessageElement::xml(NAMESPACE, "PeerAdv", peer.to_xml().to_xml()));
+                msg.add(MessageElement::text(
+                    NAMESPACE,
+                    "Ack",
+                    if *ack { "true" } else { "false" },
+                ));
             }
             WireMessage::RendezvousLease {
                 rdv,
@@ -182,6 +202,13 @@ impl WireMessage {
                 let xml = crate::xml::XmlElement::parse(&text("PeerAdv")?)?;
                 Ok(WireMessage::RendezvousConnect {
                     peer: PeerAdvertisement::from_xml(&xml)?,
+                })
+            }
+            "mesh-link" => {
+                let xml = crate::xml::XmlElement::parse(&text("PeerAdv")?)?;
+                Ok(WireMessage::MeshLink {
+                    peer: PeerAdvertisement::from_xml(&xml)?,
+                    ack: text("Ack")? == "true",
                 })
             }
             "rdv-lease" => Ok(WireMessage::RendezvousLease {
@@ -351,6 +378,10 @@ mod tests {
                 peer: adv("alice", vec![SimAddress::new(TransportKind::Tcp, 1, 9701)]),
             },
             WireMessage::RendezvousLease { rdv: PeerId::derive("rdv"), granted: true, lease_ms: 30_000 },
+            WireMessage::MeshLink {
+                peer: adv("rdv-1", vec![SimAddress::new(TransportKind::Tcp, 2, 9701)]),
+                ack: true,
+            },
             WireMessage::Publish { adv_xml: "<jxta:PipeAdvertisement><Id>urn:jxta:pipe-00000000000000000000000000000000</Id><Type>JxtaWire</Type><Name>x</Name></jxta:PipeAdvertisement>".into(), src_peer: PeerId::derive("p") },
             WireMessage::WireData(WirePacket {
                 pipe_id: PipeId::derive("ski"),

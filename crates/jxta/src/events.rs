@@ -45,6 +45,12 @@ pub enum JxtaEvent {
         /// The rendezvous peer.
         rdv: PeerId,
     },
+    /// This rendezvous established a new mesh link to a fellow rendezvous
+    /// (sharded rendezvous-mesh deployments).
+    MeshLinked {
+        /// The newly linked rendezvous peer.
+        rdv: PeerId,
+    },
     /// A membership response arrived for a group this peer applied to.
     MembershipResult {
         /// The group concerned.

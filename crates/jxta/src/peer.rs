@@ -689,9 +689,10 @@ impl JxtaPeer {
     /// Resolves the freshest usable address for `peer`: learned routes first
     /// (kept current by re-published peer advertisements after address
     /// changes), then the endpoints frozen in `frozen` (a pipe binding or a
-    /// client lease), then our rendezvous connection if `peer` is our
-    /// rendezvous. Shared by the publish and forward paths so the priority
-    /// order cannot drift between them.
+    /// client lease), then a rendezvous-to-rendezvous mesh link, then our
+    /// rendezvous connection if `peer` is our rendezvous. Shared by the
+    /// publish and forward paths so the priority order cannot drift between
+    /// them.
     fn wire_peer_address(&self, peer: PeerId, frozen: Option<&[SimAddress]>) -> Option<SimAddress> {
         self.endpoint
             .best_address(peer, &self.local_transports)
@@ -703,6 +704,7 @@ impl JxtaPeer {
                         .find(|a| self.local_transports.contains(&a.transport))
                 })
             })
+            .or_else(|| self.rendezvous.mesh_link_address(peer))
             .or_else(|| {
                 self.rendezvous
                     .connection()
@@ -794,17 +796,59 @@ impl JxtaPeer {
 
     fn connect_to_rendezvous(&mut self, ctx: &mut NodeContext<'_>) {
         if self.rendezvous.is_rendezvous() {
+            // A rendezvous uses its seeds as fellow rendezvous: announce
+            // mesh links to each (hello; answered with an ack announcement).
+            self.announce_mesh_links(ctx);
             return;
         }
-        let seeds = self.rendezvous.seed_addresses().to_vec();
+        // Only seeds this peer can actually reach participate; filtering
+        // *before* shard selection keeps mixed-transport deployments working
+        // (hashing onto an unreachable seed would strand the edge).
+        let seeds: Vec<SimAddress> = self
+            .rendezvous
+            .seed_addresses()
+            .iter()
+            .copied()
+            .filter(|seed| self.local_transports.contains(&seed.transport))
+            .collect();
         if seeds.is_empty() {
             return;
         }
         let wm = WireMessage::RendezvousConnect {
             peer: self.peer_advertisement(ctx),
         };
+        // Under the sharded rendezvous mesh every edge leases with exactly
+        // one rendezvous — the shard its peer-id hashes to among the first
+        // `mesh_shards` usable seeds. Every other strategy keeps the
+        // original behaviour (try every seed; the last granted lease wins,
+        // which on a single-rendezvous deployment is the only one).
+        let shard_seeds: Vec<SimAddress> =
+            if self.config.dissemination.kind == dissem::StrategyKind::RendezvousMesh {
+                let shards = seeds.len().min(self.config.dissemination.mesh_shards.max(1));
+                vec![seeds[dissem::shard_index(self.peer_id.0 .0, shards)]]
+            } else {
+                seeds
+            };
+        for seed in shard_seeds {
+            self.transmit(ctx, seed, &wm);
+        }
+    }
+
+    /// Sends a mesh-link announcement to every seed address (rendezvous role
+    /// only). Called from `on_start` and from housekeeping, so links heal
+    /// after a peer rendezvous is killed and revived.
+    fn announce_mesh_links(&mut self, ctx: &mut NodeContext<'_>) {
+        let seeds = self.rendezvous.seed_addresses().to_vec();
+        if seeds.is_empty() {
+            return;
+        }
+        let local_addresses = ctx.local_addresses().to_vec();
+        let wm = WireMessage::MeshLink {
+            peer: self.peer_advertisement(ctx),
+            ack: false,
+        };
         for seed in seeds {
-            if self.local_transports.contains(&seed.transport) {
+            if self.local_transports.contains(&seed.transport) && !local_addresses.contains(&seed) {
                 self.transmit(ctx, seed, &wm);
             }
         }
@@ -824,6 +868,7 @@ impl JxtaPeer {
             WireMessage::ResolverQuery(query) => self.handle_resolver_query(ctx, query),
             WireMessage::ResolverResponse(response) => self.handle_resolver_response(ctx, response),
             WireMessage::RendezvousConnect { peer } => self.handle_rdv_connect(ctx, peer, reply_addr),
+            WireMessage::MeshLink { peer, ack } => self.handle_mesh_link(ctx, peer, ack, reply_addr),
             WireMessage::RendezvousLease {
                 rdv,
                 granted,
@@ -868,6 +913,41 @@ impl JxtaPeer {
             .or(reply_addr);
         if let Some(addr) = target {
             self.transmit(ctx, addr, &response);
+        }
+    }
+
+    fn handle_mesh_link(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        peer: PeerAdvertisement,
+        ack: bool,
+        reply_addr: Option<SimAddress>,
+    ) {
+        // Only rendezvous peers keep mesh links, and only with other
+        // rendezvous peers (the advertisement carries the role flag).
+        if !self.rendezvous.is_rendezvous() || !peer.is_rendezvous || peer.peer_id == self.peer_id {
+            return;
+        }
+        let address = peer
+            .endpoints
+            .iter()
+            .copied()
+            .find(|a| self.local_transports.contains(&a.transport))
+            .or(reply_addr);
+        let Some(address) = address else { return };
+        let fresh = self.rendezvous.add_mesh_link(peer.peer_id, address);
+        self.endpoint.learn_from_peer_adv(&peer);
+        if fresh {
+            self.events.push(JxtaEvent::MeshLinked { rdv: peer.peer_id });
+        }
+        if !ack {
+            // Answer a hello with our own announcement so the link is
+            // bidirectional; acks are never answered (no ping-pong).
+            let response = WireMessage::MeshLink {
+                peer: self.peer_advertisement(ctx),
+                ack: true,
+            };
+            self.transmit(ctx, address, &response);
         }
     }
 

@@ -42,6 +42,7 @@ pub struct RendezvousService {
     is_rendezvous: bool,
     seed_addresses: Vec<SimAddress>,
     clients: BTreeMap<PeerId, ClientLease>,
+    mesh_links: BTreeMap<PeerId, SimAddress>,
     connection: Option<RendezvousConnection>,
     seen: HashMap<Uuid, SimTime>,
     seen_order: VecDeque<Uuid>,
@@ -57,6 +58,7 @@ impl RendezvousService {
             is_rendezvous,
             seed_addresses,
             clients: BTreeMap::new(),
+            mesh_links: BTreeMap::new(),
             connection: None,
             seen: HashMap::new(),
             seen_order: VecDeque::new(),
@@ -115,6 +117,44 @@ impl RendezvousService {
     /// The endpoints a connected client registered, if it is connected.
     pub fn client_endpoints(&self, peer: PeerId) -> Option<&[SimAddress]> {
         self.clients.get(&peer).map(|l| l.endpoints.as_slice())
+    }
+
+    // ------------------------------------------------------------------
+    // rendezvous-to-rendezvous mesh links (sharded deployments)
+    // ------------------------------------------------------------------
+
+    /// Records (or refreshes) a mesh link to a fellow rendezvous peer.
+    /// Returns `true` the first time the peer is seen. Mesh links are
+    /// address-scoped, not leased: they are refreshed by the periodic mesh
+    /// hello and only dropped explicitly ([`RendezvousService::remove_mesh_link`]).
+    pub fn add_mesh_link(&mut self, peer: PeerId, address: SimAddress) -> bool {
+        self.mesh_links.insert(peer, address).is_none()
+    }
+
+    /// Drops a mesh link (fault handling, topology change).
+    pub fn remove_mesh_link(&mut self, peer: PeerId) {
+        self.mesh_links.remove(&peer);
+    }
+
+    /// The ids of the rendezvous peers this peer keeps mesh links with, in
+    /// deterministic (peer-id) order.
+    pub fn mesh_link_ids(&self) -> Vec<PeerId> {
+        self.mesh_links.keys().copied().collect()
+    }
+
+    /// The address a mesh-linked rendezvous peer is reached at.
+    pub fn mesh_link_address(&self, peer: PeerId) -> Option<SimAddress> {
+        self.mesh_links.get(&peer).copied()
+    }
+
+    /// Whether `peer` is a mesh-linked rendezvous.
+    pub fn has_mesh_link(&self, peer: PeerId) -> bool {
+        self.mesh_links.contains_key(&peer)
+    }
+
+    /// Number of live mesh links.
+    pub fn mesh_degree(&self) -> usize {
+        self.mesh_links.len()
     }
 
     /// Removes expired client leases; returns how many were dropped.
@@ -241,6 +281,50 @@ mod tests {
         }
         // The very first id fell out of the window, so it is "new" again.
         assert!(!rdv.seen_before(Uuid::derive("m0"), SimTime::ZERO));
+    }
+
+    #[test]
+    fn mesh_links_register_refresh_and_drop() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        let peer = PeerId::derive("rdv-2");
+        assert!(rdv.add_mesh_link(peer, addr(2)));
+        assert!(!rdv.add_mesh_link(peer, addr(3)), "refresh is not a new link");
+        assert_eq!(rdv.mesh_link_address(peer), Some(addr(3)));
+        assert!(rdv.has_mesh_link(peer));
+        assert_eq!(rdv.mesh_degree(), 1);
+        assert_eq!(rdv.mesh_link_ids(), vec![peer]);
+        rdv.remove_mesh_link(peer);
+        assert!(!rdv.has_mesh_link(peer));
+        assert_eq!(rdv.mesh_degree(), 0);
+    }
+
+    /// Regression test for the seen-window eviction edge: two *distinct* ids
+    /// arriving exactly as the window reaches capacity must evict only the
+    /// oldest filler entries — never each other.
+    #[test]
+    fn seen_window_at_capacity_keeps_both_newest_entries() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        for i in 0..(SEEN_WINDOW - 1) {
+            rdv.seen_before(Uuid::derive(&format!("filler-{i}")), SimTime::ZERO);
+        }
+        let a = Uuid::derive("edge-a");
+        let b = Uuid::derive("edge-b");
+        // `a` lands exactly at capacity, `b` one past it (evicting filler-0).
+        assert!(!rdv.seen_before(a, SimTime::ZERO));
+        assert!(!rdv.seen_before(b, SimTime::ZERO));
+        assert!(rdv.seen_before(a, SimTime::ZERO), "a must survive b's arrival");
+        assert!(rdv.seen_before(b, SimTime::ZERO), "b must survive a's re-check");
+        assert!(
+            !rdv.seen_before(Uuid::derive("filler-0"), SimTime::ZERO),
+            "only the oldest filler entries leave the window"
+        );
+        assert!(
+            rdv.seen_before(
+                Uuid::derive(&format!("filler-{}", SEEN_WINDOW - 2)),
+                SimTime::ZERO
+            ),
+            "recent fillers stay"
+        );
     }
 
     #[test]

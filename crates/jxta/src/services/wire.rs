@@ -153,6 +153,7 @@ impl WireService {
             is_rendezvous: rendezvous.is_rendezvous(),
             rendezvous: rendezvous.connection().map(|c| c.peer),
             clients: rendezvous.client_ids(),
+            mesh_links: rendezvous.mesh_link_ids(),
             listeners,
             ttl_budget,
         }
@@ -303,6 +304,33 @@ mod tests {
             wire.seen_before(pipe, Uuid::derive(&format!("m{i}")));
         }
         assert!(!wire.seen_before(pipe, Uuid::derive("m0")));
+    }
+
+    /// Regression test for the dedup-window eviction edge: two *distinct*
+    /// events arriving exactly as the window reaches capacity must evict
+    /// only the oldest entries — never each other.
+    #[test]
+    fn dedup_window_at_capacity_keeps_both_newest_events() {
+        let mut wire = WireService::new();
+        let pipe = PipeId::derive("a");
+        for i in 0..(DEDUP_WINDOW - 1) {
+            wire.seen_before(pipe, Uuid::derive(&format!("filler-{i}")));
+        }
+        let a = Uuid::derive("edge-a");
+        let b = Uuid::derive("edge-b");
+        // `a` lands exactly at capacity, `b` one past it.
+        assert!(!wire.seen_before(pipe, a));
+        assert!(!wire.seen_before(pipe, b));
+        assert!(wire.seen_before(pipe, a), "a must survive b's arrival");
+        assert!(wire.seen_before(pipe, b), "b must survive a's re-check");
+        assert!(
+            !wire.seen_before(pipe, Uuid::derive("filler-0")),
+            "only the oldest filler leaves the window"
+        );
+        assert!(
+            wire.seen_before(pipe, Uuid::derive(&format!("filler-{}", DEDUP_WINDOW - 2))),
+            "recent fillers stay"
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Churn and fault-injection tests for the sharded rendezvous mesh, driven
+//! by the deterministic `simnet::ChurnDriver`.
+//!
+//! The paper's single-rendezvous topology dies with its rendezvous; the
+//! sharded mesh is supposed to confine a rendezvous failure to its own
+//! shard. These tests certify exactly that:
+//!
+//! * killing one of N rendezvous peers mid-run loses only the in-flight
+//!   events of that shard's subscribers, and reviving it restores delivery;
+//! * cutting the rendezvous-to-rendezvous mesh links partitions delivery at
+//!   shard boundaries, and restoring the links heals it;
+//! * the whole scenario — kills, revivals and all — is bit-for-bit
+//!   reproducible for a given seed.
+//!
+//! Timing note: the scripts below keep every dead window well under the
+//! 120 s client-lease lifetime, so shard membership survives the outage and
+//! revival alone restores delivery (no re-shard needed).
+
+mod common;
+
+use common::{build, Topology};
+use jxta::DisseminationConfig;
+use simnet::{ChurnDriver, NodeId, SimDuration};
+use std::collections::HashMap;
+
+const SHARDS: usize = 3;
+const SUBSCRIBERS: usize = 6;
+const SEED: u64 = 2002;
+
+/// Builds the standard churn topology (3 mesh shards, 1 publisher,
+/// 6 subscribers), warms it up and returns it together with the shard map:
+/// `(topology, publisher_shard, subscribers_by_shard)`.
+fn churn_topology(seed: u64) -> (Topology, NodeId, HashMap<NodeId, Vec<usize>>) {
+    let mut topology = build(
+        DisseminationConfig::rendezvous_mesh(SHARDS),
+        SHARDS,
+        1,
+        SUBSCRIBERS,
+        seed,
+    );
+    topology.warm_up();
+    let publisher_shard = topology
+        .shard_of(topology.publishers[0])
+        .expect("publisher holds a lease after warm-up");
+    let mut by_shard: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for index in 0..SUBSCRIBERS {
+        let shard = topology
+            .shard_of(topology.subscribers[index])
+            .expect("every subscriber holds a lease after warm-up");
+        by_shard.entry(shard).or_default().push(index);
+    }
+    (topology, publisher_shard, by_shard)
+}
+
+/// A shard that is not the publisher's and has at least one subscriber — the
+/// victim whose failure must stay confined.
+fn victim_shard(publisher_shard: NodeId, by_shard: &HashMap<NodeId, Vec<usize>>) -> NodeId {
+    let mut candidates: Vec<NodeId> = by_shard
+        .keys()
+        .copied()
+        .filter(|&shard| shard != publisher_shard)
+        .collect();
+    candidates.sort();
+    *candidates
+        .first()
+        .expect("the fixed names of this topology spread subscribers over several shards")
+}
+
+#[test]
+fn killing_one_shard_rendezvous_loses_only_that_shards_inflight_events() {
+    let (mut topology, publisher_shard, by_shard) = churn_topology(SEED);
+    let victim = victim_shard(publisher_shard, &by_shard);
+    let victim_subscribers = by_shard[&victim].clone();
+    assert!(!victim_subscribers.is_empty());
+
+    // Phase 1: healthy mesh — everyone hears "before".
+    topology.publish_tag(0, "before");
+    topology.net.run_for(SimDuration::from_secs(5));
+
+    // Phase 2: the victim rendezvous dies; events published during the
+    // outage are in-flight casualties for its shard only.
+    let kill_at = topology.net.now() + SimDuration::from_secs(1);
+    let revive_at = kill_at + SimDuration::from_secs(20);
+    let mut churn = ChurnDriver::new();
+    churn.kill_at(kill_at, victim);
+    churn.run_until(&mut topology.net, kill_at + SimDuration::from_secs(1));
+    assert!(!topology.net.is_alive(victim));
+    topology.publish_tag(0, "during");
+    churn.run_until(&mut topology.net, kill_at + SimDuration::from_secs(19));
+
+    // Phase 3: revival (the revived rendezvous re-announces its mesh links
+    // from on_start); delivery to the shard resumes.
+    churn.revive_at(revive_at, victim);
+    churn.run_until(&mut topology.net, revive_at + SimDuration::from_secs(5));
+    assert!(topology.net.is_alive(victim));
+    topology.publish_tag(0, "after");
+    topology.net.run_for(SimDuration::from_secs(10));
+
+    for index in 0..SUBSCRIBERS {
+        let counts = topology.delivered_counts(index);
+        let on_victim_shard = victim_subscribers.contains(&index);
+        assert_eq!(
+            counts.get("before").copied().unwrap_or(0),
+            1,
+            "subscriber {index}: pre-churn event delivered exactly once"
+        );
+        assert_eq!(
+            counts.get("during").copied().unwrap_or(0),
+            usize::from(!on_victim_shard),
+            "subscriber {index} (victim shard: {on_victim_shard}): only the dead \
+             shard loses the in-flight event"
+        );
+        assert_eq!(
+            counts.get("after").copied().unwrap_or(0),
+            1,
+            "subscriber {index}: revival restores delivery"
+        );
+    }
+}
+
+#[test]
+fn cutting_mesh_links_partitions_at_shard_boundaries_and_healing_restores() {
+    let (mut topology, publisher_shard, by_shard) = churn_topology(SEED);
+    let other_shards: Vec<NodeId> = topology
+        .rendezvous
+        .iter()
+        .copied()
+        .filter(|&r| r != publisher_shard)
+        .collect();
+
+    // Cut every mesh link out of the publisher's shard, then publish.
+    let cut_at = topology.net.now() + SimDuration::from_secs(1);
+    let mut churn = ChurnDriver::new();
+    for &other in &other_shards {
+        churn.cut_link_at(cut_at, publisher_shard, other);
+    }
+    churn.run_until(&mut topology.net, cut_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "partitioned");
+    topology.net.run_for(SimDuration::from_secs(5));
+
+    // Heal the links and publish again.
+    let heal_at = topology.net.now() + SimDuration::from_secs(1);
+    for &other in &other_shards {
+        churn.restore_link_at(heal_at, publisher_shard, other);
+    }
+    churn.run_until(&mut topology.net, heal_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "healed");
+    topology.net.run_for(SimDuration::from_secs(10));
+
+    for index in 0..SUBSCRIBERS {
+        let counts = topology.delivered_counts(index);
+        let local = by_shard
+            .get(&publisher_shard)
+            .map(|subs| subs.contains(&index))
+            .unwrap_or(false);
+        assert_eq!(
+            counts.get("partitioned").copied().unwrap_or(0),
+            usize::from(local),
+            "subscriber {index}: with the mesh cut, only the publisher's own \
+             shard ({local}) hears the event"
+        );
+        assert_eq!(
+            counts.get("healed").copied().unwrap_or(0),
+            1,
+            "subscriber {index}: restored mesh links resume full delivery"
+        );
+    }
+}
+
+#[test]
+fn churn_scenarios_are_deterministic_under_the_discrete_event_clock() {
+    let run = |seed: u64| -> Vec<Vec<String>> {
+        let (mut topology, publisher_shard, by_shard) = churn_topology(seed);
+        let victim = victim_shard(publisher_shard, &by_shard);
+        let mut churn = ChurnDriver::new();
+        let base = topology.net.now();
+        churn
+            .kill_at(base + SimDuration::from_secs(2), victim)
+            .revive_at(base + SimDuration::from_secs(12), victim);
+        churn.run_until(&mut topology.net, base + SimDuration::from_secs(4));
+        topology.publish_tag(0, "mid-outage");
+        churn.run_until(&mut topology.net, base + SimDuration::from_secs(20));
+        topology.publish_tag(0, "post-revival");
+        topology.net.run_for(SimDuration::from_secs(10));
+        (0..SUBSCRIBERS)
+            .map(|i| {
+                let mut tags: Vec<String> = topology.delivered_counts(i).into_keys().collect();
+                tags.sort();
+                tags
+            })
+            .collect()
+    };
+    assert_eq!(
+        run(SEED),
+        run(SEED),
+        "identical seeds + identical churn scripts must reproduce identical deliveries"
+    );
+}
+
+#[test]
+fn killed_rendezvous_drops_are_accounted_as_node_down() {
+    let (mut topology, publisher_shard, by_shard) = churn_topology(SEED);
+    let victim = victim_shard(publisher_shard, &by_shard);
+    let before = topology.net.drops(simnet::DropReason::NodeDown);
+    let mut churn = ChurnDriver::new();
+    let kill_at = topology.net.now() + SimDuration::from_secs(1);
+    churn.kill_at(kill_at, victim);
+    churn.run_until(&mut topology.net, kill_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "lost");
+    topology.net.run_for(SimDuration::from_secs(5));
+    assert!(
+        topology.net.drops(simnet::DropReason::NodeDown) > before,
+        "the mesh copy addressed to the dead rendezvous must be counted"
+    );
+}

@@ -1,0 +1,198 @@
+//! Shared topology scaffolding for the dissemination integration tests:
+//! a bare application node that records delivered wire messages, and a
+//! builder for LAN topologies with any number of mesh-linked rendezvous
+//! peers, publishers and subscribers.
+
+// Each integration-test crate compiles its own copy of this module and uses
+// a different subset of it.
+#![allow(dead_code)]
+
+use jxta::peer::{CostModel, JxtaPeer, PeerConfig};
+use jxta::{is_jxta_timer, DisseminationConfig, JxtaEvent, Message, MessageElement, PeerId};
+use simnet::{
+    Datagram, Network, NetworkBuilder, NodeConfig, NodeContext, NodeId, SimAddress, SimDuration, SimNode,
+    SubnetId, TimerToken, TransportKind,
+};
+use std::collections::HashMap;
+
+/// A bare application node recording every wire message delivered to it.
+pub struct DeliveryApp {
+    pub peer: JxtaPeer,
+    pub delivered: Vec<String>,
+}
+
+impl DeliveryApp {
+    pub fn boxed(config: PeerConfig) -> Box<Self> {
+        Box::new(DeliveryApp {
+            peer: JxtaPeer::new(config.with_costs(CostModel::free())),
+            delivered: Vec::new(),
+        })
+    }
+
+    fn drain(&mut self) {
+        for event in self.peer.take_events() {
+            if let JxtaEvent::WireMessageReceived { message, .. } = event {
+                if let Some(tag) = message.element_text("app", "tag") {
+                    self.delivered.push(tag);
+                }
+            }
+        }
+    }
+}
+
+impl SimNode for DeliveryApp {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        self.peer.on_start(ctx);
+        self.drain();
+    }
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dg: Datagram) {
+        self.peer.on_datagram(ctx, &dg);
+        self.drain();
+    }
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _token: TimerToken, tag: u64) {
+        if is_jxta_timer(tag) {
+            self.peer.on_timer(ctx, tag);
+        }
+        self.drain();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A built test topology.
+pub struct Topology {
+    pub net: Network,
+    pub rendezvous: Vec<NodeId>,
+    pub publishers: Vec<NodeId>,
+    pub subscribers: Vec<NodeId>,
+    pub pipe: jxta::PipeAdvertisement,
+}
+
+/// The deterministic TCP address node `index` receives in a freshly built
+/// network (hosts are assigned 10.0.0.1 upward in add order).
+pub fn node_addr(index: usize) -> SimAddress {
+    SimAddress::new(TransportKind::Tcp, 0x0A00_0001 + index as u32, 9701)
+}
+
+/// Builds `rendezvous` mesh-seeded rendezvous peers (nodes `0..rendezvous`),
+/// then `publishers` and `subscribers` edge peers seeded with every
+/// rendezvous address, all running `strategy` on one LAN subnet.
+pub fn build(
+    strategy: DisseminationConfig,
+    rendezvous: usize,
+    publishers: usize,
+    subscribers: usize,
+    seed: u64,
+) -> Topology {
+    assert!(rendezvous >= 1);
+    let mut builder = NetworkBuilder::new(seed);
+    let rdv_addrs: Vec<SimAddress> = (0..rendezvous).map(node_addr).collect();
+    let mut rendezvous_ids = Vec::new();
+    for i in 0..rendezvous {
+        let peers: Vec<SimAddress> = rdv_addrs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, a)| a)
+            .collect();
+        let config = PeerConfig::rendezvous(format!("rdv-{i}"))
+            .with_seeds(peers)
+            .with_dissemination(strategy.clone());
+        rendezvous_ids.push(builder.add_node(DeliveryApp::boxed(config), NodeConfig::lan_peer(SubnetId(0))));
+    }
+    let edge = |name: String| {
+        DeliveryApp::boxed(
+            PeerConfig::edge(name)
+                .with_seeds(rdv_addrs.clone())
+                .with_dissemination(strategy.clone()),
+        )
+    };
+    let publishers = (0..publishers)
+        .map(|i| builder.add_node(edge(format!("shop-{i}")), NodeConfig::lan_peer(SubnetId(0))))
+        .collect();
+    let subscribers = (0..subscribers)
+        .map(|i| builder.add_node(edge(format!("skier-{i}")), NodeConfig::lan_peer(SubnetId(0))))
+        .collect();
+    let group = jxta::PeerGroup::for_event_type("Delivery", PeerId::derive("shop-0"));
+    let pipe = group
+        .wire_pipe()
+        .expect("event-type groups embed a wire pipe")
+        .clone();
+    Topology {
+        net: builder.build(),
+        rendezvous: rendezvous_ids,
+        publishers,
+        subscribers,
+        pipe,
+    }
+}
+
+impl Topology {
+    /// Runs the boot + pipe-binding phase: rendezvous leases, input pipes on
+    /// every subscriber, output-pipe resolution on every publisher.
+    pub fn warm_up(&mut self) {
+        self.net.run_for(SimDuration::from_secs(2));
+        let pipe = self.pipe.clone();
+        for &subscriber in &self.subscribers {
+            self.net.invoke::<DeliveryApp, _>(subscriber, |app, ctx| {
+                app.peer.create_wire_input_pipe(ctx, &pipe);
+            });
+        }
+        for &publisher in &self.publishers {
+            self.net.invoke::<DeliveryApp, _>(publisher, |app, ctx| {
+                app.peer.resolve_wire_output_pipe(ctx, &pipe);
+            });
+        }
+        self.net.run_for(SimDuration::from_secs(5));
+    }
+
+    /// Publishes one tagged event from publisher `index` (does not advance
+    /// the clock).
+    pub fn publish_tag(&mut self, index: usize, tag: &str) {
+        let pipe_id = self.pipe.pipe_id;
+        let tag = tag.to_owned();
+        self.net
+            .invoke::<DeliveryApp, _>(self.publishers[index], |app, ctx| {
+                let mut message = Message::new();
+                message.add(MessageElement::text("app", "tag", tag.clone()));
+                app.peer
+                    .wire_send(ctx, pipe_id, &message)
+                    .expect("publish failed");
+            });
+    }
+
+    /// Delivery count per tag for subscriber `index`.
+    pub fn delivered_counts(&self, index: usize) -> HashMap<String, usize> {
+        let app = self
+            .net
+            .node_ref::<DeliveryApp>(self.subscribers[index])
+            .expect("subscriber exists");
+        let mut counts = HashMap::new();
+        for tag in &app.delivered {
+            *counts.entry(tag.clone()).or_insert(0usize) += 1;
+        }
+        counts
+    }
+
+    /// The rendezvous *node id* an edge node currently leases with, if any.
+    pub fn shard_of(&self, edge: NodeId) -> Option<NodeId> {
+        let connected = self
+            .net
+            .node_ref::<DeliveryApp>(edge)?
+            .peer
+            .rendezvous()
+            .connection()?
+            .peer;
+        self.rendezvous.iter().copied().find(|&id| {
+            self.net
+                .node_ref::<DeliveryApp>(id)
+                .map(|n| n.peer.peer_id() == connected)
+                .unwrap_or(false)
+        })
+    }
+}

@@ -1,167 +1,63 @@
 //! Exactly-once delivery under every dissemination strategy.
 //!
-//! Property: on a randomized topology (one rendezvous, a random number of
-//! publishers and subscribers) every subscriber receives every published wire
-//! message **exactly once** — no loss, and no duplicate surviving the
-//! seen-window dedup — whichever of the three strategies the peers run.
+//! Property: on a randomized topology (a configurable number of rendezvous
+//! peers, a random number of publishers and subscribers) every subscriber
+//! receives every published wire message **exactly once** — no loss, and no
+//! duplicate surviving the seen-window dedup — whichever of the four
+//! strategies the peers run. A second property checks the sharded rendezvous
+//! mesh against the paper baseline: across shard counts, `RendezvousMesh`
+//! delivers exactly the same set of events as `DirectFanout` on the same
+//! topology.
 //!
 //! The gossip configuration uses a fanout larger than any generated
 //! neighbourhood, which degenerates to flooding-with-dedup and therefore
 //! guarantees coverage on these connected topologies (the probabilistic
-//! regime is exercised by the `ablation_dissem` bench instead).
+//! regime is measured by `tests/gossip_probability.rs` and the
+//! `ablation_dissem` bench instead).
 
-use jxta::peer::{CostModel, JxtaPeer, PeerConfig};
-use jxta::{is_jxta_timer, DisseminationConfig, JxtaEvent, Message, MessageElement, PeerId, StrategyKind};
+mod common;
+
+use common::build;
+use jxta::{DisseminationConfig, StrategyKind};
 use proptest::prelude::*;
-use simnet::{
-    Datagram, Network, NetworkBuilder, NodeConfig, NodeContext, NodeId, SimAddress, SimDuration, SimNode,
-    SubnetId, TimerToken, TransportKind,
-};
-use std::collections::HashMap;
-
-/// A bare application node recording every wire message delivered to it.
-struct DeliveryApp {
-    peer: JxtaPeer,
-    delivered: Vec<String>,
-}
-
-impl DeliveryApp {
-    fn boxed(config: PeerConfig) -> Box<Self> {
-        Box::new(DeliveryApp {
-            peer: JxtaPeer::new(config.with_costs(CostModel::free())),
-            delivered: Vec::new(),
-        })
-    }
-
-    fn drain(&mut self) {
-        for event in self.peer.take_events() {
-            if let JxtaEvent::WireMessageReceived { message, .. } = event {
-                if let Some(tag) = message.element_text("app", "tag") {
-                    self.delivered.push(tag);
-                }
-            }
-        }
-    }
-}
-
-impl SimNode for DeliveryApp {
-    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
-        self.peer.on_start(ctx);
-        self.drain();
-    }
-    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dg: Datagram) {
-        self.peer.on_datagram(ctx, &dg);
-        self.drain();
-    }
-    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _token: TimerToken, tag: u64) {
-        if is_jxta_timer(tag) {
-            self.peer.on_timer(ctx, tag);
-        }
-        self.drain();
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-}
-
-struct Topology {
-    net: Network,
-    publishers: Vec<NodeId>,
-    subscribers: Vec<NodeId>,
-    pipe: jxta::PipeAdvertisement,
-}
-
-fn build(strategy: DisseminationConfig, publishers: usize, subscribers: usize, seed: u64) -> Topology {
-    let mut builder = NetworkBuilder::new(seed);
-    let rdv_config = PeerConfig::rendezvous("rdv").with_dissemination(strategy.clone());
-    builder.add_node(DeliveryApp::boxed(rdv_config), NodeConfig::lan_peer(SubnetId(0)));
-    let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
-    let edge = |name: String| {
-        DeliveryApp::boxed(
-            PeerConfig::edge(name)
-                .with_seeds(vec![rdv_addr])
-                .with_dissemination(strategy.clone()),
-        )
-    };
-    let publishers = (0..publishers)
-        .map(|i| builder.add_node(edge(format!("shop-{i}")), NodeConfig::lan_peer(SubnetId(0))))
-        .collect();
-    let subscribers = (0..subscribers)
-        .map(|i| builder.add_node(edge(format!("skier-{i}")), NodeConfig::lan_peer(SubnetId(0))))
-        .collect();
-    let group = jxta::PeerGroup::for_event_type("Delivery", PeerId::derive("shop-0"));
-    let pipe = group
-        .wire_pipe()
-        .expect("event-type groups embed a wire pipe")
-        .clone();
-    Topology {
-        net: builder.build(),
-        publishers,
-        subscribers,
-        pipe,
-    }
-}
+use simnet::SimDuration;
+use std::collections::{BTreeMap, HashMap};
 
 /// Runs the workload and returns, per subscriber, the delivery count per tag.
 fn run(
     strategy: DisseminationConfig,
+    rendezvous: usize,
     publishers: usize,
     subscribers: usize,
     events: usize,
     seed: u64,
 ) -> Vec<HashMap<String, usize>> {
-    let mut topology = build(strategy, publishers, subscribers, seed);
-    topology.net.run_for(SimDuration::from_secs(2));
-    let pipe = topology.pipe.clone();
-    for &subscriber in &topology.subscribers {
-        topology.net.invoke::<DeliveryApp, _>(subscriber, |app, ctx| {
-            app.peer.create_wire_input_pipe(ctx, &pipe);
-        });
-    }
-    for &publisher in &topology.publishers {
-        topology.net.invoke::<DeliveryApp, _>(publisher, |app, ctx| {
-            app.peer.resolve_wire_output_pipe(ctx, &pipe);
-        });
-    }
-    topology.net.run_for(SimDuration::from_secs(5));
-    for (p, &publisher) in topology.publishers.iter().enumerate() {
+    let mut topology = build(strategy, rendezvous, publishers, subscribers, seed);
+    topology.warm_up();
+    for p in 0..publishers {
         for e in 0..events {
-            let tag = format!("pub{p}-event{e}");
-            topology.net.invoke::<DeliveryApp, _>(publisher, |app, ctx| {
-                let mut message = Message::new();
-                message.add(MessageElement::text("app", "tag", tag.clone()));
-                app.peer
-                    .wire_send(ctx, pipe.pipe_id, &message)
-                    .expect("publish failed");
-            });
+            topology.publish_tag(p, &format!("pub{p}-event{e}"));
             topology.net.run_for(SimDuration::from_millis(250));
         }
     }
     topology.net.run_for(SimDuration::from_secs(10));
-    topology
-        .subscribers
+    (0..subscribers).map(|i| topology.delivered_counts(i)).collect()
+}
+
+/// The per-subscriber delivered tag sets (order-insensitive), for comparing
+/// two strategies on the same topology.
+fn delivered_sets(per_subscriber: &[HashMap<String, usize>]) -> Vec<BTreeMap<String, usize>> {
+    per_subscriber
         .iter()
-        .map(|&subscriber| {
-            let app = topology
-                .net
-                .node_ref::<DeliveryApp>(subscriber)
-                .expect("subscriber exists");
-            let mut counts = HashMap::new();
-            for tag in &app.delivered {
-                *counts.entry(tag.clone()).or_insert(0usize) += 1;
-            }
-            counts
-        })
+        .map(|counts| counts.iter().map(|(k, v)| (k.clone(), *v)).collect())
         .collect()
 }
 
-fn strategy_of(index: usize) -> DisseminationConfig {
-    match StrategyKind::ALL[index % 3] {
+fn strategy_of(index: usize, shards: usize) -> DisseminationConfig {
+    match StrategyKind::ALL[index % StrategyKind::ALL.len()] {
         StrategyKind::DirectFanout => DisseminationConfig::direct_fanout(),
         StrategyKind::RendezvousTree => DisseminationConfig::rendezvous_tree(),
+        StrategyKind::RendezvousMesh => DisseminationConfig::rendezvous_mesh(shards),
         // Fanout 64 >= any generated neighbourhood: flooding-with-dedup.
         StrategyKind::Gossip => DisseminationConfig::gossip(64, 4),
     }
@@ -169,17 +65,19 @@ fn strategy_of(index: usize) -> DisseminationConfig {
 
 proptest! {
     /// Every subscriber receives each published event exactly once, under
-    /// each strategy, on randomized topologies.
+    /// each strategy, on randomized topologies (including multi-rendezvous
+    /// deployments).
     #[test]
     fn every_subscriber_receives_each_event_exactly_once(
-        strategy_index in 0usize..3,
+        strategy_index in 0usize..4,
+        shards in 1usize..4,
         publishers in 1usize..3,
         subscribers in 1usize..6,
         events in 1usize..4,
         seed in 1u64..5_000,
     ) {
-        let strategy = strategy_of(strategy_index);
-        let per_subscriber = run(strategy.clone(), publishers, subscribers, events, seed);
+        let strategy = strategy_of(strategy_index, shards);
+        let per_subscriber = run(strategy.clone(), shards, publishers, subscribers, events, seed);
         for (index, counts) in per_subscriber.iter().enumerate() {
             for p in 0..publishers {
                 for e in 0..events {
@@ -187,15 +85,53 @@ proptest! {
                     let count = counts.get(&tag).copied().unwrap_or(0);
                     prop_assert_eq!(
                         count, 1,
-                        "strategy {} subscriber {} tag {}: delivered {} times (want exactly 1)",
-                        strategy.kind, index, tag, count
+                        "strategy {} shards {} subscriber {} tag {}: delivered {} times (want exactly 1)",
+                        strategy.kind, shards, index, tag, count
                     );
                 }
             }
             prop_assert_eq!(
                 counts.values().sum::<usize>(), publishers * events,
-                "strategy {} subscriber {}: spurious deliveries {:?}",
-                strategy.kind, index, counts
+                "strategy {} shards {} subscriber {}: spurious deliveries {:?}",
+                strategy.kind, shards, index, counts
+            );
+        }
+    }
+
+    /// The sharded rendezvous mesh delivers exactly the set of events the
+    /// paper-baseline direct fan-out delivers, on the same randomized
+    /// topology and shard count — and both are exactly-once.
+    #[test]
+    fn rendezvous_mesh_matches_direct_fanout_delivery(
+        shards in 1usize..5,
+        publishers in 1usize..3,
+        subscribers in 1usize..6,
+        events in 1usize..3,
+        seed in 1u64..5_000,
+    ) {
+        let mesh = run(
+            DisseminationConfig::rendezvous_mesh(shards),
+            shards, publishers, subscribers, events, seed,
+        );
+        let direct = run(
+            DisseminationConfig::direct_fanout(),
+            shards, publishers, subscribers, events, seed,
+        );
+        let mesh_sets = delivered_sets(&mesh);
+        let direct_sets = delivered_sets(&direct);
+        prop_assert_eq!(
+            &mesh_sets, &direct_sets,
+            "shards {}: mesh delivered sets must match direct fan-out", shards
+        );
+        for (index, counts) in mesh_sets.iter().enumerate() {
+            prop_assert_eq!(
+                counts.len(), publishers * events,
+                "shards {} subscriber {}: mesh must cover every event", shards, index
+            );
+            prop_assert!(
+                counts.values().all(|&c| c == 1),
+                "shards {} subscriber {}: every delivery exactly once, got {:?}",
+                shards, index, counts
             );
         }
     }

@@ -1,0 +1,103 @@
+//! Delivery-probability measurement for gossip in its *probabilistic*
+//! regime (the ROADMAP open item).
+//!
+//! The exactly-once proptests run gossip with a fanout larger than the
+//! neighbourhood, which degenerates to flooding. Here the fanout is small
+//! relative to the 16-subscriber neighbourhood, so coverage is genuinely
+//! probabilistic: each (fanout, TTL) point is run across several independent
+//! seeds, the measured delivery ratio is printed as a table, and the test
+//! asserts the ratio falls inside an expected band — monotonicity in fanout
+//! and TTL included.
+//!
+//! The bands are deliberately wide (they describe a distribution, not a
+//! point), but they pin the qualitative regime: starving configurations
+//! (fanout 1) must lose a large fraction, generous configurations
+//! (fanout 8 / TTL 8 over 17 peers) must deliver essentially everything.
+
+mod common;
+
+use common::build;
+use jxta::DisseminationConfig;
+use simnet::SimDuration;
+
+const SUBSCRIBERS: usize = 16;
+const EVENTS: usize = 4;
+const SEEDS: [u64; 5] = [11, 222, 3333, 44_444, 555_555];
+
+/// Measured delivery ratio (delivered / expected) for one gossip
+/// configuration, pooled across [`SEEDS`].
+fn delivery_ratio(fanout: usize, ttl: u8) -> f64 {
+    let mut delivered = 0usize;
+    for &seed in &SEEDS {
+        let mut topology = build(DisseminationConfig::gossip(fanout, ttl), 1, 1, SUBSCRIBERS, seed);
+        topology.warm_up();
+        for event in 0..EVENTS {
+            topology.publish_tag(0, &format!("event-{event}"));
+            topology.net.run_for(SimDuration::from_secs(1));
+        }
+        topology.net.run_for(SimDuration::from_secs(10));
+        for subscriber in 0..SUBSCRIBERS {
+            delivered += topology
+                .delivered_counts(subscriber)
+                .values()
+                .filter(|&&count| count == 1)
+                .count();
+        }
+    }
+    delivered as f64 / (SEEDS.len() * SUBSCRIBERS * EVENTS) as f64
+}
+
+#[test]
+fn gossip_delivery_ratio_falls_in_the_expected_band_per_fanout_and_ttl() {
+    // (fanout, ttl, expected band) — calibrated on the fixed seeds above;
+    // the run is deterministic, so drift means behaviour changed, not luck.
+    let grid: [(usize, u8, f64, f64); 6] = [
+        (1, 2, 0.05, 0.60),
+        (1, 4, 0.05, 0.75),
+        (2, 2, 0.20, 0.80),
+        (2, 4, 0.45, 0.95),
+        (4, 4, 0.80, 1.00),
+        (8, 8, 0.98, 1.00),
+    ];
+    println!(
+        "\ngossip delivery probability ({SUBSCRIBERS} subscribers, {EVENTS} events x {} seeds)",
+        SEEDS.len()
+    );
+    println!(
+        "{:>7} {:>5} {:>10} {:>15}",
+        "fanout", "ttl", "measured", "expected band"
+    );
+    let mut measured = Vec::new();
+    for &(fanout, ttl, lo, hi) in &grid {
+        let ratio = delivery_ratio(fanout, ttl);
+        println!(
+            "{fanout:>7} {ttl:>5} {ratio:>10.3} {:>15}",
+            format!("[{lo:.2}, {hi:.2}]")
+        );
+        measured.push((fanout, ttl, ratio, lo, hi));
+    }
+    for &(fanout, ttl, ratio, lo, hi) in &measured {
+        assert!(
+            ratio >= lo && ratio <= hi,
+            "gossip(fanout {fanout}, ttl {ttl}): measured delivery ratio {ratio:.3} \
+             outside the expected band [{lo:.2}, {hi:.2}]"
+        );
+    }
+    // The qualitative shape: more fanout (at equal TTL) and more TTL (at
+    // equal fanout) must not lose delivery probability.
+    let ratio_of = |f: usize, t: u8| {
+        measured
+            .iter()
+            .find(|&&(mf, mt, ..)| mf == f && mt == t)
+            .map(|&(_, _, r, ..)| r)
+            .unwrap()
+    };
+    assert!(ratio_of(2, 2) >= ratio_of(1, 2), "fanout must help at TTL 2");
+    assert!(ratio_of(2, 4) >= ratio_of(1, 4), "fanout must help at TTL 4");
+    assert!(ratio_of(1, 4) >= ratio_of(1, 2), "TTL must help at fanout 1");
+    assert!(ratio_of(2, 4) >= ratio_of(2, 2), "TTL must help at fanout 2");
+    assert!(
+        ratio_of(8, 8) >= 0.98,
+        "a generous configuration must deliver essentially everything"
+    );
+}

@@ -1,0 +1,315 @@
+//! Deterministic fault and churn injection.
+//!
+//! A [`ChurnDriver`] is a time-ordered script of [`FaultAction`]s — kill or
+//! revive a node, cut or restore an overlay link between two nodes, degrade a
+//! subnet link — executed against a [`Network`] *under the discrete-event
+//! clock*: [`ChurnDriver::run_until`] advances the simulation exactly to each
+//! action's instant, applies it, and continues, so a given script plus a given
+//! seed always reproduces the same run, byte for byte.
+//!
+//! This is the machinery behind the dissemination-layer churn tests: killing
+//! one of N rendezvous peers mid-run must lose only that shard's in-flight
+//! events, and reviving it must restore delivery.
+//!
+//! # Example
+//!
+//! ```
+//! use simnet::{ChurnDriver, SimTime};
+//! # use simnet::{NetworkBuilder, NodeConfig, SimNode, NodeContext, Datagram, SubnetId};
+//! # struct Silent;
+//! # impl SimNode for Silent {
+//! #     fn on_datagram(&mut self, _ctx: &mut NodeContext<'_>, _dg: Datagram) {}
+//! #     fn as_any(&self) -> &dyn std::any::Any { self }
+//! #     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! # }
+//! # let mut builder = NetworkBuilder::new(1);
+//! # let a = builder.add_node(Box::new(Silent), NodeConfig::lan_peer(SubnetId(0)));
+//! # let mut net = builder.build();
+//! let mut churn = ChurnDriver::new();
+//! churn.kill_at(SimTime::from_secs(10), a);
+//! churn.revive_at(SimTime::from_secs(20), a);
+//! churn.run_until(&mut net, SimTime::from_secs(30));
+//! assert!(net.is_alive(a));
+//! ```
+
+use crate::id::{NodeId, SubnetId};
+use crate::link::LinkSpec;
+use crate::network::Network;
+use crate::time::SimTime;
+
+/// One scripted fault event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Shut the node down ([`Network::shutdown_node`]); in-flight datagrams
+    /// and timers addressed to it are lost.
+    Kill(NodeId),
+    /// Bring a killed node back ([`Network::revive_node`]): `on_start` runs
+    /// again at the scripted instant, with in-memory state intact.
+    Revive(NodeId),
+    /// Cut all delivery between two nodes ([`Network::block_pair`]) — an
+    /// overlay-link failure such as one rendezvous-to-rendezvous mesh link.
+    CutLink(NodeId, NodeId),
+    /// Restore a cut pair ([`Network::unblock_pair`]).
+    RestoreLink(NodeId, NodeId),
+    /// Replace the link spec between two subnets, both directions (partition,
+    /// lossy period, WAN degradation).
+    SetLink(SubnetId, SubnetId, LinkSpec),
+}
+
+/// A time-ordered fault script, applied deterministically while driving the
+/// simulation clock. Actions scheduled at the same instant run in insertion
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnDriver {
+    /// `(when, action)` pairs; kept sorted by time (stable for ties).
+    script: Vec<(SimTime, FaultAction)>,
+    /// Index of the next unapplied action.
+    next: usize,
+}
+
+impl ChurnDriver {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        ChurnDriver::default()
+    }
+
+    /// Schedules an arbitrary action; keeps the script time-sorted (actions
+    /// at equal times keep their insertion order). The script may keep
+    /// growing between [`ChurnDriver::run_until`] segments, as long as new
+    /// actions are not scheduled before ones already applied.
+    pub fn at(&mut self, when: SimTime, action: FaultAction) -> &mut Self {
+        let pos = self.script.partition_point(|(t, _)| *t <= when);
+        assert!(
+            pos >= self.next,
+            "cannot schedule an action before already-applied script entries"
+        );
+        self.script.insert(pos, (when, action));
+        self
+    }
+
+    /// Schedules a node kill.
+    pub fn kill_at(&mut self, when: SimTime, node: NodeId) -> &mut Self {
+        self.at(when, FaultAction::Kill(node))
+    }
+
+    /// Schedules a node revival.
+    pub fn revive_at(&mut self, when: SimTime, node: NodeId) -> &mut Self {
+        self.at(when, FaultAction::Revive(node))
+    }
+
+    /// Schedules an overlay-link cut between two nodes.
+    pub fn cut_link_at(&mut self, when: SimTime, a: NodeId, b: NodeId) -> &mut Self {
+        self.at(when, FaultAction::CutLink(a, b))
+    }
+
+    /// Schedules the restoration of a cut overlay link.
+    pub fn restore_link_at(&mut self, when: SimTime, a: NodeId, b: NodeId) -> &mut Self {
+        self.at(when, FaultAction::RestoreLink(a, b))
+    }
+
+    /// How many scripted actions have not been applied yet.
+    pub fn pending(&self) -> usize {
+        self.script.len() - self.next
+    }
+
+    /// Drives `net` to `horizon`, applying every scripted action at exactly
+    /// its instant: the event loop runs up to the action time, the action is
+    /// applied, and the run continues. Actions scheduled beyond `horizon`
+    /// stay pending for the next call, so a test can interleave its own
+    /// publishes between `run_until` segments.
+    pub fn run_until(&mut self, net: &mut Network, horizon: SimTime) {
+        while self.next < self.script.len() {
+            let (when, action) = self.script[self.next].clone();
+            if when > horizon {
+                break;
+            }
+            net.run_until(when);
+            Self::apply(net, &action);
+            self.next += 1;
+        }
+        net.run_until(horizon);
+    }
+
+    fn apply(net: &mut Network, action: &FaultAction) {
+        match action {
+            FaultAction::Kill(node) => net.shutdown_node(*node),
+            FaultAction::Revive(node) => net.revive_node(*node),
+            FaultAction::CutLink(a, b) => net.block_pair(*a, *b),
+            FaultAction::RestoreLink(a, b) => net.unblock_pair(*a, *b),
+            FaultAction::SetLink(a, b, spec) => net.links_mut().set_symmetric(*a, *b, spec.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::SimAddress;
+    use crate::datagram::Datagram;
+    use crate::id::TimerToken;
+    use crate::network::NetworkBuilder;
+    use crate::node::{NodeConfig, NodeContext, SimNode};
+    use crate::stats::DropReason;
+    use crate::time::SimDuration;
+    use bytes::Bytes;
+
+    /// A node that re-arms a periodic timer and records when it fired; used
+    /// to observe kill/revive through the node's own lifecycle hooks.
+    struct Ticker {
+        period: SimDuration,
+        starts: Vec<SimTime>,
+        ticks: Vec<SimTime>,
+        received: Vec<(SimTime, Vec<u8>)>,
+    }
+
+    impl Ticker {
+        fn boxed(period: SimDuration) -> Box<Self> {
+            Box::new(Ticker {
+                period,
+                starts: Vec::new(),
+                ticks: Vec::new(),
+                received: Vec::new(),
+            })
+        }
+    }
+
+    impl SimNode for Ticker {
+        fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+            self.starts.push(ctx.now());
+            ctx.set_timer(self.period, 1);
+        }
+        fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dg: Datagram) {
+            self.received.push((ctx.now(), dg.payload.to_vec()));
+        }
+        fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _token: TimerToken, _tag: u64) {
+            self.ticks.push(ctx.now());
+            ctx.set_timer(self.period, 1);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn two_tickers() -> (Network, NodeId, NodeId) {
+        let mut builder = NetworkBuilder::new(5);
+        let a = builder.add_node(
+            Ticker::boxed(SimDuration::from_secs(1)),
+            NodeConfig::lan_peer(SubnetId(0)),
+        );
+        let b = builder.add_node(
+            Ticker::boxed(SimDuration::from_secs(1)),
+            NodeConfig::lan_peer(SubnetId(0)),
+        );
+        (builder.build(), a, b)
+    }
+
+    #[test]
+    fn kill_and_revive_restart_the_node_lifecycle() {
+        let (mut net, a, _b) = two_tickers();
+        let mut churn = ChurnDriver::new();
+        churn.kill_at(SimTime::from_secs(3), a);
+        churn.revive_at(SimTime::from_secs(7), a);
+        churn.run_until(&mut net, SimTime::from_secs(10));
+        assert!(net.is_alive(a));
+        assert_eq!(churn.pending(), 0);
+
+        let ticker = net.node_ref::<Ticker>(a).unwrap();
+        // Started once at 0 and once at the revival instant.
+        assert_eq!(
+            ticker.starts,
+            vec![SimTime::ZERO, SimTime::from_secs(7)],
+            "revival must re-run on_start at exactly the scripted time"
+        );
+        // Ticks at 1,2,3 (the 3s tick fires before the same-instant kill is
+        // applied only if queued earlier; with seq ordering the kill at the
+        // driver boundary happens after run_until(3), so the 3s tick ran),
+        // then silence until revival re-arms: 8, 9, 10.
+        assert!(ticker.ticks.contains(&SimTime::from_secs(2)));
+        assert!(!ticker.ticks.contains(&SimTime::from_secs(5)));
+        assert!(ticker.ticks.contains(&SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn cut_and_restored_links_gate_delivery() {
+        let (mut net, a, b) = two_tickers();
+        let b_addr: SimAddress = net.addresses_of(b)[0];
+        let mut churn = ChurnDriver::new();
+        churn.cut_link_at(SimTime::from_secs(1), a, b);
+        churn.restore_link_at(SimTime::from_secs(2), a, b);
+
+        churn.run_until(&mut net, SimTime::from_millis(1500));
+        assert!(net.is_pair_blocked(a, b) && net.is_pair_blocked(b, a));
+        net.invoke::<Ticker, _>(a, |_n, ctx| {
+            ctx.send(b_addr, Bytes::from_static(b"lost")).unwrap();
+        });
+        churn.run_until(&mut net, SimTime::from_secs(3));
+        assert!(!net.is_pair_blocked(a, b));
+        net.invoke::<Ticker, _>(a, |_n, ctx| {
+            ctx.send(b_addr, Bytes::from_static(b"heard")).unwrap();
+        });
+        net.run_for(SimDuration::from_secs(1));
+
+        let received: Vec<Vec<u8>> = net
+            .node_ref::<Ticker>(b)
+            .unwrap()
+            .received
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
+        assert_eq!(received, vec![b"heard".to_vec()]);
+        assert_eq!(net.drops(DropReason::FaultInjected), 1);
+    }
+
+    #[test]
+    fn identical_scripts_give_identical_runs() {
+        let run = |seed: u64| {
+            let mut builder = NetworkBuilder::new(seed);
+            let a = builder.add_node(
+                Ticker::boxed(SimDuration::from_millis(700)),
+                NodeConfig::lan_peer(SubnetId(0)),
+            );
+            let b = builder.add_node(
+                Ticker::boxed(SimDuration::from_millis(300)),
+                NodeConfig::lan_peer(SubnetId(0)),
+            );
+            let mut net = builder.build();
+            let mut churn = ChurnDriver::new();
+            churn
+                .kill_at(SimTime::from_secs(2), b)
+                .revive_at(SimTime::from_secs(4), b)
+                .cut_link_at(SimTime::from_secs(5), a, b);
+            churn.run_until(&mut net, SimTime::from_secs(6));
+            let ticks = net.node_ref::<Ticker>(b).unwrap().ticks.clone();
+            (net.total_stats().timers_fired, ticks)
+        };
+        let first = run(42);
+        assert_eq!(first, run(42), "same seed + same script must reproduce exactly");
+        assert!(first.0 > 0, "sanity: timers actually fired during the run");
+        assert!(!first.1.is_empty(), "sanity: the revived node ticked again");
+    }
+
+    #[test]
+    fn actions_beyond_the_horizon_stay_pending() {
+        let (mut net, a, _b) = two_tickers();
+        let mut churn = ChurnDriver::new();
+        churn.kill_at(SimTime::from_secs(8), a);
+        churn.run_until(&mut net, SimTime::from_secs(4));
+        assert_eq!(churn.pending(), 1);
+        assert!(net.is_alive(a));
+        churn.run_until(&mut net, SimTime::from_secs(9));
+        assert_eq!(churn.pending(), 0);
+        assert!(!net.is_alive(a));
+    }
+
+    #[test]
+    fn revive_is_a_noop_on_live_nodes() {
+        let (mut net, a, _b) = two_tickers();
+        net.run_for(SimDuration::from_secs(1));
+        net.revive_node(a);
+        net.run_for(SimDuration::from_secs(1));
+        assert_eq!(net.node_ref::<Ticker>(a).unwrap().starts.len(), 1);
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod address;
 pub mod datagram;
+pub mod fault;
 pub mod firewall;
 pub mod id;
 pub mod link;
@@ -61,6 +62,7 @@ pub mod trace;
 
 pub use address::{SimAddress, TransportKind};
 pub use datagram::{Datagram, SendError};
+pub use fault::{ChurnDriver, FaultAction};
 pub use firewall::FirewallPolicy;
 pub use id::{NodeId, SubnetId, TimerToken};
 pub use link::{LinkSpec, LinkTable};

@@ -206,6 +206,7 @@ impl NetworkBuilder {
             drop_counts: HashMap::new(),
             max_datagram: self.max_datagram,
             next_host,
+            blocked_pairs: HashSet::new(),
         };
         for idx in 0..network.slots.len() {
             network.push_event(
@@ -239,6 +240,7 @@ pub struct Network {
     drop_counts: HashMap<DropReason, u64>,
     max_datagram: usize,
     next_host: u32,
+    blocked_pairs: HashSet<(NodeId, NodeId)>,
 }
 
 impl Network {
@@ -311,6 +313,40 @@ impl Network {
                 self.trace.push(self.now, TraceEvent::NodeStopped { node });
             }
         }
+    }
+
+    /// Brings a previously shut-down node back: its `on_start` hook runs
+    /// again at the current virtual instant (re-arming timers, re-announcing
+    /// itself). The node keeps its addresses and in-memory state — this models
+    /// a process that was paused/crashed and restarted on the same host, the
+    /// churn scenario of the fault driver. Datagrams and timers that came up
+    /// while it was down stay lost. No-op if the node is already alive.
+    pub fn revive_node(&mut self, node: NodeId) {
+        let slot = &mut self.slots[node.index()];
+        if slot.alive {
+            return;
+        }
+        slot.alive = true;
+        self.push_event(self.now, EventKind::Start { node });
+    }
+
+    /// Blocks all unicast and multicast delivery from `a` to `b` and from `b`
+    /// to `a` (an overlay-link cut, e.g. one rendezvous-to-rendezvous mesh
+    /// link), counting the casualties as [`DropReason::FaultInjected`].
+    pub fn block_pair(&mut self, a: NodeId, b: NodeId) {
+        self.blocked_pairs.insert((a, b));
+        self.blocked_pairs.insert((b, a));
+    }
+
+    /// Restores delivery between two nodes cut by [`Network::block_pair`].
+    pub fn unblock_pair(&mut self, a: NodeId, b: NodeId) {
+        self.blocked_pairs.remove(&(a, b));
+        self.blocked_pairs.remove(&(b, a));
+    }
+
+    /// Whether traffic from `from` to `to` is currently fault-blocked.
+    pub fn is_pair_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked_pairs.contains(&(from, to))
     }
 
     /// Re-assigns fresh host addresses to all unicast interfaces of `node`,
@@ -673,6 +709,10 @@ impl Network {
         local_delay: SimDuration,
         payload: Bytes,
     ) {
+        if self.blocked_pairs.contains(&(from, target)) {
+            self.record_drop(from, dst_addr, DropReason::FaultInjected, Some(target));
+            return;
+        }
         let src_subnet = self.slots[from.index()].subnet;
         let dst_subnet = self.slots[target.index()].subnet;
         let spec = self.links.spec(src_subnet, dst_subnet).clone();

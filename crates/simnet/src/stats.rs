@@ -16,6 +16,8 @@ pub enum DropReason {
     NodeDown,
     /// A multicast datagram found no recipient on the subnet.
     EmptyMulticastGroup,
+    /// A fault-injection rule (blocked node pair) swallowed the datagram.
+    FaultInjected,
 }
 
 impl fmt::Display for DropReason {
@@ -26,6 +28,7 @@ impl fmt::Display for DropReason {
             DropReason::UnknownAddress => "unknown destination address",
             DropReason::NodeDown => "destination node is down",
             DropReason::EmptyMulticastGroup => "no member in multicast group",
+            DropReason::FaultInjected => "dropped by fault injection",
         };
         f.write_str(s)
     }

@@ -16,13 +16,16 @@ use simnet::{
     Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId, TransportKind,
 };
 
-/// A built scenario: one rendezvous, `publishers` publishing peers and
-/// `subscribers` subscribing peers, all on one LAN segment (the paper's
-/// FastEthernet testbed of Sun Ultra 10s).
+/// A built scenario: one or more rendezvous peers, `publishers` publishing
+/// peers and `subscribers` subscribing peers, all on one LAN segment (the
+/// paper's FastEthernet testbed of Sun Ultra 10s). Multi-rendezvous
+/// deployments join the rendezvous peers in a full mesh of
+/// rendezvous-to-rendezvous links (the sharded `RendezvousMesh` topology).
 pub struct Scenario {
     net: Network,
     flavor: Flavor,
     dissemination: DisseminationConfig,
+    rendezvous: Vec<NodeId>,
     publishers: Vec<NodeId>,
     subscribers: Vec<NodeId>,
     offers: OfferGenerator,
@@ -54,7 +57,7 @@ impl Scenario {
     }
 
     /// Builds a scenario whose peers all run the given dissemination
-    /// strategy.
+    /// strategy, on a single-rendezvous topology.
     pub fn build_with_dissemination(
         flavor: Flavor,
         dissemination: DisseminationConfig,
@@ -63,25 +66,58 @@ impl Scenario {
         seed: u64,
         costs: CostModel,
     ) -> Scenario {
+        Scenario::build_sharded(flavor, dissemination, 1, publishers, subscribers, seed, costs)
+    }
+
+    /// Builds a scenario with `rendezvous` rendezvous peers joined in a full
+    /// mesh. Nodes `0..rendezvous` are the rendezvous peers (each seeded with
+    /// its mesh peers' addresses); every edge peer is seeded with all
+    /// rendezvous addresses — under [`jxta::StrategyKind::RendezvousMesh`]
+    /// each edge leases with exactly the shard its peer id hashes to, under
+    /// every other strategy the original connect-to-all behaviour applies.
+    pub fn build_sharded(
+        flavor: Flavor,
+        dissemination: DisseminationConfig,
+        rendezvous: usize,
+        publishers: usize,
+        subscribers: usize,
+        seed: u64,
+        costs: CostModel,
+    ) -> Scenario {
+        assert!(rendezvous >= 1, "a scenario needs at least one rendezvous");
         let mut builder = NetworkBuilder::new(seed);
-        // Node 0 is the rendezvous; every other peer seeds to it.
-        let rdv_config = jxta::peer::PeerConfig::rendezvous("rdv")
-            .with_costs(costs.clone())
-            .with_dissemination(dissemination.clone());
-        builder.add_node(
-            Box::new(RdvNode {
-                peer: jxta::JxtaPeer::new(rdv_config),
-            }),
-            NodeConfig::lan_peer(SubnetId(0)),
-        );
-        let rdv_addr = SimAddress::new(TransportKind::Tcp, 0x0A00_0001, 9701);
+        // Hosts are assigned 10.0.0.1 upward in add order, so the rendezvous
+        // addresses are known before the nodes exist.
+        let rdv_addrs: Vec<SimAddress> = (0..rendezvous)
+            .map(|i| SimAddress::new(TransportKind::Tcp, 0x0A00_0001 + i as u32, 9701))
+            .collect();
+        let mut rendezvous_ids = Vec::new();
+        for (i, _) in rdv_addrs.iter().enumerate() {
+            let mesh_peers: Vec<SimAddress> = rdv_addrs
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a)
+                .collect();
+            let rdv_config = jxta::peer::PeerConfig::rendezvous(format!("rdv-{i}"))
+                .with_seeds(mesh_peers)
+                .with_costs(costs.clone())
+                .with_dissemination(dissemination.clone());
+            rendezvous_ids.push(builder.add_node(
+                Box::new(RdvNode {
+                    peer: jxta::JxtaPeer::new(rdv_config),
+                }),
+                NodeConfig::lan_peer(SubnetId(0)),
+            ));
+        }
         let mut publisher_ids = Vec::new();
         for i in 0..publishers {
             let node = SkiNode::boxed_with_dissemination(
                 flavor,
                 Role::Publisher,
                 &format!("shop-{i}"),
-                vec![rdv_addr],
+                rdv_addrs.clone(),
                 costs.clone(),
                 dissemination.clone(),
             );
@@ -93,7 +129,7 @@ impl Scenario {
                 flavor,
                 Role::Subscriber,
                 &format!("skier-{i}"),
-                vec![rdv_addr],
+                rdv_addrs.clone(),
                 costs.clone(),
                 dissemination.clone(),
             );
@@ -103,6 +139,7 @@ impl Scenario {
             net: builder.build(),
             flavor,
             dissemination,
+            rendezvous: rendezvous_ids,
             publishers: publisher_ids,
             subscribers: subscriber_ids,
             offers: OfferGenerator::new(seed ^ 0x5EED),
@@ -176,6 +213,68 @@ impl Scenario {
         });
         self.net.run_for(charged);
         charged
+    }
+
+    /// The simulation node ids of the rendezvous peers, in shard order.
+    pub fn rendezvous_ids(&self) -> &[NodeId] {
+        &self.rendezvous
+    }
+
+    /// The simulation node id of publisher `index`.
+    pub fn publisher_id(&self, index: usize) -> NodeId {
+        self.publishers[index]
+    }
+
+    /// The simulation node id of subscriber `index`.
+    pub fn subscriber_id(&self, index: usize) -> NodeId {
+        self.subscribers[index]
+    }
+
+    /// Per-rendezvous `(client leases, mesh links)` counts, in shard order —
+    /// the structural per-event forwarding fan-out of each rendezvous (a
+    /// rendezvous forwards one copy per client lease, plus one per mesh link
+    /// when it roots the event's shard).
+    pub fn rendezvous_loads(&self) -> Vec<(usize, usize)> {
+        self.rendezvous
+            .iter()
+            .map(|&id| {
+                let node = self.net.node_ref::<RdvNode>(id).expect("rendezvous exists");
+                let service = node.peer.rendezvous();
+                (service.counters().2, service.mesh_degree())
+            })
+            .collect()
+    }
+
+    /// The shard (rendezvous node id) an edge peer currently leases with,
+    /// if it is connected.
+    pub fn shard_of(&self, edge: NodeId) -> Option<NodeId> {
+        let connected_rdv = self
+            .net
+            .node_ref::<SkiNode>(edge)?
+            .peer_ref()
+            .rendezvous()
+            .connection()?
+            .peer;
+        self.rendezvous.iter().copied().find(|&id| {
+            self.net
+                .node_ref::<RdvNode>(id)
+                .map(|n| n.peer.peer_id() == connected_rdv)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Publishes one offer from publisher `index` and returns how many
+    /// datagrams the publisher put on the wire for it — the publisher-side
+    /// copy count of the dissemination strategy (O(subscribers) under the
+    /// paper baseline, O(1) under the tree and the sharded mesh).
+    pub fn publish_counting_copies(&mut self, index: usize) -> usize {
+        let node = self.publishers[index];
+        let before = self.net.stats_of(node).datagrams_sent;
+        let charged = self.publish_without_advancing(index);
+        let copies = (self.net.stats_of(node).datagrams_sent - before) as usize;
+        self.net
+            .run_for(charged.saturating_add(SimDuration::from_millis(1)));
+        copies
     }
 
     /// Offers received so far by subscriber `index`, with arrival times.
@@ -282,6 +381,71 @@ pub fn dissemination_comparison(
             (kind, stats(&series).mean)
         })
         .collect()
+}
+
+/// One row of the sharded rendezvous-mesh ablation: cost structure of the
+/// `RendezvousMesh` strategy at a given shard count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshReport {
+    /// Number of rendezvous shards (N).
+    pub shards: usize,
+    /// Number of subscribers in the run.
+    pub subscribers: usize,
+    /// Copies the publisher sent per event (the publisher-side cost; O(1)
+    /// under the mesh, whatever `subscribers` or `shards`).
+    pub publisher_copies: usize,
+    /// The largest per-rendezvous forwarding fan-out: local client leases
+    /// plus mesh links of the most loaded rendezvous.
+    pub max_rendezvous_fanout: usize,
+    /// The largest number of client leases on any one rendezvous (how uneven
+    /// the hash sharding came out).
+    pub max_rendezvous_clients: usize,
+    /// Mesh links per rendezvous (N - 1 on the full mesh).
+    pub mesh_links: usize,
+    /// Fraction of published events that reached every subscriber.
+    pub delivered_ratio: f64,
+}
+
+/// Runs the mesh workload at `shards` rendezvous peers and measures its cost
+/// structure: publisher copies per event, the per-rendezvous fan-out, and
+/// delivery coverage. The workload behind the `ablation_dissem` mesh series —
+/// publisher copies stay flat in `subscribers` while the per-rendezvous
+/// fan-out shrinks as `shards` grows.
+pub fn mesh_fanout_report(subscribers: usize, shards: usize, events: usize, seed: u64) -> MeshReport {
+    let mut scenario = Scenario::build_sharded(
+        Flavor::SrTps,
+        DisseminationConfig::rendezvous_mesh(shards),
+        shards,
+        1,
+        subscribers,
+        seed,
+        CostModel::free(),
+    );
+    scenario.warm_up();
+    let mut publisher_copies = 0;
+    for _ in 0..events {
+        publisher_copies = publisher_copies.max(scenario.publish_counting_copies(0));
+    }
+    scenario.advance(SimDuration::from_secs(10));
+    let loads = scenario.rendezvous_loads();
+    let max_rendezvous_fanout = loads.iter().map(|&(c, m)| c + m).max().unwrap_or(0);
+    let max_rendezvous_clients = loads.iter().map(|&(c, _)| c).max().unwrap_or(0);
+    let mesh_links = loads.iter().map(|&(_, m)| m).max().unwrap_or(0);
+    let delivered: usize = (0..subscribers).map(|i| scenario.received_count(i)).sum();
+    let expected = subscribers * events;
+    MeshReport {
+        shards,
+        subscribers,
+        publisher_copies,
+        max_rendezvous_fanout,
+        max_rendezvous_clients,
+        mesh_links,
+        delivered_ratio: if expected == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected as f64
+        },
+    }
 }
 
 /// The batching ablation: publisher-side invocation time (ms) for `events`
@@ -647,9 +811,66 @@ mod tests {
     #[test]
     fn dissemination_comparison_covers_all_strategies() {
         let report = dissemination_comparison(Flavor::SrTps, 2, 3, 7);
-        assert_eq!(report.len(), 3);
+        assert_eq!(report.len(), StrategyKind::ALL.len());
         assert!(report.iter().all(|(_, mean)| *mean > 0.0));
         assert_eq!(report[0].0, StrategyKind::DirectFanout);
+    }
+
+    #[test]
+    fn sharded_mesh_delivers_across_shards() {
+        let mut scenario = Scenario::build_sharded(
+            Flavor::SrTps,
+            DisseminationConfig::rendezvous_mesh(3),
+            3,
+            1,
+            6,
+            11,
+            CostModel::free(),
+        );
+        scenario.warm_up();
+        // The subscribers must spread over more than one shard, or the mesh
+        // links are never exercised.
+        let shards: std::collections::HashSet<_> = (0..6)
+            .filter_map(|i| scenario.shard_of(scenario.subscriber_id(i)))
+            .collect();
+        assert!(
+            shards.len() > 1,
+            "6 subscribers over 3 shards should span several shards"
+        );
+        for _ in 0..5 {
+            scenario.publish_one(0);
+        }
+        scenario.advance(SimDuration::from_secs(10));
+        for subscriber in 0..6 {
+            assert_eq!(
+                scenario.received_count(subscriber),
+                5,
+                "mesh: every subscriber receives every offer exactly once"
+            );
+        }
+        // Full mesh of 3: every rendezvous holds 2 mesh links.
+        assert!(scenario.rendezvous_loads().iter().all(|&(_, m)| m == 2));
+    }
+
+    #[test]
+    fn mesh_report_shows_flat_publisher_and_sharded_fanout() {
+        let one = mesh_fanout_report(12, 1, 3, 2002);
+        let four = mesh_fanout_report(12, 4, 3, 2002);
+        assert_eq!(one.publisher_copies, 1, "publisher sends exactly one copy");
+        assert_eq!(
+            four.publisher_copies, 1,
+            "publisher copies independent of shard count"
+        );
+        assert_eq!(one.mesh_links, 0);
+        assert_eq!(four.mesh_links, 3);
+        assert!(
+            four.max_rendezvous_clients < one.max_rendezvous_clients,
+            "sharding must spread the client leases ({} -> {})",
+            one.max_rendezvous_clients,
+            four.max_rendezvous_clients
+        );
+        assert!((one.delivered_ratio - 1.0).abs() < f64::EPSILON);
+        assert!((four.delivered_ratio - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -18,7 +18,8 @@ pub mod workload;
 
 pub use harness::{
     batch_comparison, dissemination_comparison, invocation_time, invocation_time_with_dissemination,
-    loc_report, publisher_throughput, stats, subscriber_throughput, LocReport, Scenario, SeriesStats,
+    loc_report, mesh_fanout_report, publisher_throughput, stats, subscriber_throughput, LocReport,
+    MeshReport, Scenario, SeriesStats,
 };
 pub use jxta::{DisseminationConfig, StrategyKind};
 pub use jxta_app::{JxtaSkiApp, Role};

@@ -162,6 +162,14 @@ impl SkiNode {
         }
     }
 
+    /// The underlying JXTA peer, whatever the flavour.
+    pub fn peer_ref(&self) -> &jxta::JxtaPeer {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.peer(),
+            SkiNode::SrTps(app) => app.engine().peer(),
+        }
+    }
+
     /// Virtual arrival times of every offer received so far.
     pub fn received_times(&self) -> Vec<SimTime> {
         match self {

@@ -849,6 +849,13 @@ mod tests {
             jxta::StrategyKind::DirectFanout,
             "the paper baseline stays the default"
         );
+        let sharded =
+            TpsConfig::new("carol").with_dissemination(jxta::DisseminationConfig::rendezvous_mesh(4));
+        assert_eq!(sharded.peer.dissemination.mesh_shards, 4);
+        assert_eq!(
+            TpsEngine::new(sharded).peer().wire().strategy_kind(),
+            jxta::StrategyKind::RendezvousMesh
+        );
     }
 
     #[test]

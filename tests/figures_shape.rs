@@ -2,7 +2,10 @@
 //! of every figure holds: who wins, by roughly what factor, and how the
 //! curves move with the number of peers.
 
-use ski_rental::{invocation_time, loc_report, publisher_throughput, stats, subscriber_throughput, Flavor};
+use ski_rental::{
+    invocation_time, loc_report, mesh_fanout_report, publisher_throughput, stats, subscriber_throughput,
+    Flavor,
+};
 
 #[test]
 fn figure_18_shape_wire_fastest_and_sr_layers_close() {
@@ -58,6 +61,49 @@ fn figure_20_shape_subscriber_saturates_and_drops_with_more_publishers() {
     assert!(
         four < one / 2.0,
         "4 publishers should cut the received rate by ~2-3x ({one:.2} -> {four:.2})"
+    );
+}
+
+#[test]
+fn ablation_dissem_mesh_series_publisher_flat_and_fanout_sharded() {
+    // The mesh series of the ablation_dissem bench: publisher copies stay
+    // flat in the subscriber count while the per-rendezvous fan-out shrinks
+    // as the shard count N grows.
+    const SEED: u64 = 2002;
+    // Publisher copies do not grow with subscribers (O(1) at any N).
+    for shards in [1usize, 2, 4, 8] {
+        let small = mesh_fanout_report(4, shards, 2, SEED);
+        let large = mesh_fanout_report(32, shards, 2, SEED);
+        assert_eq!(small.publisher_copies, 1, "N={shards}: one copy at 4 subscribers");
+        assert_eq!(
+            large.publisher_copies, small.publisher_copies,
+            "N={shards}: publisher copies must be flat in the subscriber count"
+        );
+        assert_eq!(large.mesh_links, shards - 1, "full mesh keeps N-1 links");
+        assert!(
+            (large.delivered_ratio - 1.0).abs() < f64::EPSILON,
+            "N={shards}: the mesh must stay exactly-once complete"
+        );
+        // Per-rendezvous fan-out ≈ subscribers/N + mesh links. The publisher
+        // also holds a lease, and uncoordinated hash sharding balances only
+        // up to the usual √(s/N) wobble, so the certified bound is the
+        // classic within-2x-of-perfect-split one.
+        let bound = 2 * (32usize + 1).div_ceil(shards) + large.mesh_links;
+        assert!(
+            large.max_rendezvous_fanout <= bound,
+            "N={shards}: max per-rendezvous fan-out {} exceeds 2*ceil(33/N)+mesh = {bound}",
+            large.max_rendezvous_fanout
+        );
+    }
+    // At a fixed subscriber count the per-shard client load strictly shrinks
+    // as N grows (16 subscribers: 17 -> ... -> ~4).
+    let loads: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| mesh_fanout_report(16, n, 2, SEED).max_rendezvous_clients)
+        .collect();
+    assert!(
+        loads.windows(2).all(|w| w[1] < w[0]),
+        "per-rendezvous client load must shrink as N grows: {loads:?}"
     );
 }
 

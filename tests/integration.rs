@@ -405,9 +405,11 @@ fn delivery_survives_a_subscriber_address_change() {
 // ---------------------------------------------------------------------------
 
 fn strategy_of(index: usize) -> DisseminationConfig {
-    match tps::StrategyKind::ALL[index % 3] {
+    match tps::StrategyKind::ALL[index % tps::StrategyKind::ALL.len()] {
         tps::StrategyKind::DirectFanout => DisseminationConfig::direct_fanout(),
         tps::StrategyKind::RendezvousTree => DisseminationConfig::rendezvous_tree(),
+        // One rendezvous in this world: the mesh degenerates to the tree.
+        tps::StrategyKind::RendezvousMesh => DisseminationConfig::rendezvous_mesh(1),
         // Fanout 64 >= the three-node neighbourhood: flooding-with-dedup, so
         // delivery is deterministic and the sequences comparable.
         tps::StrategyKind::Gossip => DisseminationConfig::gossip(64, 4),
