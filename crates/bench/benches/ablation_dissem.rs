@@ -18,19 +18,50 @@ use ski_rental::harness::{dissemination_comparison, invocation_time_with_dissemi
 use ski_rental::{DisseminationConfig, Flavor, StrategyKind};
 use std::time::Duration;
 
-const SUBSCRIBER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
-const MESH_SHARDS: [usize; 4] = [1, 2, 4, 8];
-const EVENTS: usize = 5;
 const SEED: u64 = 2002;
 
+/// `TPS_BENCH_SMOKE=1` (set by CI) shrinks the sweep so the bench
+/// smoke-runs in seconds while still exercising every strategy and the
+/// mesh code paths — bench rot shows up as a compile or runtime failure.
+fn smoke() -> bool {
+    std::env::var("TPS_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn subscriber_counts() -> &'static [usize] {
+    if smoke() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    }
+}
+
+fn mesh_shards() -> &'static [usize] {
+    if smoke() {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    }
+}
+
+fn events() -> usize {
+    if smoke() {
+        2
+    } else {
+        5
+    }
+}
+
 fn virtual_time_table() {
-    println!("\nvirtual publisher invocation time (ms/event, mean of {EVENTS} events, seed {SEED})");
-    let sweeps: Vec<Vec<(StrategyKind, f64)>> = SUBSCRIBER_COUNTS
+    let events = events();
+    println!("\nvirtual publisher invocation time (ms/event, mean of {events} events, seed {SEED})");
+    let sweeps: Vec<Vec<(StrategyKind, f64)>> = subscriber_counts()
         .iter()
-        .map(|&subs| dissemination_comparison(Flavor::SrTps, subs, EVENTS, SEED))
+        .map(|&subs| dissemination_comparison(Flavor::SrTps, subs, events, SEED))
         .collect();
     print!("{:<18}", "strategy");
-    for subs in SUBSCRIBER_COUNTS {
+    for subs in subscriber_counts() {
         print!("{subs:>9}");
     }
     println!();
@@ -49,9 +80,10 @@ fn mesh_series_table() {
         "{:>7} {:>12} {:>15} {:>17} {:>11} {:>10}",
         "shards", "subscribers", "pub copies", "max rdv fan-out", "max leases", "delivered"
     );
-    for &shards in &MESH_SHARDS {
-        for &subs in &[16usize, 32] {
-            let report = mesh_fanout_report(subs, shards, EVENTS, SEED);
+    let sub_series: &[usize] = if smoke() { &[16] } else { &[16, 32] };
+    for &shards in mesh_shards() {
+        for &subs in sub_series {
+            let report = mesh_fanout_report(subs, shards, events(), SEED);
             println!(
                 "{:>7} {:>12} {:>15} {:>17} {:>11} {:>9.0}%",
                 report.shards,
@@ -71,23 +103,23 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_dissem");
     group.sample_size(10).measurement_time(Duration::from_secs(5));
     for kind in StrategyKind::ALL {
-        for subs in SUBSCRIBER_COUNTS {
+        for &subs in subscriber_counts() {
             group.bench_with_input(BenchmarkId::new(kind.label(), subs), &subs, |b, &subs| {
                 b.iter(|| {
                     invocation_time_with_dissemination(
                         Flavor::SrTps,
                         DisseminationConfig::of_kind(kind),
                         subs,
-                        EVENTS,
+                        events(),
                         SEED,
                     )
                 })
             });
         }
     }
-    for shards in MESH_SHARDS {
+    for &shards in mesh_shards() {
         group.bench_with_input(BenchmarkId::new("mesh-shards", shards), &shards, |b, &shards| {
-            b.iter(|| mesh_fanout_report(16, shards, EVENTS, SEED))
+            b.iter(|| mesh_fanout_report(16, shards, events(), SEED))
         });
     }
     group.finish();

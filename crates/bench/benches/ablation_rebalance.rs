@@ -1,0 +1,150 @@
+//! Ablation A5: the load-aware rebalancing controller. Reproduces the
+//! delivery-ratio-vs-time trajectory of a sharded rendezvous mesh across a
+//! scripted shard death, with and without the controller.
+//!
+//! One rendezvous of four is killed and **never revived**. Events are
+//! published on a fixed cadence; each epoch's delivery ratio is the fraction
+//! of subscribers that received that epoch's event. Without the controller
+//! (`RebalanceConfig::disabled`, the PR 3 behaviour) the dead shard's
+//! subscribers stay dark forever and the ratio flatlines below 1. With the
+//! controller, the survivors declare the shard dead after its rendezvous
+//! misses the report threshold, the dead shard's edges walk the failover
+//! ring to the adopting rendezvous as their leases expire, and the ratio
+//! recovers to 1.0 — the headline table this bench prints.
+//!
+//! `TPS_BENCH_SMOKE=1` (set by CI) shrinks the virtual horizon and epoch
+//! count so the bench smoke-runs in seconds; the trajectory shape (dip,
+//! then recovery only with the controller) is preserved.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxta::RebalanceConfig;
+use simnet::{ChurnDriver, SimDuration};
+use ski_rental::harness::Scenario;
+use ski_rental::{DisseminationConfig, Flavor};
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+const SUBSCRIBERS: usize = 8;
+const SEED: u64 = 2002;
+/// Seconds between published events.
+const EPOCH_SECS: u64 = 15;
+
+fn smoke() -> bool {
+    std::env::var("TPS_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Epochs after the kill. The full run covers the whole lease lifetime plus
+/// the failover margin (the recovery completes by ~150 virtual seconds); the
+/// smoke run keeps the dip visible and the code paths exercised.
+fn epochs() -> usize {
+    if smoke() {
+        4
+    } else {
+        14
+    }
+}
+
+/// One run: returns the per-epoch delivery ratios after the shard death.
+fn delivery_trajectory(controller_on: bool) -> Vec<f64> {
+    let rebalance = if controller_on {
+        RebalanceConfig::default()
+    } else {
+        RebalanceConfig::disabled()
+    };
+    let mut scenario = Scenario::build_sharded(
+        Flavor::SrTps,
+        DisseminationConfig::rendezvous_mesh(SHARDS).with_rebalance(rebalance),
+        SHARDS,
+        1,
+        SUBSCRIBERS,
+        SEED,
+        jxta::CostModel::free(),
+    );
+    scenario.warm_up();
+    // The victim: first shard that is not the publisher's and has clients.
+    let publisher_shard = scenario
+        .shard_of(scenario.publisher_id(0))
+        .expect("publisher leased");
+    let victim = scenario
+        .rendezvous_ids()
+        .iter()
+        .copied()
+        .find(|&id| {
+            id != publisher_shard
+                && (0..SUBSCRIBERS).any(|i| scenario.shard_of(scenario.subscriber_id(i)) == Some(id))
+        })
+        .expect("some non-publisher shard has subscribers");
+
+    let mut churn = ChurnDriver::new();
+    let kill_at = scenario.now() + SimDuration::from_secs(1);
+    churn.kill_at(kill_at, victim);
+    churn.run_until(scenario.network_mut(), kill_at + SimDuration::from_secs(1));
+
+    let mut ratios = Vec::with_capacity(epochs());
+    for _ in 0..epochs() {
+        let before: Vec<usize> = (0..SUBSCRIBERS).map(|i| scenario.received_count(i)).collect();
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(EPOCH_SECS));
+        let delivered = (0..SUBSCRIBERS)
+            .filter(|&i| scenario.received_count(i) > before[i])
+            .count();
+        ratios.push(delivered as f64 / SUBSCRIBERS as f64);
+    }
+    ratios
+}
+
+fn trajectory_table() {
+    let with_controller = delivery_trajectory(true);
+    let without_controller = delivery_trajectory(false);
+    println!(
+        "\ndelivery ratio vs time across a permanent shard death \
+         ({SHARDS} shards, {SUBSCRIBERS} subscribers, seed {SEED}{})",
+        if smoke() { ", SMOKE" } else { "" }
+    );
+    println!(
+        "{:>12} {:>17} {:>17}",
+        "t after kill", "with controller", "without"
+    );
+    for (epoch, (on, off)) in with_controller.iter().zip(&without_controller).enumerate() {
+        println!(
+            "{:>10}s {:>16.0}% {:>16.0}%",
+            (epoch as u64 + 1) * EPOCH_SECS,
+            on * 100.0,
+            off * 100.0
+        );
+    }
+    let recovered = with_controller.last().copied().unwrap_or(0.0);
+    let stranded = without_controller.last().copied().unwrap_or(0.0);
+    println!(
+        "final epoch: controller {:.0}% vs baseline {:.0}% — the gap is the dead shard",
+        recovered * 100.0,
+        stranded * 100.0
+    );
+    if !smoke() {
+        assert!(
+            recovered >= 0.99,
+            "with the controller, delivery must fully recover (got {recovered})"
+        );
+        assert!(
+            stranded < 1.0,
+            "without the controller the dead shard must stay dark (got {stranded})"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    trajectory_table();
+    let mut group = c.benchmark_group("ablation_rebalance");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (label, on) in [("with-controller", true), ("without-controller", false)] {
+        group.bench_with_input(BenchmarkId::new(label, SHARDS), &on, |b, &on| {
+            b.iter(|| delivery_trajectory(on))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

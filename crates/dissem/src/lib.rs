@@ -33,6 +33,12 @@
 #![warn(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod rebalance;
+
+pub use rebalance::{
+    adopter_of, adoption_map, hot_shards, RebalanceConfig, RebalanceController, RebalanceEvent,
+};
+
 use rand::RngCore;
 use std::fmt;
 
@@ -95,6 +101,11 @@ pub struct DisseminationConfig {
     /// `mesh_shards` seed rendezvous addresses they can reach (clamped to
     /// the number of usable seeds); `0` everywhere else.
     pub mesh_shards: usize,
+    /// The load-aware rebalancing controller (see [`rebalance`]): dead-shard
+    /// detection thresholds, hot-shard ratio, and whether the controller
+    /// runs at all. Only consulted by mesh deployments today, but carried
+    /// for every strategy so an operator can flip it in one place.
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for DisseminationConfig {
@@ -111,6 +122,7 @@ impl DisseminationConfig {
             gossip_fanout: 0,
             gossip_ttl: 0,
             mesh_shards: 0,
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -118,9 +130,7 @@ impl DisseminationConfig {
     pub fn rendezvous_tree() -> Self {
         DisseminationConfig {
             kind: StrategyKind::RendezvousTree,
-            gossip_fanout: 0,
-            gossip_ttl: 0,
-            mesh_shards: 0,
+            ..DisseminationConfig::direct_fanout()
         }
     }
 
@@ -130,9 +140,8 @@ impl DisseminationConfig {
     pub fn rendezvous_mesh(shards: usize) -> Self {
         DisseminationConfig {
             kind: StrategyKind::RendezvousMesh,
-            gossip_fanout: 0,
-            gossip_ttl: 0,
             mesh_shards: shards.max(1),
+            ..DisseminationConfig::direct_fanout()
         }
     }
 
@@ -142,8 +151,16 @@ impl DisseminationConfig {
             kind: StrategyKind::Gossip,
             gossip_fanout: fanout,
             gossip_ttl: ttl,
-            mesh_shards: 0,
+            ..DisseminationConfig::direct_fanout()
         }
+    }
+
+    /// Builder-style override of the rebalancing-controller configuration
+    /// (pass [`RebalanceConfig::disabled`] for the pre-controller mesh
+    /// behaviour the `ablation_rebalance` bench compares against).
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
+        self
     }
 
     /// A configuration of the given kind with gossip defaults (fanout 4,

@@ -77,6 +77,16 @@ pub enum WireMessage {
         /// The publishing peer.
         src_peer: PeerId,
     },
+    /// A compact load report, piggybacked on the housekeeping tick: edge
+    /// peers send theirs to their rendezvous; rendezvous peers gossip their
+    /// own across the mesh links, building the per-shard load table the
+    /// rebalancing controller decides from.
+    LoadReport {
+        /// The reporting peer.
+        peer: PeerId,
+        /// The load record.
+        report: telemetry::LoadReport,
+    },
     /// Data on a many-to-many wire pipe.
     WireData(WirePacket),
     /// A relay envelope: "please forward `inner` to `dest`" (ERP).
@@ -97,6 +107,7 @@ impl WireMessage {
             WireMessage::RendezvousLease { .. } => "rdv-lease",
             WireMessage::MeshLink { .. } => "mesh-link",
             WireMessage::Publish { .. } => "publish",
+            WireMessage::LoadReport { .. } => "load-report",
             WireMessage::WireData(_) => "wire-data",
             WireMessage::Relay { .. } => "relay",
         }
@@ -144,6 +155,17 @@ impl WireMessage {
             WireMessage::Publish { adv_xml, src_peer } => {
                 msg.add(MessageElement::xml(NAMESPACE, "Adv", adv_xml.clone()));
                 msg.add(MessageElement::text(NAMESPACE, "SrcPeer", src_peer.to_string()));
+            }
+            WireMessage::LoadReport { peer, report } => {
+                msg.add(MessageElement::text(NAMESPACE, "Peer", peer.to_string()));
+                msg.add(MessageElement::text(
+                    NAMESPACE,
+                    "Load",
+                    format!(
+                        "{},{},{},{}",
+                        report.events_relayed, report.fan_out, report.mailbox_depth, report.lease_count
+                    ),
+                ));
             }
             WireMessage::WireData(packet) => {
                 msg.add(MessageElement::text(
@@ -226,6 +248,27 @@ impl WireMessage {
                     .parse()
                     .map_err(|e| JxtaError::BadXml(format!("bad src peer: {e}")))?,
             }),
+            "load-report" => {
+                let load = text("Load")?;
+                let mut fields = load.split(',');
+                let mut next = || -> Result<u64, JxtaError> {
+                    fields
+                        .next()
+                        .and_then(|f| f.parse().ok())
+                        .ok_or_else(|| JxtaError::BadXml(format!("bad load report: {load}")))
+                };
+                Ok(WireMessage::LoadReport {
+                    peer: text("Peer")?
+                        .parse()
+                        .map_err(|e| JxtaError::BadXml(format!("bad peer: {e}")))?,
+                    report: telemetry::LoadReport {
+                        events_relayed: next()?,
+                        fan_out: next()? as u32,
+                        mailbox_depth: next()? as u32,
+                        lease_count: next()? as u32,
+                    },
+                })
+            }
             "wire-data" => {
                 let payload = msg
                     .element(NAMESPACE, "Payload")
@@ -391,6 +434,15 @@ mod tests {
                 payload: Bytes::from_static(b"event bytes"),
             }),
             WireMessage::Relay { dest: PeerId::derive("carol"), inner: Bytes::from_static(b"inner") },
+            WireMessage::LoadReport {
+                peer: PeerId::derive("rdv-2"),
+                report: telemetry::LoadReport {
+                    events_relayed: 1234,
+                    fan_out: 17,
+                    mailbox_depth: 3,
+                    lease_count: 9,
+                },
+            },
         ];
         for sample in samples {
             let decoded = WireMessage::from_bytes(&sample.to_bytes()).unwrap();

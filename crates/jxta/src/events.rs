@@ -51,6 +51,20 @@ pub enum JxtaEvent {
         /// The newly linked rendezvous peer.
         rdv: PeerId,
     },
+    /// The rebalancing controller declared a fellow rendezvous dead: its
+    /// load reports stopped for the configured number of report intervals.
+    /// The local rendezvous drops the mesh link; the dead shard's edges
+    /// re-lease with the ring adopter as their leases expire.
+    ShardDead {
+        /// The rendezvous whose shard went dark.
+        rdv: PeerId,
+    },
+    /// A load report arrived from a rendezvous previously declared dead —
+    /// its shard is serving again (the mesh link heals via the next hello).
+    ShardRevived {
+        /// The rendezvous that came back.
+        rdv: PeerId,
+    },
     /// A membership response arrived for a group this peer applied to.
     MembershipResult {
         /// The group concerned.

@@ -35,7 +35,9 @@ pub mod services;
 pub mod xml;
 
 pub use dissem;
-pub use dissem::{DisseminationConfig, StrategyKind};
+pub use dissem::{DisseminationConfig, RebalanceConfig, StrategyKind};
+pub use telemetry;
+pub use telemetry::{LoadReport, MetricsRegistry, MetricsSnapshot};
 
 pub use adv::{
     AdvKind, Advertisement, AnyAdvertisement, PeerAdvertisement, PeerGroupAdvertisement, PipeAdvertisement,

@@ -27,8 +27,10 @@ use crate::protocols::{handlers, ProtocolPayload};
 use crate::services::{
     DiscoveryService, MembershipService, MembershipState, PeerInfoService, RendezvousService, WireService,
 };
+use dissem::{RebalanceController, RebalanceEvent};
 use rand::Rng;
 use simnet::{NodeContext, SimAddress, SimDuration, SimTime, TransportKind};
+use telemetry::{LoadReport, MetricsRegistry};
 
 /// Timer tag used by the peer's periodic housekeeping.
 pub const TIMER_HOUSEKEEPING: u64 = 0x4A58_0001;
@@ -187,6 +189,9 @@ pub struct JxtaPeer {
     events: Vec<JxtaEvent>,
     started: bool,
     local_transports: Vec<TransportKind>,
+    local_addresses: Vec<SimAddress>,
+    rebalance: RebalanceController<PeerId>,
+    mailbox_depth: u32,
 }
 
 impl JxtaPeer {
@@ -211,6 +216,9 @@ impl JxtaPeer {
             events: Vec::new(),
             started: false,
             local_transports: Vec::new(),
+            local_addresses: Vec::new(),
+            rebalance: RebalanceController::new(config.dissemination.rebalance),
+            mailbox_depth: 0,
             config,
         }
     }
@@ -265,6 +273,165 @@ impl JxtaPeer {
         std::mem::take(&mut self.events)
     }
 
+    /// Reports the application-layer mailbox depth the next outgoing
+    /// [`telemetry::LoadReport`] should carry (the TPS engine sets this from
+    /// its session mailbox at every pump; zero where no mailbox exists).
+    pub fn set_mailbox_depth(&mut self, depth: u32) {
+        self.mailbox_depth = depth;
+    }
+
+    /// The first point-to-point address this peer listens on, if started.
+    fn primary_address(&self) -> Option<SimAddress> {
+        self.local_addresses
+            .iter()
+            .copied()
+            .find(|a| a.transport.is_point_to_point())
+    }
+
+    /// The deployment's shard ring: every rendezvous address (this peer's
+    /// own plus its seeds), ascending, truncated to the configured
+    /// `mesh_shards` under the mesh strategy. Builders hand out seed lists
+    /// in ascending address order, so this ring matches the seed list the
+    /// edges hash and fail over on — including the truncation: an edge's
+    /// connect target is always `seeds[(home + attempts) % shards]`, so
+    /// rendezvous beyond the shard count never serve a hash range and must
+    /// not appear in the adoption ring either.
+    pub fn shard_ring(&self) -> Vec<SimAddress> {
+        let mut ring: Vec<SimAddress> = self
+            .rendezvous
+            .seed_addresses()
+            .iter()
+            .copied()
+            .filter(|a| a.transport.is_point_to_point())
+            .chain(self.primary_address())
+            .collect();
+        ring.sort();
+        ring.dedup();
+        if self.config.dissemination.kind == dissem::StrategyKind::RendezvousMesh {
+            ring.truncate(self.config.dissemination.mesh_shards.max(1));
+        }
+        ring
+    }
+
+    /// The shard indices this rendezvous currently serves: its own, plus
+    /// every dead shard whose ring adopter it is (the deterministic rule of
+    /// [`dissem::adopter_of`]). Edges walking their failover ring land on
+    /// exactly these shards' leases. Empty on edge peers.
+    pub fn owned_shards(&self) -> Vec<usize> {
+        if !self.rendezvous.is_rendezvous() {
+            return Vec::new();
+        }
+        let ring = self.shard_ring();
+        let Some(own_addr) = self.primary_address() else {
+            return Vec::new();
+        };
+        let Some(own_index) = ring.iter().position(|&a| a == own_addr) else {
+            return Vec::new();
+        };
+        let alive: Vec<bool> = ring
+            .iter()
+            .map(|&addr| {
+                if addr == own_addr {
+                    return true;
+                }
+                // A shard is dead only when the controller says so; a seed
+                // we never heard from at all is treated optimistically (it
+                // may simply not have booted yet).
+                !self
+                    .peer_at(addr)
+                    .map(|p| self.rebalance.is_dead(p))
+                    .unwrap_or(false)
+            })
+            .collect();
+        dissem::adoption_map(&alive)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, owner)| owner == Some(own_index))
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// The dead shards' hash ranges this rendezvous has adopted (its
+    /// [`JxtaPeer::owned_shards`] minus its own).
+    pub fn adopted_shards(&self) -> Vec<usize> {
+        let ring = self.shard_ring();
+        let own_index = self
+            .primary_address()
+            .and_then(|own| ring.iter().position(|&a| a == own));
+        self.owned_shards()
+            .into_iter()
+            .filter(|&index| Some(index) != own_index)
+            .collect()
+    }
+
+    /// The fellow rendezvous the controller currently considers dead.
+    pub fn dead_shards(&self) -> Vec<PeerId> {
+        self.rebalance.dead_peers()
+    }
+
+    /// The rendezvous peer known to live at `addr`, from the mesh links or
+    /// the load table (which outlives link removal).
+    fn peer_at(&self, addr: SimAddress) -> Option<PeerId> {
+        self.rendezvous
+            .mesh_link_ids()
+            .into_iter()
+            .find(|&p| self.rendezvous.mesh_link_address(p) == Some(addr))
+            .or_else(|| {
+                self.rendezvous
+                    .load_table()
+                    .into_iter()
+                    .find(|(_, entry)| entry.address == addr)
+                    .map(|(peer, _)| peer)
+            })
+    }
+
+    /// Exports this peer's counters into a metrics registry under
+    /// `<prefix>.*`: wire and rendezvous service counters, mesh state, and
+    /// (rendezvous role) one `shard<i>.*` group per load-table row, keyed
+    /// by ring position — the per-shard relay counts of the telemetry plane.
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        let (sent, received, duplicates) = self.wire.counters();
+        registry.set_counter(format!("{prefix}.wire.sent"), sent);
+        registry.set_counter(format!("{prefix}.wire.received"), received);
+        registry.set_counter(format!("{prefix}.wire.duplicates"), duplicates);
+        registry.set_counter(format!("{prefix}.wire.forwarded"), self.wire.forwarded());
+        let (propagated, rdv_duplicates, clients) = self.rendezvous.counters();
+        registry.set_counter(format!("{prefix}.rdv.propagated"), propagated);
+        registry.set_counter(format!("{prefix}.rdv.duplicates"), rdv_duplicates);
+        registry.set_gauge(format!("{prefix}.rdv.clients"), clients as i64);
+        registry.set_gauge(
+            format!("{prefix}.rdv.mesh_links"),
+            self.rendezvous.mesh_degree() as i64,
+        );
+        registry.set_counter(
+            format!("{prefix}.rdv.mesh_hellos"),
+            self.rendezvous.mesh_hellos_sent(),
+        );
+        registry.set_gauge(format!("{prefix}.mailbox_depth"), i64::from(self.mailbox_depth));
+        if self.rendezvous.is_rendezvous() {
+            let ring = self.shard_ring();
+            for (peer, entry) in self.rendezvous.load_table() {
+                let shard = ring
+                    .iter()
+                    .position(|&a| a == entry.address)
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| peer.to_string());
+                registry.set_counter(
+                    format!("{prefix}.shard{shard}.relayed"),
+                    entry.report.events_relayed,
+                );
+                registry.set_gauge(
+                    format!("{prefix}.shard{shard}.leases"),
+                    i64::from(entry.report.lease_count),
+                );
+                registry.set_gauge(
+                    format!("{prefix}.shard{shard}.dead"),
+                    i64::from(self.rebalance.is_dead(peer)),
+                );
+            }
+        }
+    }
+
     /// The peer's own advertisement, reflecting its current addresses.
     pub fn peer_advertisement(&self, ctx: &NodeContext<'_>) -> PeerAdvertisement {
         let endpoints: Vec<SimAddress> = ctx
@@ -288,9 +455,10 @@ impl JxtaPeer {
         self.started = true;
         self.info.start(ctx.now());
         self.local_transports = ctx.local_addresses().iter().map(|a| a.transport).collect();
+        self.local_addresses = ctx.local_addresses().to_vec();
         let own_adv: AnyAdvertisement = self.peer_advertisement(ctx).into();
         self.discovery.publish_local(own_adv, ctx.now());
-        self.connect_to_rendezvous(ctx);
+        self.connect_to_rendezvous(ctx, true);
         ctx.set_timer(self.config.housekeeping_interval, TIMER_HOUSEKEEPING);
     }
 
@@ -307,11 +475,15 @@ impl JxtaPeer {
         // Refresh our own advertisement locally so it never ages out.
         let own_adv: AnyAdvertisement = self.peer_advertisement(ctx).into();
         self.discovery.publish_local(own_adv, now);
+        // The load-report plane and the rebalancing controller piggyback on
+        // this tick; the edge failover check must precede the renewal check
+        // so a just-cleared connection reconnects in the same tick.
+        self.housekeep_load_plane(ctx);
         if self
             .rendezvous
             .needs_renewal(now, self.config.housekeeping_interval)
         {
-            self.connect_to_rendezvous(ctx);
+            self.connect_to_rendezvous(ctx, false);
         }
         ctx.set_timer(self.config.housekeeping_interval, TIMER_HOUSEKEEPING);
         true
@@ -331,7 +503,8 @@ impl JxtaPeer {
         };
         self.propagate(ctx, &wm, None);
         // Re-establish the rendezvous lease from the new address.
-        self.connect_to_rendezvous(ctx);
+        self.local_addresses = ctx.local_addresses().to_vec();
+        self.connect_to_rendezvous(ctx, true);
     }
 
     /// Must be called from the owning node's `on_datagram`.
@@ -794,11 +967,11 @@ impl JxtaPeer {
         }
     }
 
-    fn connect_to_rendezvous(&mut self, ctx: &mut NodeContext<'_>) {
+    fn connect_to_rendezvous(&mut self, ctx: &mut NodeContext<'_>, force_announce: bool) {
         if self.rendezvous.is_rendezvous() {
             // A rendezvous uses its seeds as fellow rendezvous: announce
             // mesh links to each (hello; answered with an ack announcement).
-            self.announce_mesh_links(ctx);
+            self.announce_mesh_links(ctx, force_announce);
             return;
         }
         // Only seeds this peer can actually reach participate; filtering
@@ -819,25 +992,34 @@ impl JxtaPeer {
         };
         // Under the sharded rendezvous mesh every edge leases with exactly
         // one rendezvous — the shard its peer-id hashes to among the first
-        // `mesh_shards` usable seeds. Every other strategy keeps the
+        // `mesh_shards` usable seeds, plus the ring-failover offset the
+        // rebalancing layer advances when that home stops answering (dead
+        // shards are adopted by the next surviving seed in ring order; the
+        // edge walks the same ring, so both sides converge without any
+        // re-shard map on the wire). Every other strategy keeps the
         // original behaviour (try every seed; the last granted lease wins,
         // which on a single-rendezvous deployment is the only one).
         let shard_seeds: Vec<SimAddress> =
             if self.config.dissemination.kind == dissem::StrategyKind::RendezvousMesh {
                 let shards = seeds.len().min(self.config.dissemination.mesh_shards.max(1));
-                vec![seeds[dissem::shard_index(self.peer_id.0 .0, shards)]]
+                let home = dissem::shard_index(self.peer_id.0 .0, shards);
+                let target = (home + self.rendezvous.failover_attempts() as usize) % shards;
+                vec![seeds[target]]
             } else {
                 seeds
             };
         for seed in shard_seeds {
             self.transmit(ctx, seed, &wm);
         }
+        self.rendezvous.note_connect_sent();
     }
 
-    /// Sends a mesh-link announcement to every seed address (rendezvous role
-    /// only). Called from `on_start` and from housekeeping, so links heal
-    /// after a peer rendezvous is killed and revived.
-    fn announce_mesh_links(&mut self, ctx: &mut NodeContext<'_>) {
+    /// Sends mesh-link announcements (rendezvous role only). At `on_start`
+    /// (and after an address change) every seed is greeted; the housekeeping
+    /// tick only re-announces to seeds whose link is missing or was dropped
+    /// (e.g. by the rebalancing controller), so an established mesh costs no
+    /// steady-state hello chatter while lost links still heal.
+    fn announce_mesh_links(&mut self, ctx: &mut NodeContext<'_>, force: bool) {
         let seeds = self.rendezvous.seed_addresses().to_vec();
         if seeds.is_empty() {
             return;
@@ -848,9 +1030,140 @@ impl JxtaPeer {
             ack: false,
         };
         for seed in seeds {
-            if self.local_transports.contains(&seed.transport) && !local_addresses.contains(&seed) {
-                self.transmit(ctx, seed, &wm);
+            if !self.local_transports.contains(&seed.transport) || local_addresses.contains(&seed) {
+                continue;
             }
+            if !force && self.rendezvous.has_mesh_link_at(seed) {
+                continue;
+            }
+            self.rendezvous.note_mesh_hello();
+            self.transmit(ctx, seed, &wm);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals: the load-report plane and the rebalancing controller
+    // ------------------------------------------------------------------
+
+    /// One housekeeping pass of the load-report plane. Edges: detect a dead
+    /// home (lease expired with every renewal unanswered), advance the ring
+    /// failover, and piggyback a load report to the current rendezvous.
+    /// Rendezvous: refresh the local load-table entry, gossip it across the
+    /// mesh links, and run the dead-shard detector over the table.
+    fn housekeep_load_plane(&mut self, ctx: &mut NodeContext<'_>) {
+        // `rebalance.enabled` gates the whole plane — reports, gossip,
+        // detection and edge failover — so a disabled configuration is the
+        // exact pre-controller behaviour the ablation baseline compares
+        // against, traffic included.
+        if !self.config.dissemination.rebalance.enabled {
+            return;
+        }
+        let now = ctx.now();
+        if !self.rendezvous.is_rendezvous() {
+            if self.config.dissemination.kind == dissem::StrategyKind::RendezvousMesh {
+                let expired = self
+                    .rendezvous
+                    .connection()
+                    .map(|conn| conn.lease_expires_at <= now)
+                    .unwrap_or(false);
+                let unanswered = self.rendezvous.connection().is_none()
+                    && self.rendezvous.connect_pending()
+                    && !self.rendezvous.seed_addresses().is_empty();
+                if (expired || unanswered) && self.rendezvous.note_renewal_miss() >= 2 {
+                    // The home rendezvous sat out a whole lease and two
+                    // consecutive housekeeping ticks (one lost datagram on a
+                    // lossy link is not a dead home): walk the ring to its
+                    // adopter.
+                    self.rendezvous.clear_connection();
+                    self.rendezvous.bump_failover();
+                }
+            }
+            if let Some(connection) = self.rendezvous.connection().cloned() {
+                let report = LoadReport {
+                    events_relayed: self.wire.counters().0,
+                    fan_out: 0,
+                    mailbox_depth: self.mailbox_depth,
+                    lease_count: 0,
+                };
+                let wm = WireMessage::LoadReport {
+                    peer: self.peer_id,
+                    report,
+                };
+                self.transmit(ctx, connection.address, &wm);
+            }
+            return;
+        }
+        // Rendezvous role: refresh our own entry and gossip it.
+        let own_load = self
+            .rendezvous
+            .own_load(self.mailbox_depth, self.wire.forwarded());
+        if let Some(own_addr) = self.primary_address() {
+            self.rendezvous
+                .record_shard_load(self.peer_id, own_addr, own_load, now);
+        }
+        let wm = WireMessage::LoadReport {
+            peer: self.peer_id,
+            report: own_load,
+        };
+        for peer in self.rendezvous.mesh_link_ids() {
+            if let Some(addr) = self.rendezvous.mesh_link_address(peer) {
+                self.transmit(ctx, addr, &wm);
+            }
+        }
+        // Dead-shard detection over the gossiped table. Dropping the mesh
+        // link stops forwarding copies into a black hole; the housekeeping
+        // announce (see `announce_mesh_links`) keeps probing the seed
+        // address, so a revived rendezvous re-links automatically.
+        let transitions = self
+            .rebalance
+            .tick(now.as_millis(), self.config.housekeeping_interval.as_millis());
+        for transition in transitions {
+            if let RebalanceEvent::ShardDead(rdv) = transition {
+                // Keep (or create) the dead peer's load-table row before the
+                // link goes: the address is what maps the peer back to its
+                // ring position for adoption and for the operator report. A
+                // rendezvous that died before its first report only ever
+                // announced itself, so the row may not exist yet.
+                if self.rendezvous.shard_load(rdv).is_none() {
+                    if let Some(address) = self.rendezvous.mesh_link_address(rdv) {
+                        self.rendezvous
+                            .record_shard_load(rdv, address, LoadReport::default(), now);
+                    }
+                }
+                self.rendezvous.remove_mesh_link(rdv);
+                self.events.push(JxtaEvent::ShardDead { rdv });
+            }
+        }
+    }
+
+    fn handle_load_report(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        peer: PeerId,
+        report: LoadReport,
+        _reply_addr: Option<SimAddress>,
+    ) {
+        if !self.rendezvous.is_rendezvous() || peer == self.peer_id {
+            return;
+        }
+        let now = ctx.now();
+        if self.rendezvous.has_client(peer) {
+            self.rendezvous.record_client_load(peer, report);
+            return;
+        }
+        // Only peers we know as (possibly former) mesh links count as shard
+        // entries — fellow rendezvous always hello before they report. A
+        // report from anyone else is an edge whose lease was pruned while
+        // the datagram was in flight; feeding it to the dead-shard detector
+        // would later declare a phantom shard dead, so it is dropped.
+        let address = self
+            .rendezvous
+            .mesh_link_address(peer)
+            .or_else(|| self.rendezvous.shard_load(peer).map(|entry| entry.address));
+        let Some(address) = address else { return };
+        self.rendezvous.record_shard_load(peer, address, report, now);
+        if let Some(RebalanceEvent::ShardRevived(rdv)) = self.rebalance.note_report(peer, now.as_millis()) {
+            self.events.push(JxtaEvent::ShardRevived { rdv });
         }
     }
 
@@ -875,6 +1188,9 @@ impl JxtaPeer {
                 lease_ms,
             } => self.handle_rdv_lease(ctx, rdv, granted, lease_ms, reply_addr),
             WireMessage::Publish { adv_xml, src_peer } => self.handle_publish(ctx, &adv_xml, src_peer),
+            WireMessage::LoadReport { peer, report } => {
+                self.handle_load_report(ctx, peer, report, reply_addr)
+            }
             WireMessage::WireData(packet) => self.handle_wire_data(ctx, packet),
             WireMessage::Relay { dest, inner } => self.handle_relay(ctx, dest, inner),
         }
@@ -937,6 +1253,14 @@ impl JxtaPeer {
         let Some(address) = address else { return };
         let fresh = self.rendezvous.add_mesh_link(peer.peer_id, address);
         self.endpoint.learn_from_peer_adv(&peer);
+        // A mesh announcement is a liveness signal: it seeds the dead-shard
+        // detector for peers that die before their first load report, and a
+        // hello from a dead-declared peer is the revival signal itself.
+        if let Some(RebalanceEvent::ShardRevived(rdv)) =
+            self.rebalance.note_report(peer.peer_id, ctx.now().as_millis())
+        {
+            self.events.push(JxtaEvent::ShardRevived { rdv });
+        }
         if fresh {
             self.events.push(JxtaEvent::MeshLinked { rdv: peer.peer_id });
         }
@@ -1052,11 +1376,14 @@ impl JxtaPeer {
                 ttl: packet.ttl - 1,
                 ..packet.clone()
             });
+            let mut copies = 0;
             for peer in plan.forward {
                 if let Some(addr) = self.wire_peer_address(peer, self.rendezvous.client_endpoints(peer)) {
                     self.transmit(ctx, addr, &forwarded);
+                    copies += 1;
                 }
             }
+            self.wire.note_forwarded(copies);
         }
     }
 
@@ -1528,6 +1855,28 @@ mod tests {
         net.run_until(SimTime::from_secs(120));
         // After two minutes the housekeeping timer has fired several times.
         assert!(net.stats_of(rdv).timers_fired >= 3);
+    }
+
+    #[test]
+    fn shard_ring_truncates_to_the_configured_mesh_shards() {
+        // The edge failover walks `seeds[(home + attempts) % mesh_shards]`,
+        // so the adoption ring must stop at the same boundary: rendezvous
+        // beyond the shard count never serve a hash range.
+        let seeds: Vec<SimAddress> = (0..3)
+            .map(|i| SimAddress::new(TransportKind::Tcp, 0x0A00_0010 + i, 9701))
+            .collect();
+        let meshy = JxtaPeer::new(
+            PeerConfig::rendezvous("rdv-extra")
+                .with_seeds(seeds.clone())
+                .with_dissemination(dissem::DisseminationConfig::rendezvous_mesh(2)),
+        );
+        assert_eq!(meshy.shard_ring(), seeds[..2].to_vec());
+        let tree = JxtaPeer::new(
+            PeerConfig::rendezvous("rdv-tree")
+                .with_seeds(seeds.clone())
+                .with_dissemination(dissem::DisseminationConfig::rendezvous_tree()),
+        );
+        assert_eq!(tree.shard_ring(), seeds, "non-mesh strategies keep the full ring");
     }
 
     #[test]

@@ -13,5 +13,5 @@ pub mod wire;
 pub use discovery::DiscoveryService;
 pub use membership::{MembershipService, MembershipState};
 pub use peerinfo::PeerInfoService;
-pub use rendezvous::RendezvousService;
+pub use rendezvous::{RendezvousService, ShardLoadEntry};
 pub use wire::{OutputPipeState, WireService};

@@ -10,6 +10,7 @@
 use crate::id::{PeerId, Uuid};
 use simnet::{SimAddress, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use telemetry::LoadReport;
 
 /// Default lease granted to connected clients.
 pub const DEFAULT_LEASE: SimDuration = SimDuration::from_secs(120);
@@ -36,6 +37,20 @@ pub struct RendezvousConnection {
     pub lease_expires_at: SimTime,
 }
 
+/// One row of a rendezvous peer's shard load table: the latest
+/// [`LoadReport`] gossiped by a fellow rendezvous over a mesh link, with
+/// when and where it was heard. Entries survive mesh-link removal so the
+/// rebalancing layer can still name (and re-probe) a dead shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoadEntry {
+    /// The reported load.
+    pub report: LoadReport,
+    /// When the report arrived.
+    pub last_heard: SimTime,
+    /// The address the reporting rendezvous was reachable at.
+    pub address: SimAddress,
+}
+
 /// Per-peer rendezvous state (both roles: edge client and rendezvous).
 #[derive(Debug)]
 pub struct RendezvousService {
@@ -48,6 +63,12 @@ pub struct RendezvousService {
     seen_order: VecDeque<Uuid>,
     propagated: u64,
     duplicates_dropped: u64,
+    load_table: BTreeMap<PeerId, ShardLoadEntry>,
+    client_reports: BTreeMap<PeerId, LoadReport>,
+    mesh_hellos_sent: u64,
+    failover_attempts: u32,
+    renewal_misses: u32,
+    connect_pending: bool,
 }
 
 impl RendezvousService {
@@ -64,6 +85,12 @@ impl RendezvousService {
             seen_order: VecDeque::new(),
             propagated: 0,
             duplicates_dropped: 0,
+            load_table: BTreeMap::new(),
+            client_reports: BTreeMap::new(),
+            mesh_hellos_sent: 0,
+            failover_attempts: 0,
+            renewal_misses: 0,
+            connect_pending: false,
         }
     }
 
@@ -157,10 +184,123 @@ impl RendezvousService {
         self.mesh_links.len()
     }
 
-    /// Removes expired client leases; returns how many were dropped.
+    /// Whether a mesh link to the given address is already established —
+    /// the housekeeping tick only re-announces to seed addresses that are
+    /// *not*, which is what keeps steady-state mesh chatter down.
+    pub fn has_mesh_link_at(&self, address: SimAddress) -> bool {
+        self.mesh_links.values().any(|&a| a == address)
+    }
+
+    /// Counts one outgoing mesh hello (link announcement).
+    pub fn note_mesh_hello(&mut self) {
+        self.mesh_hellos_sent += 1;
+    }
+
+    /// Total mesh hellos sent since boot. The throttling test pins this
+    /// down: once every link is established, the counter stops growing.
+    pub fn mesh_hellos_sent(&self) -> u64 {
+        self.mesh_hellos_sent
+    }
+
+    // ------------------------------------------------------------------
+    // the load-report plane (rendezvous role)
+    // ------------------------------------------------------------------
+
+    /// Records a load report gossiped by a fellow rendezvous (including this
+    /// peer's own entry, recorded locally every tick).
+    pub fn record_shard_load(&mut self, peer: PeerId, address: SimAddress, report: LoadReport, now: SimTime) {
+        self.load_table.insert(
+            peer,
+            ShardLoadEntry {
+                report,
+                last_heard: now,
+                address,
+            },
+        );
+    }
+
+    /// Records a load report received from a lease client; aggregated into
+    /// this shard's own report by [`RendezvousService::own_load`].
+    pub fn record_client_load(&mut self, peer: PeerId, report: LoadReport) {
+        self.client_reports.insert(peer, report);
+    }
+
+    /// The per-shard load table, in deterministic (peer-id) order.
+    pub fn load_table(&self) -> Vec<(PeerId, ShardLoadEntry)> {
+        self.load_table.iter().map(|(p, e)| (*p, *e)).collect()
+    }
+
+    /// The load-table entry for one rendezvous, if it ever reported.
+    pub fn shard_load(&self, peer: PeerId) -> Option<&ShardLoadEntry> {
+        self.load_table.get(&peer)
+    }
+
+    /// This peer's own load report: relay counter and lease fan-out, with
+    /// the client-reported figures folded in (mailbox depth aggregates as a
+    /// maximum so one backed-up client is visible shard-wide).
+    pub fn own_load(&self, mailbox_depth: u32, wire_relayed: u64) -> LoadReport {
+        let mut load = LoadReport {
+            events_relayed: self.propagated + wire_relayed,
+            fan_out: (self.clients.len() + self.mesh_links.len()) as u32,
+            mailbox_depth,
+            lease_count: self.clients.len() as u32,
+        };
+        for report in self.client_reports.values() {
+            load.mailbox_depth = load.mailbox_depth.max(report.mailbox_depth);
+        }
+        load
+    }
+
+    // ------------------------------------------------------------------
+    // edge failover (sharded mesh deployments)
+    // ------------------------------------------------------------------
+
+    /// Drops the edge peer's rendezvous connection (its lease expired with
+    /// every renewal unanswered — the home rendezvous is gone).
+    pub fn clear_connection(&mut self) {
+        self.connection = None;
+    }
+
+    /// Advances the ring-failover cursor: the next connect attempt targets
+    /// the next shard in ring order after the (dead) home. Resets the
+    /// renewal-miss count — the misses belonged to the old target.
+    pub fn bump_failover(&mut self) {
+        self.failover_attempts = self.failover_attempts.wrapping_add(1);
+        self.renewal_misses = 0;
+    }
+
+    /// Counts one housekeeping tick at which the current home looked dead
+    /// (lease fully expired, or a connect left unanswered); returns the
+    /// consecutive-miss count. A granted lease resets it — a single lost
+    /// datagram on a lossy link must not migrate the edge off its shard.
+    pub fn note_renewal_miss(&mut self) -> u32 {
+        self.renewal_misses = self.renewal_misses.saturating_add(1);
+        self.renewal_misses
+    }
+
+    /// How many ring steps past its hash-assigned home shard this edge is
+    /// currently leasing (0 = still at home).
+    pub fn failover_attempts(&self) -> u32 {
+        self.failover_attempts
+    }
+
+    /// Marks that a connect request was sent and is awaiting a lease grant.
+    pub fn note_connect_sent(&mut self) {
+        self.connect_pending = true;
+    }
+
+    /// Whether a connect request is still unanswered.
+    pub fn connect_pending(&self) -> bool {
+        self.connect_pending
+    }
+
+    /// Removes expired client leases (and their load reports); returns how
+    /// many were dropped.
     pub fn prune(&mut self, now: SimTime) -> usize {
         let before = self.clients.len();
         self.clients.retain(|_, lease| lease.expires_at > now);
+        let clients = &self.clients;
+        self.client_reports.retain(|peer, _| clients.contains_key(peer));
         before - self.clients.len()
     }
 
@@ -171,6 +311,10 @@ impl RendezvousService {
             address,
             lease_expires_at: now + lease,
         });
+        // The failover cursor deliberately stays where it is: the current
+        // target *is* this edge's home now, original or adopted.
+        self.connect_pending = false;
+        self.renewal_misses = 0;
     }
 
     /// The rendezvous this edge peer is connected to, if any.
@@ -325,6 +469,83 @@ mod tests {
             ),
             "recent fillers stay"
         );
+    }
+
+    #[test]
+    fn load_table_records_and_lists_deterministically() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        let load = LoadReport {
+            events_relayed: 5,
+            fan_out: 3,
+            mailbox_depth: 0,
+            lease_count: 3,
+        };
+        rdv.record_shard_load(PeerId::derive("rdv-b"), addr(2), load, SimTime::from_secs(1));
+        rdv.record_shard_load(PeerId::derive("rdv-a"), addr(3), load, SimTime::from_secs(2));
+        let table = rdv.load_table();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table, rdv.load_table(), "listing is stable");
+        let entry = rdv.shard_load(PeerId::derive("rdv-b")).unwrap();
+        assert_eq!(entry.last_heard, SimTime::from_secs(1));
+        assert_eq!(entry.address, addr(2));
+        assert_eq!(entry.report.events_relayed, 5);
+        assert!(rdv.shard_load(PeerId::derive("unknown")).is_none());
+    }
+
+    #[test]
+    fn own_load_reflects_leases_links_and_client_reports() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        rdv.register_client(PeerId::derive("a"), vec![addr(1)], SimTime::ZERO);
+        rdv.register_client(PeerId::derive("b"), vec![addr(2)], SimTime::ZERO);
+        rdv.add_mesh_link(PeerId::derive("rdv-2"), addr(9));
+        rdv.note_propagated();
+        rdv.note_propagated();
+        rdv.record_client_load(
+            PeerId::derive("a"),
+            LoadReport {
+                mailbox_depth: 7,
+                ..LoadReport::default()
+            },
+        );
+        let load = rdv.own_load(2, 10);
+        assert_eq!(load.events_relayed, 12, "propagated + wire relays");
+        assert_eq!(load.fan_out, 3, "2 leases + 1 mesh link");
+        assert_eq!(load.lease_count, 2);
+        assert_eq!(load.mailbox_depth, 7, "worst client mailbox wins");
+        // Pruning an expired client drops its report too.
+        rdv.prune(SimTime::from_secs(121));
+        assert_eq!(rdv.own_load(0, 0).mailbox_depth, 0);
+    }
+
+    #[test]
+    fn mesh_hello_accounting_and_address_lookup() {
+        let mut rdv = RendezvousService::new(true, vec![]);
+        assert_eq!(rdv.mesh_hellos_sent(), 0);
+        rdv.note_mesh_hello();
+        rdv.note_mesh_hello();
+        assert_eq!(rdv.mesh_hellos_sent(), 2);
+        assert!(!rdv.has_mesh_link_at(addr(2)));
+        rdv.add_mesh_link(PeerId::derive("rdv-2"), addr(2));
+        assert!(rdv.has_mesh_link_at(addr(2)));
+    }
+
+    #[test]
+    fn edge_failover_cursor_and_pending_flag() {
+        let mut edge = RendezvousService::new(false, vec![addr(9)]);
+        assert_eq!(edge.failover_attempts(), 0);
+        assert!(!edge.connect_pending());
+        edge.note_connect_sent();
+        assert!(edge.connect_pending());
+        edge.set_connection(PeerId::derive("rdv"), addr(9), DEFAULT_LEASE, SimTime::ZERO);
+        assert!(!edge.connect_pending(), "a grant settles the pending connect");
+        edge.clear_connection();
+        assert!(edge.connection().is_none());
+        edge.bump_failover();
+        edge.bump_failover();
+        assert_eq!(edge.failover_attempts(), 2);
+        // A later grant does not rewind the cursor: the adopted home sticks.
+        edge.set_connection(PeerId::derive("rdv-2"), addr(2), DEFAULT_LEASE, SimTime::ZERO);
+        assert_eq!(edge.failover_attempts(), 2);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub struct WireService {
     messages_sent: u64,
     messages_received: u64,
     duplicates_dropped: u64,
+    copies_forwarded: u64,
 }
 
 impl Default for WireService {
@@ -92,6 +93,7 @@ impl WireService {
             messages_sent: 0,
             messages_received: 0,
             duplicates_dropped: 0,
+            copies_forwarded: 0,
         }
     }
 
@@ -220,6 +222,17 @@ impl WireService {
     /// Counts a delivered (non-duplicate) wire message.
     pub fn note_received(&mut self) {
         self.messages_received += 1;
+    }
+
+    /// Counts `copies` forwarded on behalf of other peers (the relay work a
+    /// rendezvous reports on the load-report plane).
+    pub fn note_forwarded(&mut self, copies: u64) {
+        self.copies_forwarded += copies;
+    }
+
+    /// Total copies forwarded on behalf of other peers.
+    pub fn forwarded(&self) -> u64 {
+        self.copies_forwarded
     }
 
     /// Counters: `(sent, received, duplicates_dropped)`.

@@ -201,15 +201,61 @@ fn churn_scenarios_are_deterministic_under_the_discrete_event_clock() {
 fn killed_rendezvous_drops_are_accounted_as_node_down() {
     let (mut topology, publisher_shard, by_shard) = churn_topology(SEED);
     let victim = victim_shard(publisher_shard, &by_shard);
-    let before = topology.net.drops(simnet::DropReason::NodeDown);
+    let before = topology.net.drop_summary();
     let mut churn = ChurnDriver::new();
     let kill_at = topology.net.now() + SimDuration::from_secs(1);
     churn.kill_at(kill_at, victim);
     churn.run_until(&mut topology.net, kill_at + SimDuration::from_secs(1));
     topology.publish_tag(0, "lost");
     topology.net.run_for(SimDuration::from_secs(5));
+    // The per-reason drop summary names the exact cause: the mesh copy sent
+    // to the dead rendezvous is node_down, and *only* node_down — a kill
+    // (unlike a link cut) must never surface as fault injection, random
+    // loss or a firewall.
+    let after = topology.net.drop_summary();
     assert!(
-        topology.net.drops(simnet::DropReason::NodeDown) > before,
+        after.of(simnet::DropReason::NodeDown) > before.of(simnet::DropReason::NodeDown),
         "the mesh copy addressed to the dead rendezvous must be counted"
+    );
+    for reason in [
+        simnet::DropReason::FaultInjected,
+        simnet::DropReason::RandomLoss,
+        simnet::DropReason::Firewall,
+    ] {
+        assert_eq!(
+            after.of(reason),
+            before.of(reason),
+            "a kill must not be misattributed to {reason}"
+        );
+    }
+}
+
+#[test]
+fn cut_mesh_links_drops_are_accounted_as_fault_injected() {
+    let (mut topology, publisher_shard, _) = churn_topology(SEED);
+    let other_shards: Vec<NodeId> = topology
+        .rendezvous
+        .iter()
+        .copied()
+        .filter(|&r| r != publisher_shard)
+        .collect();
+    let before = topology.net.drop_summary();
+    let cut_at = topology.net.now() + SimDuration::from_secs(1);
+    let mut churn = ChurnDriver::new();
+    for &other in &other_shards {
+        churn.cut_link_at(cut_at, publisher_shard, other);
+    }
+    churn.run_until(&mut topology.net, cut_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "partitioned");
+    topology.net.run_for(SimDuration::from_secs(5));
+    let after = topology.net.drop_summary();
+    assert!(
+        after.of(simnet::DropReason::FaultInjected) > before.of(simnet::DropReason::FaultInjected),
+        "copies swallowed by the cut must be fault_injected"
+    );
+    assert_eq!(
+        after.of(simnet::DropReason::NodeDown),
+        before.of(simnet::DropReason::NodeDown),
+        "nobody died in this scenario — the cause must be the cut, not node_down"
     );
 }

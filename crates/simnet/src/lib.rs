@@ -68,6 +68,6 @@ pub use id::{NodeId, SubnetId, TimerToken};
 pub use link::{LinkSpec, LinkTable};
 pub use network::{Network, NetworkBuilder, DEFAULT_MAX_DATAGRAM};
 pub use node::{NodeConfig, NodeContext, SimNode};
-pub use stats::{DropReason, TrafficStats};
+pub use stats::{DropReason, DropSummary, TrafficStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEvent, TraceRecord};

@@ -7,7 +7,7 @@ use crate::firewall::FirewallPolicy;
 use crate::id::{NodeId, SubnetId, TimerToken};
 use crate::link::{LinkSpec, LinkTable};
 use crate::node::{Command, NodeConfig, NodeContext, SimNode};
-use crate::stats::{DropReason, TrafficStats};
+use crate::stats::{DropReason, DropSummary, TrafficStats};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceBuffer, TraceEvent};
 use bytes::Bytes;
@@ -286,6 +286,37 @@ impl Network {
     /// How many datagrams were dropped for `reason`.
     pub fn drops(&self, reason: DropReason) -> u64 {
         self.drop_counts.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Network-wide drop counts broken down by reason — lets fault tests
+    /// assert on exact drop causes (`fault_injected`, `node_down`, ...)
+    /// instead of aggregate loss.
+    pub fn drop_summary(&self) -> DropSummary {
+        DropSummary::from_counts(self.drop_counts.iter().map(|(&reason, &count)| (reason, count)))
+    }
+
+    /// Exports the kernel's counters into a metrics registry under
+    /// `simnet.*`: total traffic, per-reason drops, and per-node
+    /// sent/delivered/dropped/queue figures. The event-queue length is a
+    /// gauge (`simnet.queue_len`) — the kernel's single shared "queue".
+    pub fn export_metrics(&self, registry: &mut telemetry::MetricsRegistry) {
+        let total = self.total_stats();
+        registry.set_counter("simnet.datagrams_sent", total.datagrams_sent);
+        registry.set_counter("simnet.datagrams_delivered", total.datagrams_delivered);
+        registry.set_counter("simnet.datagrams_dropped", total.datagrams_dropped);
+        registry.set_counter("simnet.bytes_sent", total.bytes_sent);
+        registry.set_counter("simnet.timers_fired", total.timers_fired);
+        registry.set_gauge("simnet.queue_len", self.queue.len() as i64);
+        for reason in DropReason::ALL {
+            registry.set_counter(format!("simnet.drops.{}", reason.label()), self.drops(reason));
+        }
+        for (index, slot) in self.slots.iter().enumerate() {
+            let prefix = format!("simnet.node{index}");
+            registry.set_counter(format!("{prefix}.sent"), slot.stats.datagrams_sent);
+            registry.set_counter(format!("{prefix}.delivered"), slot.stats.datagrams_delivered);
+            registry.set_counter(format!("{prefix}.dropped"), slot.stats.datagrams_dropped);
+            registry.set_gauge(format!("{prefix}.alive"), i64::from(slot.alive));
+        }
     }
 
     /// The trace buffer (empty unless tracing was enabled on the builder).
@@ -923,6 +954,36 @@ mod tests {
         net.run_until_idle();
         assert!(!net.is_alive(b));
         assert_eq!(net.drops(DropReason::NodeDown), 1);
+        let summary = net.drop_summary();
+        assert_eq!(summary.of(DropReason::NodeDown), 1);
+        assert_eq!(summary.total(), 1);
+        assert_eq!(summary.to_string(), "node_down=1");
+    }
+
+    #[test]
+    fn metrics_export_covers_traffic_drops_and_liveness() {
+        let (mut net, a, b) = two_node_net(false);
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"ping")).unwrap();
+        });
+        net.run_until_idle();
+        net.shutdown_node(b);
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"lost")).unwrap();
+        });
+        net.run_until_idle();
+
+        let mut registry = telemetry::MetricsRegistry::new();
+        net.export_metrics(&mut registry);
+        assert_eq!(registry.counter("simnet.datagrams_sent"), 2);
+        assert_eq!(registry.counter("simnet.datagrams_delivered"), 1);
+        assert_eq!(registry.counter("simnet.drops.node_down"), 1);
+        assert_eq!(registry.counter("simnet.drops.fault_injected"), 0);
+        assert_eq!(registry.counter("simnet.node0.sent"), 2);
+        assert_eq!(registry.gauge("simnet.node0.alive"), Some(1));
+        assert_eq!(registry.gauge("simnet.node1.alive"), Some(0));
+        assert_eq!(registry.gauge("simnet.queue_len"), Some(0));
     }
 
     #[test]

@@ -20,6 +20,30 @@ pub enum DropReason {
     FaultInjected,
 }
 
+impl DropReason {
+    /// Every drop reason, in a stable reporting order.
+    pub const ALL: [DropReason; 6] = [
+        DropReason::RandomLoss,
+        DropReason::Firewall,
+        DropReason::UnknownAddress,
+        DropReason::NodeDown,
+        DropReason::EmptyMulticastGroup,
+        DropReason::FaultInjected,
+    ];
+
+    /// A short machine-friendly label (used as a metric-name suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::RandomLoss => "random_loss",
+            DropReason::Firewall => "firewall",
+            DropReason::UnknownAddress => "unknown_address",
+            DropReason::NodeDown => "node_down",
+            DropReason::EmptyMulticastGroup => "empty_multicast",
+            DropReason::FaultInjected => "fault_injected",
+        }
+    }
+}
+
 impl fmt::Display for DropReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -31,6 +55,77 @@ impl fmt::Display for DropReason {
             DropReason::FaultInjected => "dropped by fault injection",
         };
         f.write_str(s)
+    }
+}
+
+/// Network-wide drop counts broken down by [`DropReason`] — the summary the
+/// churn and fault tests assert exact causes on, instead of inferring them
+/// from aggregate loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropSummary {
+    /// Counts indexed like [`DropReason::ALL`].
+    counts: [u64; DropReason::ALL.len()],
+}
+
+impl DropSummary {
+    /// Builds a summary from `(reason, count)` pairs (missing reasons count
+    /// zero; duplicate reasons sum).
+    pub fn from_counts(pairs: impl IntoIterator<Item = (DropReason, u64)>) -> Self {
+        let mut summary = DropSummary::default();
+        for (reason, count) in pairs {
+            summary.add(reason, count);
+        }
+        summary
+    }
+
+    /// Adds `count` drops of the given reason.
+    pub fn add(&mut self, reason: DropReason, count: u64) {
+        let index = DropReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("DropReason::ALL is exhaustive");
+        self.counts[index] += count;
+    }
+
+    /// Drops recorded for one reason.
+    pub fn of(&self, reason: DropReason) -> u64 {
+        let index = DropReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("DropReason::ALL is exhaustive");
+        self.counts[index]
+    }
+
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(reason, count)` rows for every reason with at least one drop, in
+    /// [`DropReason::ALL`] order.
+    pub fn nonzero(&self) -> Vec<(DropReason, u64)> {
+        DropReason::ALL
+            .into_iter()
+            .zip(self.counts)
+            .filter(|&(_, count)| count > 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for DropSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total() == 0 {
+            return f.write_str("no drops");
+        }
+        let mut first = true;
+        for (reason, count) in self.nonzero() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{}={count}", reason.label())?;
+            first = false;
+        }
+        Ok(())
     }
 }
 
@@ -127,5 +222,31 @@ mod tests {
     fn drop_reasons_have_readable_messages() {
         assert_eq!(DropReason::Firewall.to_string(), "blocked by firewall");
         assert!(DropReason::UnknownAddress.to_string().contains("address"));
+    }
+
+    #[test]
+    fn drop_reason_labels_are_unique_and_exhaustive() {
+        let labels: std::collections::HashSet<_> = DropReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), DropReason::ALL.len());
+    }
+
+    #[test]
+    fn drop_summary_accumulates_per_reason() {
+        let mut summary = DropSummary::default();
+        assert_eq!(summary.to_string(), "no drops");
+        summary.add(DropReason::FaultInjected, 2);
+        summary.add(DropReason::NodeDown, 1);
+        summary.add(DropReason::FaultInjected, 1);
+        assert_eq!(summary.of(DropReason::FaultInjected), 3);
+        assert_eq!(summary.of(DropReason::NodeDown), 1);
+        assert_eq!(summary.of(DropReason::RandomLoss), 0);
+        assert_eq!(summary.total(), 4);
+        assert_eq!(
+            summary.nonzero(),
+            vec![(DropReason::NodeDown, 1), (DropReason::FaultInjected, 3)]
+        );
+        assert_eq!(summary.to_string(), "node_down=1 fault_injected=3");
+        let rebuilt = DropSummary::from_counts(summary.nonzero());
+        assert_eq!(rebuilt, summary);
     }
 }

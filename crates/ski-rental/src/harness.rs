@@ -29,6 +29,7 @@ pub struct Scenario {
     publishers: Vec<NodeId>,
     subscribers: Vec<NodeId>,
     offers: OfferGenerator,
+    invocation_times: telemetry::WindowedHistogram,
 }
 
 impl Scenario {
@@ -143,6 +144,7 @@ impl Scenario {
             publishers: publisher_ids,
             subscribers: subscriber_ids,
             offers: OfferGenerator::new(seed ^ 0x5EED),
+            invocation_times: telemetry::WindowedHistogram::default(),
         }
     }
 
@@ -159,6 +161,12 @@ impl Scenario {
     /// Read access to the simulated network (stats, traces).
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Mutable access to the simulated network, for churn scripts
+    /// (`simnet::ChurnDriver::run_until` needs `&mut Network`).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
     }
 
     /// Runs the initialisation phase: rendezvous connection, advertisement
@@ -183,6 +191,7 @@ impl Scenario {
     /// advanced by the same amount, modelling the publisher being busy.
     pub fn publish_one(&mut self, index: usize) -> SimDuration {
         let charged = self.publish_without_advancing(index);
+        self.invocation_times.record(charged.as_millis_f64());
         self.net.run_for(charged);
         charged
     }
@@ -245,6 +254,91 @@ impl Scenario {
             .collect()
     }
 
+    /// The operator's shard view: one [`ShardLoadRow`] per rendezvous, in
+    /// shard order, built from the telemetry plane — liveness, owned hash
+    /// ranges (own + adopted), lease and mesh-link counts, relay work, and
+    /// the hot-shard flag of the rebalancing controller's load-ratio rule.
+    pub fn shard_load_report(&self) -> Vec<ShardLoadRow> {
+        let lease_counts: Vec<u32> = self
+            .rendezvous
+            .iter()
+            .map(|&id| {
+                if !self.net.is_alive(id) {
+                    return 0;
+                }
+                self.net
+                    .node_ref::<RdvNode>(id)
+                    .map(|n| n.peer.rendezvous().counters().2 as u32)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let hot = jxta::dissem::hot_shards(&lease_counts, self.dissemination.rebalance.hot_ratio_percent);
+        self.rendezvous
+            .iter()
+            .enumerate()
+            .map(|(shard, &id)| {
+                let alive = self.net.is_alive(id);
+                let peer = self
+                    .net
+                    .node_ref::<RdvNode>(id)
+                    .map(|n| &n.peer)
+                    .expect("rendezvous exists");
+                let service = peer.rendezvous();
+                ShardLoadRow {
+                    shard,
+                    node: id,
+                    alive,
+                    owned_shards: if alive { peer.owned_shards() } else { Vec::new() },
+                    adopted_shards: if alive { peer.adopted_shards() } else { Vec::new() },
+                    clients: service.counters().2,
+                    mesh_links: service.mesh_degree(),
+                    relayed: peer.wire().forwarded(),
+                    hot: hot.contains(&shard),
+                }
+            })
+            .collect()
+    }
+
+    /// A full-stack metrics snapshot source: the simulation kernel's
+    /// counters (`simnet.*`), every rendezvous peer (`jxta.rdv<i>.*`,
+    /// including the per-shard load-table rows), every SR-TPS edge engine
+    /// (`tps.pub<i>.*` / `tps.sub<i>.*`), and the harness's own publish
+    /// invocation-time histogram (`harness.publish_invocation_ms`).
+    pub fn metrics_registry(&self) -> telemetry::MetricsRegistry {
+        let mut registry = telemetry::MetricsRegistry::new();
+        self.net.export_metrics(&mut registry);
+        for (index, &id) in self.rendezvous.iter().enumerate() {
+            if let Some(node) = self.net.node_ref::<RdvNode>(id) {
+                node.peer
+                    .export_metrics(&mut registry, &format!("jxta.rdv{index}"));
+            }
+        }
+        let edges = self
+            .publishers
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (format!("pub{i}"), id))
+            .chain(
+                self.subscribers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (format!("sub{i}"), id)),
+            );
+        for (label, id) in edges {
+            let Some(node) = self.net.node_ref::<SkiNode>(id) else {
+                continue;
+            };
+            match node.engine_ref() {
+                Some(engine) => engine.export_metrics(&mut registry, &format!("tps.{label}")),
+                None => node
+                    .peer_ref()
+                    .export_metrics(&mut registry, &format!("jxta.{label}")),
+            }
+        }
+        registry.insert_histogram("harness.publish_invocation_ms", self.invocation_times.clone());
+        registry
+    }
+
     /// The shard (rendezvous node id) an edge peer currently leases with,
     /// if it is connected.
     pub fn shard_of(&self, edge: NodeId) -> Option<NodeId> {
@@ -291,6 +385,48 @@ impl Scenario {
             .node_ref::<SkiNode>(self.subscribers[index])
             .expect("subscriber exists")
             .received_count()
+    }
+}
+
+/// One row of [`Scenario::shard_load_report`]: everything an operator needs
+/// to see about one rendezvous shard at a glance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoadRow {
+    /// The shard index (ring position).
+    pub shard: usize,
+    /// The simulation node running this shard's rendezvous.
+    pub node: NodeId,
+    /// Whether the rendezvous process is up.
+    pub alive: bool,
+    /// Every hash range this rendezvous currently serves (its own plus any
+    /// adopted dead shards'); empty while the node is down.
+    pub owned_shards: Vec<usize>,
+    /// The adopted (formerly dead) ranges only.
+    pub adopted_shards: Vec<usize>,
+    /// Client leases currently held.
+    pub clients: usize,
+    /// Live rendezvous-to-rendezvous mesh links.
+    pub mesh_links: usize,
+    /// Wire copies forwarded on behalf of other peers since boot.
+    pub relayed: u64,
+    /// Whether the rebalancing controller's load-ratio rule flags this
+    /// shard as hot (lease count above the configured multiple of the mean).
+    pub hot: bool,
+}
+
+impl std::fmt::Display for ShardLoadRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} [{}] owns {:?} clients={} mesh={} relayed={}{}",
+            self.shard,
+            if self.alive { "alive" } else { "DEAD" },
+            self.owned_shards,
+            self.clients,
+            self.mesh_links,
+            self.relayed,
+            if self.hot { " HOT" } else { "" }
+        )
     }
 }
 
@@ -871,6 +1007,129 @@ mod tests {
         );
         assert!((one.delivered_ratio - 1.0).abs() < f64::EPSILON);
         assert!((four.delivered_ratio - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn shard_load_report_and_metrics_reflect_a_healthy_mesh() {
+        let mut scenario = Scenario::build_sharded(
+            Flavor::SrTps,
+            DisseminationConfig::rendezvous_mesh(3),
+            3,
+            1,
+            6,
+            11,
+            CostModel::free(),
+        );
+        scenario.warm_up();
+        for _ in 0..3 {
+            scenario.publish_one(0);
+        }
+        scenario.advance(SimDuration::from_secs(40)); // past one housekeeping tick
+        let report = scenario.shard_load_report();
+        assert_eq!(report.len(), 3);
+        for (index, row) in report.iter().enumerate() {
+            assert_eq!(row.shard, index);
+            assert!(row.alive);
+            assert_eq!(
+                row.owned_shards,
+                vec![index],
+                "healthy mesh: everyone owns their own range"
+            );
+            assert!(row.adopted_shards.is_empty());
+            assert_eq!(row.mesh_links, 2);
+            assert!(row.to_string().contains("alive"));
+        }
+        let total_clients: usize = report.iter().map(|r| r.clients).sum();
+        assert_eq!(total_clients, 7, "1 publisher + 6 subscribers lease somewhere");
+
+        let registry = scenario.metrics_registry();
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counter("simnet.datagrams_delivered") > 0);
+        assert!(
+            (0..3).any(|i| snapshot.counter(&format!("jxta.rdv{i}.wire.forwarded")) > 0),
+            "some rendezvous relayed the published offers"
+        );
+        assert_eq!(snapshot.counter("tps.pub0.events_published"), 3);
+        assert!(
+            registry.histogram("harness.publish_invocation_ms").unwrap().len() == 3,
+            "every publish_one lands in the invocation histogram"
+        );
+    }
+
+    /// The ISSUE 5 acceptance scenario, end to end at the harness level:
+    /// kill 1 of 4 rendezvous, keep it dead past the lease lifetime, and
+    /// the controller must migrate its shard's leases to survivors so
+    /// delivery resumes for every subscriber without revival — with the
+    /// adopted range visible in `shard_load_report` and per-shard relay
+    /// counts in the registry snapshot.
+    #[test]
+    fn controller_recovers_delivery_after_permanent_shard_death() {
+        let subscribers = 8;
+        let mut scenario = Scenario::build_sharded(
+            Flavor::SrTps,
+            DisseminationConfig::rendezvous_mesh(4),
+            4,
+            1,
+            subscribers,
+            2002,
+            CostModel::free(),
+        );
+        scenario.warm_up();
+        // Pick a victim shard that is not the publisher's and has clients.
+        let publisher_shard = scenario.shard_of(scenario.publisher_id(0)).unwrap();
+        let victim_index = scenario
+            .rendezvous_ids()
+            .iter()
+            .position(|&id| {
+                id != publisher_shard
+                    && (0..subscribers).any(|i| scenario.shard_of(scenario.subscriber_id(i)) == Some(id))
+            })
+            .expect("some non-publisher shard has subscribers");
+        let victim = scenario.rendezvous_ids()[victim_index];
+        let adopter_index = (victim_index + 1) % 4;
+
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(5));
+        let mut churn = simnet::ChurnDriver::new();
+        let kill_at = scenario.now() + SimDuration::from_secs(1);
+        churn.kill_at(kill_at, victim);
+        churn.run_until(scenario.network_mut(), kill_at + SimDuration::from_secs(180));
+        assert!(!scenario.network().is_alive(victim), "no revival");
+
+        let before_late: Vec<usize> = (0..subscribers).map(|i| scenario.received_count(i)).collect();
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(10));
+        let delivered_late = (0..subscribers)
+            .filter(|&i| scenario.received_count(i) == before_late[i] + 1)
+            .count();
+        assert!(
+            delivered_late * 100 >= subscribers * 99,
+            "delivery must resume for >=99% of subscribers without revival \
+             ({delivered_late}/{subscribers})"
+        );
+
+        let report = scenario.shard_load_report();
+        assert!(!report[victim_index].alive);
+        assert!(report[victim_index].owned_shards.is_empty());
+        assert_eq!(
+            report[adopter_index].adopted_shards,
+            vec![victim_index],
+            "shard_load_report shows the adopted range"
+        );
+        assert!(report[adopter_index].owned_shards.contains(&adopter_index));
+
+        let snapshot = scenario.metrics_registry().snapshot();
+        assert!(
+            (0..4)
+                .filter(|&i| i != victim_index)
+                .any(|i| { snapshot.counter(&format!("jxta.rdv{i}.shard{i}.relayed")) > 0 }),
+            "registry snapshots expose per-shard relay counts"
+        );
+        assert_eq!(
+            snapshot.gauge(&format!("jxta.rdv{adopter_index}.shard{victim_index}.dead")),
+            Some(1),
+            "the adopter's load table flags the victim's shard dead"
+        );
     }
 
     #[test]

@@ -19,9 +19,9 @@ pub mod workload;
 pub use harness::{
     batch_comparison, dissemination_comparison, invocation_time, invocation_time_with_dissemination,
     loc_report, mesh_fanout_report, publisher_throughput, stats, subscriber_throughput, LocReport,
-    MeshReport, Scenario, SeriesStats,
+    MeshReport, Scenario, SeriesStats, ShardLoadRow,
 };
-pub use jxta::{DisseminationConfig, StrategyKind};
+pub use jxta::{DisseminationConfig, RebalanceConfig, StrategyKind};
 pub use jxta_app::{JxtaSkiApp, Role};
 pub use node::{Flavor, SkiNode};
 pub use tps_app::TpsSkiApp;

@@ -170,6 +170,15 @@ impl SkiNode {
         }
     }
 
+    /// The TPS engine, for the SR-TPS flavour only (the JXTA flavours have
+    /// no engine-level metrics surface).
+    pub fn engine_ref(&self) -> Option<&tps::TpsEngine> {
+        match self {
+            SkiNode::SrTps(app) => Some(app.engine()),
+            SkiNode::Wire(_) | SkiNode::SrJxta(_) => None,
+        }
+    }
+
     /// Virtual arrival times of every offer received so far.
     pub fn received_times(&self) -> Vec<SimTime> {
         match self {

@@ -274,6 +274,34 @@ impl TpsEngine {
         self.registry.register::<T>();
     }
 
+    /// Exports the engine's counters and gauges into a metrics registry
+    /// under `<prefix>.*`, and the underlying JXTA peer's under
+    /// `<prefix>.jxta.*` — one call gives the full per-node telemetry view.
+    pub fn export_metrics(&self, registry: &mut telemetry::MetricsRegistry, prefix: &str) {
+        registry.set_counter(
+            format!("{prefix}.events_published"),
+            self.counters.events_published,
+        );
+        registry.set_counter(format!("{prefix}.events_received"), self.counters.events_received);
+        registry.set_counter(
+            format!("{prefix}.events_delivered"),
+            self.counters.events_delivered,
+        );
+        registry.set_counter(format!("{prefix}.messages_sent"), self.counters.messages_sent);
+        registry.set_counter(
+            format!("{prefix}.duplicates_dropped"),
+            self.counters.duplicates_dropped,
+        );
+        registry.set_gauge(format!("{prefix}.subscriptions"), self.subscriptions.len() as i64);
+        registry.set_gauge(format!("{prefix}.mailbox_depth"), self.session.pending() as i64);
+        registry.set_gauge(format!("{prefix}.type_channels"), self.channels.len() as i64);
+        registry.set_gauge(
+            format!("{prefix}.distinct_publishers"),
+            self.publishers_seen.len() as i64,
+        );
+        self.peer.export_metrics(registry, &format!("{prefix}.jxta"));
+    }
+
     // ------------------------------------------------------------------
     // lifecycle (forwarded from the owning SimNode)
     // ------------------------------------------------------------------
@@ -330,6 +358,11 @@ impl TpsEngine {
     /// commands at a precise virtual instant (e.g. to measure the publisher's
     /// invocation time through `ctx.charged()`).
     pub fn pump(&mut self, ctx: &mut NodeContext<'_>) {
+        // Report the pre-drain backlog to the peer's load plane: it is the
+        // mailbox depth the next outgoing LoadReport carries, and a backlog
+        // that keeps growing between pumps is the earliest overload signal.
+        self.peer
+            .set_mailbox_depth(self.session.pending().min(u32::MAX as usize) as u32);
         let commands = self.session.take_commands();
         for command in commands {
             self.execute(ctx, command);
@@ -855,6 +888,35 @@ mod tests {
         assert_eq!(
             TpsEngine::new(sharded).peer().wire().strategy_kind(),
             jxta::StrategyKind::RendezvousMesh
+        );
+    }
+
+    #[test]
+    fn metrics_export_surfaces_counters_and_mailbox_depth() {
+        let mut engine = TpsEngine::new(TpsConfig::new("alice"));
+        engine.counters.events_published = 4;
+        engine.counters.events_received = 2;
+        let session = engine.session();
+        let publisher = session.publisher::<SkiRental>();
+        publisher
+            .publish(&SkiRental {
+                shop: "s".into(),
+                price: 1.0,
+            })
+            .unwrap();
+        let mut registry = telemetry::MetricsRegistry::new();
+        engine.export_metrics(&mut registry, "tps");
+        assert_eq!(registry.counter("tps.events_published"), 4);
+        assert_eq!(registry.counter("tps.events_received"), 2);
+        assert_eq!(registry.gauge("tps.subscriptions"), Some(0));
+        assert!(
+            registry.gauge("tps.mailbox_depth").unwrap() > 0,
+            "the un-pumped publish sits in the mailbox"
+        );
+        assert_eq!(
+            registry.counter("tps.jxta.wire.sent"),
+            0,
+            "the peer's metrics ride along under the jxta prefix"
         );
     }
 
