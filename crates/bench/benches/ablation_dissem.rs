@@ -14,7 +14,10 @@
 //! (plus the N-1 mesh links).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ski_rental::harness::{dissemination_comparison, invocation_time_with_dissemination, mesh_fanout_report};
+use ski_rental::harness::{
+    dissemination_comparison, invocation_time_with_dissemination, mesh_fanout_report,
+    trace_latency_comparison,
+};
 use ski_rental::{DisseminationConfig, Flavor, StrategyKind};
 use std::time::Duration;
 
@@ -97,9 +100,36 @@ fn mesh_series_table() {
     }
 }
 
+/// The `trace_latency` series: end-to-end *virtual* delivery latency
+/// (publish span → delivery span, one sample per subscriber per event) per
+/// strategy, from the causal tracing plane. The complement of the
+/// publisher-side table above — DirectFanout's cheap overlay hops give the
+/// lowest end-to-end latency at small fan-outs, while the rendezvous
+/// strategies trade a relay hop for the flat publisher cost.
+fn trace_latency_table() {
+    let subs = if smoke() { 4 } else { 16 };
+    let events = events();
+    println!("\nend-to-end virtual delivery latency (ms, {subs} subscribers, {events} events, seed {SEED})");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}",
+        "strategy", "samples", "p50", "p99", "max"
+    );
+    for (kind, summary) in trace_latency_comparison(Flavor::SrTps, subs, events, SEED) {
+        println!(
+            "{:<18} {:>9} {:>9.1} {:>9.1} {:>9.1}",
+            kind.label(),
+            summary.count,
+            summary.p50,
+            summary.p99,
+            summary.max
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
     virtual_time_table();
     mesh_series_table();
+    trace_latency_table();
     let mut group = c.benchmark_group("ablation_dissem");
     group.sample_size(10).measurement_time(Duration::from_secs(5));
     for kind in StrategyKind::ALL {
@@ -122,6 +152,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| mesh_fanout_report(16, shards, events(), SEED))
         });
     }
+    let trace_subs = if smoke() { 4 } else { 16 };
+    group.bench_with_input(
+        BenchmarkId::new("trace-latency", trace_subs),
+        &trace_subs,
+        |b, &subs| b.iter(|| trace_latency_comparison(Flavor::SrTps, subs, events(), SEED)),
+    );
     group.finish();
 }
 

@@ -34,6 +34,10 @@ pub struct WirePacket {
     pub src_peer: PeerId,
     /// Remaining propagation hops.
     pub ttl: u8,
+    /// Trace ids of the events packed inside `payload`, one per event (a
+    /// batched publish carries several). Empty when tracing is disabled —
+    /// the wire envelope then carries no trace element at all.
+    pub trace_ids: Vec<telemetry::trace::TraceId>,
     /// The encoded application [`Message`].
     pub payload: Bytes,
 }
@@ -180,6 +184,13 @@ impl WireMessage {
                     packet.src_peer.to_string(),
                 ));
                 msg.add(MessageElement::text(NAMESPACE, "Ttl", packet.ttl.to_string()));
+                if !packet.trace_ids.is_empty() {
+                    msg.add(MessageElement::text(
+                        NAMESPACE,
+                        "Trace",
+                        telemetry::trace::TraceId::encode_list(&packet.trace_ids),
+                    ));
+                }
                 msg.add(MessageElement::binary(
                     NAMESPACE,
                     "Payload",
@@ -287,6 +298,12 @@ impl WireMessage {
                     ttl: text("Ttl")?
                         .parse()
                         .map_err(|_| JxtaError::BadXml("bad ttl".into()))?,
+                    // Tolerant: packets from untraced senders carry no Trace
+                    // element; a malformed one degrades to no ids.
+                    trace_ids: msg
+                        .element_text(NAMESPACE, "Trace")
+                        .map(|t| telemetry::trace::TraceId::decode_list(&t))
+                        .unwrap_or_default(),
                     payload,
                 }))
             }
@@ -431,7 +448,19 @@ mod tests {
                 msg_id: Uuid::derive("m1"),
                 src_peer: PeerId::derive("pub"),
                 ttl: 3,
+                trace_ids: Vec::new(),
                 payload: Bytes::from_static(b"event bytes"),
+            }),
+            WireMessage::WireData(WirePacket {
+                pipe_id: PipeId::derive("ski"),
+                msg_id: Uuid::derive("m2"),
+                src_peer: PeerId::derive("pub"),
+                ttl: 3,
+                trace_ids: vec![
+                    telemetry::trace::TraceId { origin: 0xAB, seq: 1 },
+                    telemetry::trace::TraceId { origin: 0xAB, seq: 2 },
+                ],
+                payload: Bytes::from_static(b"batched events"),
             }),
             WireMessage::Relay { dest: PeerId::derive("carol"), inner: Bytes::from_static(b"inner") },
             WireMessage::LoadReport {
@@ -448,6 +477,23 @@ mod tests {
             let decoded = WireMessage::from_bytes(&sample.to_bytes()).unwrap();
             assert_eq!(decoded, sample);
         }
+    }
+
+    #[test]
+    fn untraced_packets_carry_no_trace_element() {
+        let packet = WirePacket {
+            pipe_id: PipeId::derive("ski"),
+            msg_id: Uuid::derive("m1"),
+            src_peer: PeerId::derive("pub"),
+            ttl: 3,
+            trace_ids: Vec::new(),
+            payload: Bytes::from_static(b"event bytes"),
+        };
+        let msg = WireMessage::WireData(packet).to_message();
+        assert!(
+            msg.element_text(NAMESPACE, "Trace").is_none(),
+            "tracing disabled must add zero bytes to the wire envelope"
+        );
     }
 
     #[test]

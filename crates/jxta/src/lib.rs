@@ -48,5 +48,7 @@ pub use error::JxtaError;
 pub use events::JxtaEvent;
 pub use id::{PeerGroupId, PeerId, PipeId, QueryId, Uuid};
 pub use message::{Message, MessageElement};
-pub use peer::{is_jxta_timer, CostModel, JxtaPeer, PeerConfig, TIMER_HOUSEKEEPING};
+pub use peer::{
+    is_jxta_timer, trace_handle, CostModel, JxtaPeer, PeerConfig, SharedTraceCollector, TIMER_HOUSEKEEPING,
+};
 pub use peergroup::{PeerGroup, PS_PREFIX, WIRE_SERVICE_NAME};

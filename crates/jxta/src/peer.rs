@@ -30,7 +30,28 @@ use crate::services::{
 use dissem::{RebalanceController, RebalanceEvent};
 use rand::Rng;
 use simnet::{NodeContext, SimAddress, SimDuration, SimTime, TransportKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+use telemetry::trace::{DropCause, SpanKind, TraceCollector, TraceId, TraceSpan, BROADCAST};
 use telemetry::{LoadReport, MetricsRegistry};
+
+/// The trace collector shared by every instrumented layer of one simulated
+/// deployment. The simulator is single-threaded, so plain `Rc<RefCell<..>>`
+/// sharing is enough; a peer holding `None` pays nothing for tracing.
+pub type SharedTraceCollector = Rc<RefCell<TraceCollector>>;
+
+/// Folds a 128-bit peer id into the 64-bit trace handle used by
+/// [`telemetry::trace`] spans. Deterministic, and never the reserved
+/// [`BROADCAST`] handle.
+pub fn trace_handle(peer: PeerId) -> u64 {
+    let raw = peer.0 .0;
+    let folded = ((raw >> 64) as u64) ^ (raw as u64);
+    if folded == BROADCAST {
+        1
+    } else {
+        folded
+    }
+}
 
 /// Timer tag used by the peer's periodic housekeeping.
 pub const TIMER_HOUSEKEEPING: u64 = 0x4A58_0001;
@@ -192,6 +213,8 @@ pub struct JxtaPeer {
     local_addresses: Vec<SimAddress>,
     rebalance: RebalanceController<PeerId>,
     mailbox_depth: u32,
+    tracer: Option<SharedTraceCollector>,
+    defer_delivery_spans: bool,
 }
 
 impl JxtaPeer {
@@ -219,6 +242,8 @@ impl JxtaPeer {
             local_addresses: Vec::new(),
             rebalance: RebalanceController::new(config.dissemination.rebalance),
             mailbox_depth: 0,
+            tracer: None,
+            defer_delivery_spans: false,
             config,
         }
     }
@@ -278,6 +303,60 @@ impl JxtaPeer {
     /// its session mailbox at every pump; zero where no mailbox exists).
     pub fn set_mailbox_depth(&mut self, depth: u32) {
         self.mailbox_depth = depth;
+    }
+
+    /// Installs a shared [`TraceCollector`] so every copy of every wire
+    /// message this peer touches records causal [`TraceSpan`]s. Off by
+    /// default; a peer without a collector skips all span bookkeeping.
+    ///
+    /// With `defer_delivery` set, the peer records every hop span *except*
+    /// the terminal `Delivered` / duplicate-drop spans: a layer above (the
+    /// TPS engine, which runs its own cross-pipe event-id dedup) takes over
+    /// that responsibility so each copy gets exactly one verdict span.
+    pub fn set_trace_collector(&mut self, tracer: SharedTraceCollector, defer_delivery: bool) {
+        tracer
+            .borrow_mut()
+            .register_node(trace_handle(self.peer_id), self.config.name.clone());
+        self.tracer = Some(tracer);
+        self.defer_delivery_spans = defer_delivery;
+    }
+
+    /// The installed trace collector, if any.
+    pub fn trace_collector(&self) -> Option<&SharedTraceCollector> {
+        self.tracer.as_ref()
+    }
+
+    /// This peer's 64-bit trace handle (see [`trace_handle`]).
+    pub fn trace_node(&self) -> u64 {
+        trace_handle(self.peer_id)
+    }
+
+    /// Records one span for each traced event id, if tracing is on.
+    fn record_spans(&self, now: SimTime, ids: &[TraceId], kind: SpanKind) {
+        let Some(tracer) = &self.tracer else { return };
+        let node = trace_handle(self.peer_id);
+        let mut tracer = tracer.borrow_mut();
+        for id in ids {
+            tracer.record(TraceSpan {
+                id: *id,
+                at_us: now.as_micros(),
+                node,
+                kind,
+            });
+        }
+    }
+
+    /// Classifies a unicast wire copy headed for `peer`: across the
+    /// rendezvous mesh, down a client lease, or a plain point-to-point hop.
+    fn classify_send(&self, peer: PeerId) -> SpanKind {
+        let to = trace_handle(peer);
+        if self.rendezvous.mesh_link_ids().contains(&peer) {
+            SpanKind::MeshRelay { to }
+        } else if self.rendezvous.is_rendezvous() && self.rendezvous.client_ids().contains(&peer) {
+            SpanKind::FanDown { to }
+        } else {
+            SpanKind::WireOut { to }
+        }
     }
 
     /// The first point-to-point address this peer listens on, if started.
@@ -716,8 +795,33 @@ impl JxtaPeer {
         pipe_id: PipeId,
         message: &Message,
     ) -> Result<usize, JxtaError> {
+        self.wire_send_traced(ctx, pipe_id, message, Vec::new())
+    }
+
+    /// [`JxtaPeer::wire_send`] with explicit event trace ids, one per event
+    /// packed inside `message` (the TPS engine allocates ids before
+    /// marshalling so a batched publish carries one id per event). With an
+    /// empty list and a collector installed the peer allocates a single id
+    /// itself, so bare-JXTA applications get traced transparently.
+    pub fn wire_send_traced(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        pipe_id: PipeId,
+        message: &Message,
+        mut trace_ids: Vec<TraceId>,
+    ) -> Result<usize, JxtaError> {
         if self.wire.output_pipe(pipe_id).is_none() {
             return Err(JxtaError::UnknownPipe(pipe_id.to_string()));
+        }
+        if let Some(tracer) = &self.tracer {
+            if trace_ids.is_empty() {
+                let id = tracer.borrow_mut().allocate(trace_handle(self.peer_id));
+                trace_ids.push(id);
+                self.record_spans(ctx.now(), &trace_ids, SpanKind::Published);
+            }
+        } else {
+            // No collector: never put trace elements on the wire.
+            trace_ids.clear();
         }
         let plan = self.wire.plan_publish(
             pipe_id,
@@ -742,6 +846,7 @@ impl JxtaPeer {
             // overlays, so the configured `gossip_ttl` is not clamped here.
             ttl: plan.ttl,
             payload: message.to_bytes(),
+            trace_ids: trace_ids.clone(),
         };
         // Seed the local seen-window with our own message id so a copy
         // gossiped back to the publisher is dropped instead of re-forwarded.
@@ -762,12 +867,22 @@ impl JxtaPeer {
             match addr {
                 Some(addr) => {
                     self.transmit(ctx, addr, &wm);
+                    self.record_spans(ctx.now(), &trace_ids, self.classify_send(*peer));
                     sent += 1;
                 }
                 None => {
                     // No usable direct address: fall back to relaying.
                     if self.send_to_peer(ctx, *peer, &wm) {
+                        self.record_spans(ctx.now(), &trace_ids, self.classify_send(*peer));
                         sent += 1;
+                    } else {
+                        self.record_spans(
+                            ctx.now(),
+                            &trace_ids,
+                            SpanKind::Dropped {
+                                cause: DropCause::NoRoute,
+                            },
+                        );
                     }
                 }
             }
@@ -776,6 +891,7 @@ impl JxtaPeer {
             // Nothing resolved yet (or the strategy asked for it): propagate
             // so early subscribers still hear us.
             self.propagate(ctx, &wm, None);
+            self.record_spans(ctx.now(), &trace_ids, SpanKind::WireOut { to: BROADCAST });
         }
         Ok(sent)
     }
@@ -1344,9 +1460,33 @@ impl JxtaPeer {
         // propagation paths (direct, tree, gossip) are delivered and
         // forwarded at most once.
         let first_sight = !self.wire.seen_before(packet.pipe_id, packet.msg_id);
-        if packet.src_peer != self.peer_id && self.wire.has_input_pipe(packet.pipe_id) && first_sight {
+        let traced = self.tracer.is_some() && !packet.trace_ids.is_empty();
+        let from_elsewhere = packet.src_peer != self.peer_id;
+        if traced && from_elsewhere {
+            self.record_spans(
+                ctx.now(),
+                &packet.trace_ids,
+                SpanKind::WireIn {
+                    from: trace_handle(packet.src_peer),
+                },
+            );
+            if !first_sight {
+                // This copy dies right here in the wire dedup window.
+                self.record_spans(
+                    ctx.now(),
+                    &packet.trace_ids,
+                    SpanKind::Dropped {
+                        cause: DropCause::Duplicate,
+                    },
+                );
+            }
+        }
+        if from_elsewhere && self.wire.has_input_pipe(packet.pipe_id) && first_sight {
             if let Ok(message) = Message::from_bytes(&packet.payload) {
                 self.wire.note_received();
+                if traced && !self.defer_delivery_spans {
+                    self.record_spans(ctx.now(), &packet.trace_ids, SpanKind::Delivered);
+                }
                 self.events.push(JxtaEvent::WireMessageReceived {
                     pipe_id: packet.pipe_id,
                     src_peer: packet.src_peer,
@@ -1380,10 +1520,28 @@ impl JxtaPeer {
             for peer in plan.forward {
                 if let Some(addr) = self.wire_peer_address(peer, self.rendezvous.client_endpoints(peer)) {
                     self.transmit(ctx, addr, &forwarded);
+                    if traced && from_elsewhere {
+                        self.record_spans(ctx.now(), &packet.trace_ids, self.classify_send(peer));
+                    }
                     copies += 1;
                 }
             }
             self.wire.note_forwarded(copies);
+        } else if traced
+            && from_elsewhere
+            && first_sight
+            && packet.ttl == 0
+            && !self.wire.has_input_pipe(packet.pipe_id)
+        {
+            // The hop budget ran out at a peer that is not a listener: this
+            // copy dies here without reaching anyone.
+            self.record_spans(
+                ctx.now(),
+                &packet.trace_ids,
+                SpanKind::Dropped {
+                    cause: DropCause::TtlExhausted,
+                },
+            );
         }
     }
 

@@ -19,8 +19,9 @@
 mod common;
 
 use common::{build, Topology};
+use jxta::telemetry::trace::DeliveryVerdict;
 use jxta::DisseminationConfig;
-use simnet::{ChurnDriver, NodeId, SimDuration};
+use simnet::{ChurnDriver, DropReason, NodeId, SimDuration};
 use std::collections::HashMap;
 
 const SHARDS: usize = 3;
@@ -226,6 +227,101 @@ fn killed_rendezvous_drops_are_accounted_as_node_down() {
             after.of(reason),
             before.of(reason),
             "a kill must not be misattributed to {reason}"
+        );
+    }
+}
+
+#[test]
+fn tracing_explains_every_undelivered_copy_when_a_rendezvous_dies() {
+    let (mut topology, publisher_shard, by_shard) = churn_topology(SEED);
+    topology.enable_tracing(1 << 16);
+    let victim = victim_shard(publisher_shard, &by_shard);
+    let victim_subscribers = by_shard[&victim].clone();
+
+    // One healthy publish, then one mid-outage publish.
+    topology.publish_tag(0, "before");
+    topology.net.run_for(SimDuration::from_secs(5));
+    let kill_at = topology.net.now() + SimDuration::from_secs(1);
+    let mut churn = ChurnDriver::new();
+    churn.kill_at(kill_at, victim);
+    churn.run_until(&mut topology.net, kill_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "during");
+    topology.net.run_for(SimDuration::from_secs(5));
+
+    // The sweep itself is the acceptance criterion: zero unknown outcomes.
+    let ids = topology.traced_ids();
+    assert_eq!(ids.len(), 2, "two publishes, two traced events");
+    let (delivered, undelivered) = topology.assert_every_copy_explained();
+    assert_eq!(
+        delivered,
+        2 * SUBSCRIBERS - victim_subscribers.len(),
+        "everyone hears the healthy event; only the dead shard misses the second"
+    );
+    assert_eq!(undelivered, victim_subscribers.len());
+
+    // And the forensics name the exact hop and transport cause: the copy
+    // left the publisher's home rendezvous toward the dead one, where the
+    // kernel swallowed it as node_down.
+    let during = ids[1];
+    for &index in &victim_subscribers {
+        let verdict = topology.why_missing(index, during);
+        let DeliveryVerdict::LostOnWire { last_send } = verdict else {
+            panic!("subscriber {index}: expected a wire loss, got: {verdict}");
+        };
+        assert_eq!(
+            Some(last_send.node),
+            topology.trace_handle_of(publisher_shard),
+            "the blamed hop is the relaying rendezvous"
+        );
+        assert_eq!(
+            topology.kernel_drop_reason(&verdict),
+            Some(DropReason::NodeDown),
+            "subscriber {index}: the kernel join must name node_down"
+        );
+    }
+}
+
+#[test]
+fn tracing_explains_partitioned_copies_as_fault_injected() {
+    let (mut topology, publisher_shard, by_shard) = churn_topology(SEED);
+    topology.enable_tracing(1 << 16);
+    let local_subscribers = by_shard.get(&publisher_shard).cloned().unwrap_or_default();
+
+    // Cut every mesh link out of the publisher's shard, then publish once.
+    let cut_at = topology.net.now() + SimDuration::from_secs(1);
+    let other_shards: Vec<NodeId> = topology
+        .rendezvous
+        .iter()
+        .copied()
+        .filter(|&r| r != publisher_shard)
+        .collect();
+    let mut churn = ChurnDriver::new();
+    for &other in &other_shards {
+        churn.cut_link_at(cut_at, publisher_shard, other);
+    }
+    churn.run_until(&mut topology.net, cut_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "partitioned");
+    topology.net.run_for(SimDuration::from_secs(5));
+
+    let ids = topology.traced_ids();
+    assert_eq!(ids.len(), 1);
+    let (delivered, undelivered) = topology.assert_every_copy_explained();
+    assert_eq!(delivered, local_subscribers.len());
+    assert_eq!(undelivered, SUBSCRIBERS - local_subscribers.len());
+    for index in 0..SUBSCRIBERS {
+        let verdict = topology.why_missing(index, ids[0]);
+        if local_subscribers.contains(&index) {
+            assert!(verdict.is_delivered(), "subscriber {index} shares the shard");
+            continue;
+        }
+        let DeliveryVerdict::LostOnWire { last_send } = verdict else {
+            panic!("subscriber {index}: expected a wire loss, got: {verdict}");
+        };
+        assert_eq!(Some(last_send.node), topology.trace_handle_of(publisher_shard));
+        assert_eq!(
+            topology.kernel_drop_reason(&verdict),
+            Some(DropReason::FaultInjected),
+            "subscriber {index}: a link cut must surface as fault_injected, not node_down"
         );
     }
 }

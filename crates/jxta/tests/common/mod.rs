@@ -8,12 +8,17 @@
 #![allow(dead_code)]
 
 use jxta::peer::{CostModel, JxtaPeer, PeerConfig};
-use jxta::{is_jxta_timer, DisseminationConfig, JxtaEvent, Message, MessageElement, PeerId};
-use simnet::{
-    Datagram, Network, NetworkBuilder, NodeConfig, NodeContext, NodeId, SimAddress, SimDuration, SimNode,
-    SubnetId, TimerToken, TransportKind,
+use jxta::telemetry::trace::{DeliveryVerdict, TraceCollector, TraceId};
+use jxta::{
+    is_jxta_timer, DisseminationConfig, JxtaEvent, Message, MessageElement, PeerId, SharedTraceCollector,
 };
+use simnet::{
+    Datagram, DropReason, Network, NetworkBuilder, NodeConfig, NodeContext, NodeId, SimAddress, SimDuration,
+    SimNode, SubnetId, TimerToken, TraceEvent, TransportKind,
+};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A bare application node recording every wire message delivered to it.
 pub struct DeliveryApp {
@@ -70,6 +75,8 @@ pub struct Topology {
     pub publishers: Vec<NodeId>,
     pub subscribers: Vec<NodeId>,
     pub pipe: jxta::PipeAdvertisement,
+    tracer: Option<SharedTraceCollector>,
+    trace_nodes: Vec<(NodeId, u64)>,
 }
 
 /// The deterministic TCP address node `index` receives in a freshly built
@@ -129,6 +136,8 @@ pub fn build(
         publishers,
         subscribers,
         pipe,
+        tracer: None,
+        trace_nodes: Vec::new(),
     }
 }
 
@@ -177,6 +186,131 @@ impl Topology {
             *counts.entry(tag.clone()).or_insert(0usize) += 1;
         }
         counts
+    }
+
+    /// Turns on the causal tracing plane: one shared span collector across
+    /// every peer of the topology plus the kernel's own datagram trace ring,
+    /// so every subsequently published event can be explained end to end
+    /// (see [`Topology::assert_every_copy_explained`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.net.enable_trace(capacity);
+        let tracer: SharedTraceCollector = Rc::new(RefCell::new(TraceCollector::with_capacity(capacity)));
+        let mut trace_nodes = Vec::new();
+        let all = self
+            .rendezvous
+            .iter()
+            .chain(&self.publishers)
+            .chain(&self.subscribers);
+        for &id in all {
+            let node = self.net.node_mut::<DeliveryApp>(id).expect("node exists");
+            node.peer.set_trace_collector(Rc::clone(&tracer), false);
+            trace_nodes.push((id, node.peer.trace_node()));
+        }
+        self.tracer = Some(tracer);
+        self.trace_nodes = trace_nodes;
+    }
+
+    /// The 64-bit trace handle of a simulation node, if tracing is on.
+    pub fn trace_handle_of(&self, node: NodeId) -> Option<u64> {
+        self.trace_nodes
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, h)| *h)
+    }
+
+    /// Every event trace id the collector currently knows about, in id order.
+    pub fn traced_ids(&self) -> Vec<TraceId> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.borrow().known_ids())
+            .unwrap_or_default()
+    }
+
+    /// Drop forensics for one `(subscriber, event)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing was not enabled.
+    pub fn why_missing(&self, subscriber: usize, id: TraceId) -> DeliveryVerdict {
+        let handle = self
+            .trace_handle_of(self.subscribers[subscriber])
+            .expect("tracing not enabled");
+        self.tracer
+            .as_ref()
+            .expect("tracing not enabled")
+            .borrow()
+            .why_missing(handle, id)
+    }
+
+    /// Joins a [`DeliveryVerdict::LostOnWire`] verdict against the kernel's
+    /// drop log: the transport-level [`DropReason`] of the first kernel drop
+    /// originating at the verdict's last instrumented hop at-or-after the
+    /// send span's timestamp. `None` for other verdicts or when the kernel
+    /// record was evicted from its ring.
+    pub fn kernel_drop_reason(&self, verdict: &DeliveryVerdict) -> Option<DropReason> {
+        let DeliveryVerdict::LostOnWire { last_send } = verdict else {
+            return None;
+        };
+        let from = self
+            .trace_nodes
+            .iter()
+            .find(|(_, h)| *h == last_send.node)
+            .map(|(id, _)| *id)?;
+        self.net
+            .trace()
+            .records()
+            .find(|r| {
+                r.at.as_micros() >= last_send.at_us
+                    && matches!(
+                        &r.event,
+                        TraceEvent::DatagramDropped { from: f, .. } if *f == from
+                    )
+            })
+            .and_then(|r| match &r.event {
+                TraceEvent::DatagramDropped { reason, .. } => Some(*reason),
+                _ => None,
+            })
+    }
+
+    /// The acceptance sweep for the forensics plane: every `(subscriber,
+    /// traced event)` copy must end in a *named* outcome — delivered, dropped
+    /// at an instrumented hop that recorded the cause itself, or lost in the
+    /// kernel with a joinable transport [`DropReason`]. Returns the
+    /// `(delivered, undelivered)` copy counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first copy whose fate cannot be named (an "unknown
+    /// outcome": no spans, never routed, or a wire loss the kernel log
+    /// cannot corroborate).
+    pub fn assert_every_copy_explained(&self) -> (usize, usize) {
+        let ids = self.traced_ids();
+        assert!(!ids.is_empty(), "nothing was traced");
+        let mut delivered = 0;
+        let mut undelivered = 0;
+        for index in 0..self.subscribers.len() {
+            for &id in &ids {
+                let verdict = self.why_missing(index, id);
+                match &verdict {
+                    DeliveryVerdict::Delivered { .. } => delivered += 1,
+                    DeliveryVerdict::DroppedAt { .. } => undelivered += 1,
+                    DeliveryVerdict::LostOnWire { last_send } => {
+                        assert!(
+                            self.kernel_drop_reason(&verdict).is_some(),
+                            "subscriber {index}, event {id}: copy left hop {} at {}us \
+                             but the kernel drop log names no cause",
+                            last_send.node,
+                            last_send.at_us
+                        );
+                        undelivered += 1;
+                    }
+                    DeliveryVerdict::NeverRouted { .. } | DeliveryVerdict::NeverPublished => {
+                        panic!("subscriber {index}, event {id}: unexplained outcome: {verdict}")
+                    }
+                }
+            }
+        }
+        (delivered, undelivered)
     }
 
     /// The rendezvous *node id* an edge node currently leases with, if any.

@@ -185,6 +185,57 @@ fn permanent_shard_death_migrates_leases_and_delivery_resumes_without_revival() 
 }
 
 #[test]
+fn tracing_explains_every_copy_across_a_permanent_shard_death() {
+    // The full rebalance arc under the tracing plane: a healthy publish, a
+    // publish while the victim shard is dark, and a publish after the
+    // controller migrated its leases — every copy of all three events must
+    // end in a named outcome (acceptance: zero unknown outcomes).
+    let (mut topology, publisher_shard, by_shard) = rebalance_topology(SEED);
+    topology.enable_tracing(1 << 17);
+    let victim = victim_shard(publisher_shard, &by_shard);
+    let victim_subscribers = by_shard[&victim].clone();
+
+    topology.publish_tag(0, "before");
+    topology.net.run_for(SimDuration::from_secs(5));
+
+    let kill_at = topology.net.now() + SimDuration::from_secs(1);
+    let mut churn = ChurnDriver::new();
+    churn.kill_at(kill_at, victim);
+    churn.run_until(&mut topology.net, kill_at + SimDuration::from_secs(1));
+    topology.publish_tag(0, "dark");
+    churn.run_until(&mut topology.net, kill_at + DEAD_WINDOW);
+
+    topology.publish_tag(0, "migrated");
+    topology.net.run_for(SimDuration::from_secs(10));
+
+    let ids = topology.traced_ids();
+    assert_eq!(ids.len(), 3, "three publishes, three traced events");
+    let (delivered, undelivered) = topology.assert_every_copy_explained();
+    assert_eq!(
+        delivered,
+        3 * SUBSCRIBERS - victim_subscribers.len(),
+        "only the dark-window copies of the victim's subscribers are lost"
+    );
+    assert_eq!(undelivered, victim_subscribers.len());
+
+    // The dark-window losses are wire losses at the relaying rendezvous,
+    // corroborated by the kernel as node_down (never fault injection).
+    let dark = ids[1];
+    for &index in &victim_subscribers {
+        let verdict = topology.why_missing(index, dark);
+        let jxta::telemetry::trace::DeliveryVerdict::LostOnWire { last_send } = verdict else {
+            panic!("subscriber {index}: expected a wire loss, got: {verdict}");
+        };
+        assert_eq!(Some(last_send.node), topology.trace_handle_of(publisher_shard));
+        assert_eq!(
+            topology.kernel_drop_reason(&verdict),
+            Some(DropReason::NodeDown),
+            "subscriber {index}: the kernel join must name node_down"
+        );
+    }
+}
+
+#[test]
 fn late_subscriber_joins_after_permanent_shard_death() {
     // A subscriber whose input pipe opens only AFTER its shard died
     // permanently: the lease migration happens underneath (connect runs at

@@ -324,6 +324,14 @@ impl Network {
         &self.trace
     }
 
+    /// Enables kernel tracing on an already-built network, replacing any
+    /// previous buffer. Harnesses that only decide after construction whether
+    /// a run is traced (e.g. an operator turning on forensics) use this
+    /// instead of [`NetworkBuilder::enable_trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::with_capacity(capacity);
+    }
+
     /// Mutable access to the link table, for scenarios that degrade or
     /// partition the network mid-run.
     pub fn links_mut(&mut self) -> &mut LinkTable {
@@ -548,7 +556,16 @@ impl Network {
     fn handle_deliver(&mut self, dst: NodeId, datagram: Datagram) {
         let slot = &mut self.slots[dst.index()];
         if !slot.alive {
-            *self.drop_counts.entry(DropReason::NodeDown).or_insert(0) += 1;
+            // The target died while the datagram was in flight. Goes through
+            // `record_drop` so the kernel trace can explain the casualty —
+            // drop forensics must never see a silently vanished copy.
+            self.record_drop(
+                self.now,
+                datagram.src_node,
+                datagram.dst_addr,
+                DropReason::NodeDown,
+                Some(dst),
+            );
             return;
         }
         slot.stats.datagrams_delivered += 1;
@@ -637,13 +654,25 @@ impl Network {
         }
     }
 
-    fn record_drop(&mut self, from: NodeId, to_addr: SimAddress, reason: DropReason, dst: Option<NodeId>) {
+    /// Records a drop stamped at `at` — the datagram's effective departure
+    /// time for send-path drops (handler entry plus the sender's charged CPU
+    /// time), or the delivery instant for in-flight casualties. Stamping at
+    /// departure keeps kernel drop records joinable against span traces,
+    /// whose timestamps are charge-inclusive.
+    fn record_drop(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to_addr: SimAddress,
+        reason: DropReason,
+        dst: Option<NodeId>,
+    ) {
         *self.drop_counts.entry(reason).or_insert(0) += 1;
         if let Some(dst) = dst {
             self.slots[dst.index()].stats.datagrams_dropped += 1;
         }
         self.trace.push(
-            self.now,
+            at,
             TraceEvent::DatagramDropped {
                 from,
                 to_addr,
@@ -653,11 +682,14 @@ impl Network {
     }
 
     fn process_send(&mut self, from: NodeId, local_delay: SimDuration, dst: SimAddress, payload: Bytes) {
+        // The effective departure instant: the sender's handler entry plus
+        // the CPU time it had charged when it queued the send.
+        let departed = self.now + local_delay;
         if payload.len() > self.max_datagram {
             // Oversized payloads are dropped loudly in traces; the synchronous
             // path already validated interfaces, and real UDP would fragment
             // or fail silently here.
-            self.record_drop(from, dst, DropReason::UnknownAddress, None);
+            self.record_drop(departed, from, dst, DropReason::UnknownAddress, None);
             return;
         }
         let src_subnet = self.slots[from.index()].subnet;
@@ -673,7 +705,7 @@ impl Network {
             stats.bytes_sent += payload.len() as u64;
         }
         self.trace.push(
-            self.now,
+            departed,
             TraceEvent::DatagramSent {
                 from,
                 to_addr: dst,
@@ -698,7 +730,7 @@ impl Network {
                 .map(|(idx, _)| NodeId::from_raw(idx as u32))
                 .collect();
             if members.is_empty() {
-                self.record_drop(from, dst, DropReason::EmptyMulticastGroup, None);
+                self.record_drop(departed, from, dst, DropReason::EmptyMulticastGroup, None);
                 return;
             }
             for member in members {
@@ -708,16 +740,16 @@ impl Network {
         }
 
         let Some(&target) = self.addr_map.get(&dst) else {
-            self.record_drop(from, dst, DropReason::UnknownAddress, None);
+            self.record_drop(departed, from, dst, DropReason::UnknownAddress, None);
             return;
         };
         if !self.slots[target.index()].alive {
-            self.record_drop(from, dst, DropReason::NodeDown, Some(target));
+            self.record_drop(departed, from, dst, DropReason::NodeDown, Some(target));
             return;
         }
         // Bluetooth is short-range: only works within the same subnet.
         if dst.transport == TransportKind::Bluetooth && self.slots[target.index()].subnet != src_subnet {
-            self.record_drop(from, dst, DropReason::UnknownAddress, Some(target));
+            self.record_drop(departed, from, dst, DropReason::UnknownAddress, Some(target));
             return;
         }
         // Firewalls filter inbound point-to-point traffic from other subnets.
@@ -725,7 +757,7 @@ impl Network {
             && dst.transport.is_point_to_point()
             && !self.slots[target.index()].firewall.admits_inbound(dst.transport)
         {
-            self.record_drop(from, dst, DropReason::Firewall, Some(target));
+            self.record_drop(departed, from, dst, DropReason::Firewall, Some(target));
             return;
         }
         self.deliver_one(from, src_addr, dst, target, local_delay, payload);
@@ -741,14 +773,26 @@ impl Network {
         payload: Bytes,
     ) {
         if self.blocked_pairs.contains(&(from, target)) {
-            self.record_drop(from, dst_addr, DropReason::FaultInjected, Some(target));
+            self.record_drop(
+                self.now + local_delay,
+                from,
+                dst_addr,
+                DropReason::FaultInjected,
+                Some(target),
+            );
             return;
         }
         let src_subnet = self.slots[from.index()].subnet;
         let dst_subnet = self.slots[target.index()].subnet;
         let spec = self.links.spec(src_subnet, dst_subnet).clone();
         if spec.loss_probability > 0.0 && self.master_rng.gen_bool(spec.loss_probability) {
-            self.record_drop(from, dst_addr, DropReason::RandomLoss, Some(target));
+            self.record_drop(
+                self.now + local_delay,
+                from,
+                dst_addr,
+                DropReason::RandomLoss,
+                Some(target),
+            );
             return;
         }
         let jitter = if spec.jitter == SimDuration::ZERO {

@@ -8,6 +8,7 @@ use crate::address::SimAddress;
 use crate::id::NodeId;
 use crate::stats::DropReason;
 use crate::time::SimTime;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// One traced kernel event.
@@ -82,12 +83,18 @@ impl fmt::Display for TraceRecord {
 }
 
 /// A bounded in-memory trace buffer.
+///
+/// The buffer is a ring: once `capacity` records are held, pushing a new one
+/// evicts the **oldest** record (and counts it in
+/// [`TraceBuffer::dropped_records`]), so a long trace-enabled run keeps the
+/// most recent window of kernel events — the window an operator actually
+/// wants when something just went wrong — at a fixed memory bound.
 #[derive(Debug, Default)]
 pub struct TraceBuffer {
     enabled: bool,
     capacity: usize,
-    records: Vec<TraceRecord>,
-    truncated: u64,
+    records: VecDeque<TraceRecord>,
+    dropped_records: u64,
 }
 
 impl TraceBuffer {
@@ -96,20 +103,20 @@ impl TraceBuffer {
         TraceBuffer {
             enabled: false,
             capacity: 0,
-            records: Vec::new(),
-            truncated: 0,
+            records: VecDeque::new(),
+            dropped_records: 0,
         }
     }
 
-    /// Creates an enabled buffer keeping at most `capacity` records; older
-    /// records beyond the capacity are dropped and counted in
-    /// [`TraceBuffer::truncated`].
+    /// Creates an enabled buffer keeping at most `capacity` records (a zero
+    /// capacity is promoted to 1); once full, the oldest records are evicted
+    /// first and counted in [`TraceBuffer::dropped_records`].
     pub fn with_capacity(capacity: usize) -> Self {
         TraceBuffer {
             enabled: true,
-            capacity,
-            records: Vec::new(),
-            truncated: 0,
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped_records: 0,
         }
     }
 
@@ -118,32 +125,43 @@ impl TraceBuffer {
         self.enabled
     }
 
-    /// Appends a record if tracing is enabled.
+    /// Appends a record if tracing is enabled, evicting the oldest record
+    /// when the buffer is at capacity.
     pub fn push(&mut self, at: SimTime, event: TraceEvent) {
         if !self.enabled {
             return;
         }
         if self.records.len() >= self.capacity {
-            self.truncated += 1;
-            return;
+            self.records.pop_front();
+            self.dropped_records += 1;
         }
-        self.records.push(TraceRecord { at, event });
+        self.records.push_back(TraceRecord { at, event });
     }
 
-    /// The records collected so far, in order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// The records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
     }
 
-    /// How many records were discarded because the buffer was full.
-    pub fn truncated(&self) -> u64 {
-        self.truncated
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no record is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted because the buffer was full.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
     }
 
     /// Removes all records (the buffer stays enabled).
     pub fn clear(&mut self) {
         self.records.clear();
-        self.truncated = 0;
+        self.dropped_records = 0;
     }
 
     /// Counts records matching a predicate.
@@ -165,12 +183,12 @@ mod tests {
                 node: NodeId::from_raw(0),
             },
         );
-        assert!(buf.records().is_empty());
+        assert!(buf.is_empty());
         assert!(!buf.is_enabled());
     }
 
     #[test]
-    fn capacity_is_enforced() {
+    fn capacity_evicts_oldest_first() {
         let mut buf = TraceBuffer::with_capacity(2);
         for i in 0..5 {
             buf.push(
@@ -181,11 +199,20 @@ mod tests {
                 },
             );
         }
-        assert_eq!(buf.records().len(), 2);
-        assert_eq!(buf.truncated(), 3);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped_records(), 3);
+        let kept: Vec<u64> = buf
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::TimerFired { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![3, 4], "the newest records survive");
         buf.clear();
-        assert!(buf.records().is_empty());
-        assert_eq!(buf.truncated(), 0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped_records(), 0);
+        assert_eq!(TraceBuffer::with_capacity(0).capacity, 1);
     }
 
     #[test]

@@ -11,10 +11,14 @@ use crate::jxta_app::Role;
 use crate::node::{Flavor, SkiNode};
 use crate::workload::OfferGenerator;
 use jxta::peer::CostModel;
-use jxta::{DisseminationConfig, StrategyKind};
+use jxta::telemetry::trace::{DeliveryVerdict, TraceCollector, TraceId, DEFAULT_TRACE_CAPACITY};
+use jxta::{DisseminationConfig, SharedTraceCollector, StrategyKind};
 use simnet::{
-    Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId, TransportKind,
+    DropReason, Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId,
+    TraceEvent, TransportKind,
 };
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A built scenario: one or more rendezvous peers, `publishers` publishing
 /// peers and `subscribers` subscribing peers, all on one LAN segment (the
@@ -30,6 +34,10 @@ pub struct Scenario {
     subscribers: Vec<NodeId>,
     offers: OfferGenerator,
     invocation_times: telemetry::WindowedHistogram,
+    tracer: Option<SharedTraceCollector>,
+    /// Kernel node id ↔ 64-bit trace handle, for joining delivery spans
+    /// against the kernel's own drop log.
+    trace_nodes: Vec<(NodeId, u64)>,
 }
 
 impl Scenario {
@@ -145,7 +153,146 @@ impl Scenario {
             subscribers: subscriber_ids,
             offers: OfferGenerator::new(seed ^ 0x5EED),
             invocation_times: telemetry::WindowedHistogram::default(),
+            tracer: None,
+            trace_nodes: Vec::new(),
         }
+    }
+
+    /// Turns on the causal tracing plane: a shared span collector is
+    /// installed on every peer (rendezvous and edges) and kernel tracing is
+    /// enabled with the same capacity, so trace spans can be joined against
+    /// the kernel's drop log for transport-level forensics. Call before
+    /// [`Scenario::warm_up`] to also capture the warm-up traffic; a scenario
+    /// without this call pays no tracing cost at all.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.net.enable_trace(capacity);
+        let tracer: SharedTraceCollector = Rc::new(RefCell::new(TraceCollector::with_capacity(capacity)));
+        let mut trace_nodes = Vec::new();
+        for &id in &self.rendezvous {
+            let node = self.net.node_mut::<RdvNode>(id).expect("rendezvous exists");
+            node.peer.set_trace_collector(Rc::clone(&tracer), false);
+            trace_nodes.push((id, node.peer.trace_node()));
+        }
+        for &id in self.publishers.iter().chain(&self.subscribers) {
+            let node = self.net.node_mut::<SkiNode>(id).expect("edge exists");
+            node.set_trace_collector(Rc::clone(&tracer));
+            trace_nodes.push((id, node.peer_ref().trace_node()));
+        }
+        self.tracer = Some(tracer);
+        self.trace_nodes = trace_nodes;
+    }
+
+    /// The shared trace collector, if [`Scenario::enable_tracing`] ran.
+    pub fn tracer(&self) -> Option<&SharedTraceCollector> {
+        self.tracer.as_ref()
+    }
+
+    /// The 64-bit trace handle of a simulation node, if tracing is on.
+    pub fn trace_handle_of(&self, node: NodeId) -> Option<u64> {
+        self.trace_nodes
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, h)| *h)
+    }
+
+    /// Every event trace id the collector currently knows about.
+    pub fn traced_ids(&self) -> Vec<TraceId> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.borrow().known_ids())
+            .unwrap_or_default()
+    }
+
+    /// Drop forensics for one `(subscriber, event)` pair: where that
+    /// subscriber's copy of the event ended up, reconstructed from the span
+    /// trace (see [`TraceCollector::why_missing`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing was not enabled.
+    pub fn why_missing(&self, subscriber: usize, id: TraceId) -> DeliveryVerdict {
+        let handle = self
+            .trace_handle_of(self.subscribers[subscriber])
+            .expect("tracing not enabled");
+        self.tracer
+            .as_ref()
+            .expect("tracing not enabled")
+            .borrow()
+            .why_missing(handle, id)
+    }
+
+    /// Joins a [`DeliveryVerdict::LostOnWire`] verdict against the kernel's
+    /// drop log: the transport-level [`DropReason`] of the first kernel drop
+    /// originating at the verdict's last instrumented hop at-or-after the
+    /// send span's timestamp. `None` for other verdicts (their causes are
+    /// already named by the span itself) or when the kernel record was
+    /// evicted from its ring.
+    pub fn kernel_drop_reason(&self, verdict: &DeliveryVerdict) -> Option<DropReason> {
+        let DeliveryVerdict::LostOnWire { last_send } = verdict else {
+            return None;
+        };
+        let from = self
+            .trace_nodes
+            .iter()
+            .find(|(_, h)| *h == last_send.node)
+            .map(|(id, _)| *id)?;
+        self.net
+            .trace()
+            .records()
+            .find(|r| {
+                r.at.as_micros() >= last_send.at_us
+                    && matches!(
+                        &r.event,
+                        TraceEvent::DatagramDropped { from: f, .. } if *f == from
+                    )
+            })
+            .and_then(|r| match &r.event {
+                TraceEvent::DatagramDropped { reason, .. } => Some(*reason),
+                _ => None,
+            })
+    }
+
+    /// End-to-end virtual delivery latency summary (publish → subscriber
+    /// delivery) over every traced event, from the collector's histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing was not enabled.
+    pub fn delivery_latency_summary(&self) -> telemetry::HistogramSummary {
+        self.tracer
+            .as_ref()
+            .expect("tracing not enabled")
+            .borrow()
+            .latency_histogram()
+            .summary()
+    }
+
+    /// The operator's text console: the full metrics snapshot (rendered via
+    /// [`telemetry::MetricsSnapshot::render_text`]), the end-to-end delivery
+    /// latency summary, and the causal timeline of up to `max_timelines`
+    /// traced events (newest first — the events an operator is usually
+    /// debugging).
+    pub fn operator_view(&self, max_timelines: usize) -> String {
+        let mut out = String::new();
+        out.push_str("== metrics ==\n");
+        out.push_str(&self.metrics_registry().snapshot().render_text());
+        if let Some(tracer) = &self.tracer {
+            let collector = tracer.borrow();
+            let summary = collector.latency_histogram().summary();
+            out.push_str("\n== delivery latency (virtual ms) ==\n");
+            out.push_str(&format!(
+                "count={} p50={:.3} p99={:.3} max={:.3}\n",
+                summary.count, summary.p50, summary.p99, summary.max
+            ));
+            out.push_str("\n== event timelines ==\n");
+            let mut ids = collector.known_ids();
+            ids.reverse();
+            for id in ids.into_iter().take(max_timelines) {
+                out.push_str(&collector.timeline(id));
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// The flavour this scenario runs.
@@ -515,6 +662,42 @@ pub fn dissemination_comparison(
                 seed,
             );
             (kind, stats(&series).mean)
+        })
+        .collect()
+}
+
+/// Runs a traced publish workload under every dissemination strategy and
+/// returns `(strategy, end-to-end virtual delivery latency summary)` per
+/// strategy — the `trace_latency` series of the dissemination ablation. The
+/// latency of one event is publish-span to delivery-span on the virtual
+/// clock; each delivery (one per subscriber per event) contributes one
+/// sample.
+pub fn trace_latency_comparison(
+    flavor: Flavor,
+    subscribers: usize,
+    events: usize,
+    seed: u64,
+) -> Vec<(StrategyKind, telemetry::HistogramSummary)> {
+    StrategyKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let mut scenario = Scenario::build_with_dissemination(
+                flavor,
+                DisseminationConfig::of_kind(kind),
+                1,
+                subscribers,
+                seed,
+                CostModel::jxta_1_0(),
+            );
+            scenario.enable_tracing(DEFAULT_TRACE_CAPACITY);
+            scenario.warm_up();
+            for _ in 0..events {
+                scenario.publish_one(0);
+            }
+            // Let the last event's copies drain through the overlay before
+            // closing the books.
+            scenario.advance(SimDuration::from_secs(10));
+            (kind, scenario.delivery_latency_summary())
         })
         .collect()
 }
@@ -1180,5 +1363,136 @@ mod tests {
         assert!((s.max - 4.0).abs() < 1e-9);
         assert!(s.std_dev > 1.0 && s.std_dev < 1.2);
         assert_eq!(stats(&[]).mean, 0.0);
+    }
+
+    /// Runs a small traced workload and returns the scenario plus the ids.
+    fn traced_run(flavor: Flavor, seed: u64) -> Scenario {
+        let mut scenario = Scenario::build_with_costs(flavor, 1, 2, seed, CostModel::free());
+        scenario.enable_tracing(4096);
+        scenario.warm_up();
+        for _ in 0..3 {
+            scenario.publish_one(0);
+        }
+        scenario.advance(SimDuration::from_secs(10));
+        scenario
+    }
+
+    #[test]
+    fn traces_explain_every_delivered_event() {
+        for flavor in [Flavor::JxtaWire, Flavor::SrTps] {
+            let scenario = traced_run(flavor, 42);
+            let ids = scenario.traced_ids();
+            assert_eq!(ids.len(), 3, "{flavor}: one trace id per published event");
+            for id in ids {
+                for subscriber in 0..2 {
+                    let verdict = scenario.why_missing(subscriber, id);
+                    assert!(
+                        verdict.is_delivered(),
+                        "{flavor}: expected delivery, got: {verdict}"
+                    );
+                }
+            }
+            let summary = scenario.delivery_latency_summary();
+            assert_eq!(
+                summary.count, 6,
+                "{flavor}: one latency sample per (event, subscriber) delivery"
+            );
+            assert!(summary.p50 >= 0.0 && summary.p99 >= summary.p50);
+        }
+    }
+
+    #[test]
+    fn traces_are_bit_identical_across_same_seed_runs() {
+        for flavor in [Flavor::JxtaWire, Flavor::SrTps] {
+            let a = traced_run(flavor, 77);
+            let b = traced_run(flavor, 77);
+            let spans_a: Vec<_> = a.tracer().unwrap().borrow().spans().copied().collect();
+            let spans_b: Vec<_> = b.tracer().unwrap().borrow().spans().copied().collect();
+            assert!(!spans_a.is_empty(), "{flavor}: traced runs record spans");
+            assert_eq!(
+                spans_a, spans_b,
+                "{flavor}: same seed must reproduce the identical span trace"
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_runs_record_nothing_and_send_no_trace_bytes() {
+        let mut scenario = Scenario::build_with_costs(Flavor::SrTps, 1, 1, 42, CostModel::free());
+        scenario.warm_up();
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(5));
+        assert!(scenario.tracer().is_none());
+        assert!(scenario.traced_ids().is_empty());
+        assert_eq!(scenario.received_count(0), 1);
+        assert!(scenario.network().trace().is_empty(), "kernel trace stays off");
+    }
+
+    #[test]
+    fn why_missing_blames_the_kernel_when_a_subscriber_dies_in_flight() {
+        let mut scenario = Scenario::build_with_costs(Flavor::SrTps, 1, 2, 9, CostModel::free());
+        scenario.enable_tracing(8192);
+        scenario.warm_up();
+        // Kill subscriber 1, then publish: its copy must die in the kernel
+        // (NodeDown at send or delivery time) and forensics must say so.
+        let victim = scenario.subscriber_id(1);
+        scenario.network_mut().shutdown_node(victim);
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(10));
+        let ids = scenario.traced_ids();
+        assert_eq!(ids.len(), 1);
+        let id = ids[0];
+        assert!(scenario.why_missing(0, id).is_delivered());
+        let verdict = scenario.why_missing(1, id);
+        assert!(!verdict.is_delivered(), "the dead subscriber cannot receive");
+        match &verdict {
+            DeliveryVerdict::LostOnWire { .. } => {
+                let reason = scenario.kernel_drop_reason(&verdict);
+                assert_eq!(
+                    reason,
+                    Some(DropReason::NodeDown),
+                    "the kernel join must name the transport-level cause"
+                );
+            }
+            DeliveryVerdict::DroppedAt { .. } | DeliveryVerdict::NeverRouted { .. } => {
+                // Acceptable alternative: the copy died at an instrumented
+                // hop before reaching the wire (e.g. the lease was already
+                // torn down). The verdict still names the exact hop.
+            }
+            other => panic!("undelivered copy must be explained, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn operator_view_renders_metrics_latency_and_timelines() {
+        let scenario = traced_run(Flavor::SrTps, 11);
+        let view = scenario.operator_view(2);
+        assert!(view.contains("== metrics =="));
+        assert!(
+            view.contains("simnet.datagrams_delivered"),
+            "kernel counters are included"
+        );
+        assert!(view.contains("== delivery latency (virtual ms) =="));
+        assert!(view.contains("== event timelines =="));
+        assert!(view.contains("published"), "timelines show the publish hop");
+        assert!(view.contains("delivered"), "timelines show the delivery hop");
+        // The snapshot text comes through MetricsSnapshot::render_text, which
+        // is the stable sorted rendering.
+        let rendered = scenario.metrics_registry().snapshot().render_text();
+        assert!(view.contains(rendered.lines().next().unwrap()));
+    }
+
+    #[test]
+    fn trace_latency_comparison_reports_every_strategy() {
+        let rows = trace_latency_comparison(Flavor::SrTps, 2, 2, 2002);
+        assert_eq!(rows.len(), StrategyKind::ALL.len());
+        for (kind, summary) in rows {
+            assert!(
+                summary.count >= 2,
+                "{kind}: at least one delivery latency sample per event (got {})",
+                summary.count
+            );
+            assert!(summary.p99 >= summary.p50);
+        }
     }
 }

@@ -104,6 +104,14 @@ impl JxtaSkiApp {
         &self.peer
     }
 
+    /// Installs a shared trace collector on the underlying peer, so every
+    /// copy of every offer this app publishes or receives records causal
+    /// delivery spans. The bare-JXTA flavours have no TPS dedup above the
+    /// wire, so the peer records the terminal spans itself.
+    pub fn set_trace_collector(&mut self, tracer: jxta::SharedTraceCollector) {
+        self.peer.set_trace_collector(tracer, false);
+    }
+
     /// The offers received so far, with their virtual arrival times.
     pub fn received(&self) -> &[(SimTime, SkiRental)] {
         &self.received

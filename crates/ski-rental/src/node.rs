@@ -170,6 +170,16 @@ impl SkiNode {
         }
     }
 
+    /// Installs a shared trace collector, whatever the flavour: the TPS
+    /// flavour traces through the engine (which owns the terminal delivery
+    /// verdicts), the JXTA flavours directly through the peer.
+    pub fn set_trace_collector(&mut self, tracer: jxta::SharedTraceCollector) {
+        match self {
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.set_trace_collector(tracer),
+            SkiNode::SrTps(app) => app.set_trace_collector(tracer),
+        }
+    }
+
     /// The TPS engine, for the SR-TPS flavour only (the JXTA flavours have
     /// no engine-level metrics surface).
     pub fn engine_ref(&self) -> Option<&tps::TpsEngine> {

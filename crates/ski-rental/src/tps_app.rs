@@ -63,6 +63,12 @@ impl TpsSkiApp {
         &self.engine
     }
 
+    /// Installs a shared trace collector on the underlying engine (and its
+    /// peer), enabling end-to-end delivery spans for every published offer.
+    pub fn set_trace_collector(&mut self, tracer: jxta::SharedTraceCollector) {
+        self.engine.set_trace_collector(tracer);
+    }
+
     /// The offers received so far, with their virtual arrival times.
     pub fn received(&self) -> &[(SimTime, SkiRental)] {
         &self.received

@@ -18,6 +18,10 @@
 //!   peers aggregate them into a per-shard load table and gossip their own
 //!   across the mesh links (see the `jxta` crate), and the rebalancing
 //!   controller in `dissem` decides from the table.
+//! * [`trace`] — the causal event-tracing plane: per-event [`trace::TraceId`]s,
+//!   typed hop spans collected into a bounded [`trace::TraceCollector`], path
+//!   reconstruction (`trace_of`), latency accounting and drop forensics
+//!   (`why_missing`). Off by default; zero-cost when disabled.
 //!
 //! Everything here is plain owned state — no interior mutability, no
 //! threads, no clocks — so the simulator's determinism guarantees carry
@@ -27,6 +31,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+
+pub mod trace;
 
 /// Default number of samples a [`WindowedHistogram`] retains.
 pub const DEFAULT_HISTOGRAM_WINDOW: usize = 1024;
@@ -249,6 +255,13 @@ impl MetricsSnapshot {
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
+
+    /// Renders the snapshot as stable, name-sorted text — the operator-view
+    /// dump format. Identical state renders identically, so the output is
+    /// safe to assert on (and to diff between two runs).
+    pub fn render_text(&self) -> String {
+        self.to_string()
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -388,6 +401,11 @@ mod tests {
         assert!(rendered.contains("counter a.first = 2"));
         assert!(rendered.contains("gauge   m.middle = -4"));
         assert!(rendered.contains("histo   h.histo"));
+        assert_eq!(
+            snapshot.render_text(),
+            rendered,
+            "render_text is the stable Display form"
+        );
     }
 
     #[test]

@@ -26,12 +26,13 @@ use crate::criteria::Criteria;
 use crate::error::PsException;
 use crate::event::{TpsEvent, TypeRegistry};
 use crate::session::{DeliveryFn, Session, SessionCommand, SessionShared};
-use jxta::peer::{is_jxta_timer, PeerConfig};
+use jxta::peer::{is_jxta_timer, trace_handle, PeerConfig, SharedTraceCollector};
+use jxta::telemetry::trace::{DropCause, SpanKind, TraceId, TraceSpan};
 use jxta::{
     AdvKind, AnyAdvertisement, JxtaEvent, JxtaPeer, Message, MessageElement, PeerGroup, PeerId,
     PipeAdvertisement, PipeId, SearchFilter, Uuid,
 };
-use simnet::{Datagram, NodeContext, SimAddress, SimDuration};
+use simnet::{Datagram, NodeContext, SimAddress, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
@@ -192,6 +193,7 @@ pub struct TpsEngine {
     seen_order: VecDeque<Uuid>,
     publishers_seen: HashSet<PeerId>,
     counters: TpsCounters,
+    tracer: Option<SharedTraceCollector>,
 }
 
 impl TpsEngine {
@@ -213,6 +215,33 @@ impl TpsEngine {
             seen_order: VecDeque::new(),
             publishers_seen: HashSet::new(),
             counters: TpsCounters::default(),
+            tracer: None,
+        }
+    }
+
+    /// Installs a shared trace collector on the engine *and* its JXTA peer.
+    ///
+    /// The peer records the transport-level spans (`WireOut`/`WireIn`/mesh
+    /// hops) but defers the terminal verdicts to this engine: TPS runs its
+    /// own cross-pipe event-id dedup, so only the engine knows whether an
+    /// arriving copy became a subscriber delivery or died as a duplicate.
+    pub fn set_trace_collector(&mut self, tracer: SharedTraceCollector) {
+        self.peer.set_trace_collector(Rc::clone(&tracer), true);
+        self.tracer = Some(tracer);
+    }
+
+    /// Records one engine-side span per traced event id, if tracing is on.
+    fn record_spans(&self, now: SimTime, ids: &[TraceId], kind: SpanKind) {
+        let Some(tracer) = &self.tracer else { return };
+        let node = trace_handle(self.peer.peer_id());
+        let mut tracer = tracer.borrow_mut();
+        for id in ids {
+            tracer.record(TraceSpan {
+                id: *id,
+                at_us: now.as_micros(),
+                node,
+                kind,
+            });
         }
     }
 
@@ -454,14 +483,25 @@ impl TpsEngine {
 
         let ancestors = self.registry.ancestors_of(type_name);
         let event_id = Uuid::generate(ctx.rng());
-        let message = self.build_message(type_name, &ancestors, event_id, &payloads);
+        // One trace id per packed event: a batched publish is one wire
+        // message, but every event inside it keeps its own causal trace.
+        let trace_ids: Vec<TraceId> = match &self.tracer {
+            Some(tracer) => {
+                let origin = trace_handle(self.peer.peer_id());
+                let mut tracer = tracer.borrow_mut();
+                payloads.iter().map(|_| tracer.allocate(origin)).collect()
+            }
+            None => Vec::new(),
+        };
+        self.record_spans(ctx.now(), &trace_ids, SpanKind::Published);
+        let message = self.build_message(type_name, &ancestors, event_id, &payloads, &trace_ids);
 
         for ancestor in &ancestors {
             self.prepare_publisher_channel(ctx, ancestor);
             let pipes: Vec<PipeId> = self.channels[ancestor].pipes.iter().map(|p| p.pipe_id).collect();
             for pipe_id in pipes {
                 self.peer
-                    .wire_send(ctx, pipe_id, &message)
+                    .wire_send_traced(ctx, pipe_id, &message, trace_ids.clone())
                     .map_err(PsException::from)?;
             }
             self.counters.messages_sent += 1;
@@ -616,11 +656,23 @@ impl TpsEngine {
         ancestors: &[String],
         event_id: Uuid,
         payloads: &[Vec<u8>],
+        trace_ids: &[TraceId],
     ) -> Message {
         let mut message = Message::new();
         message.add(MessageElement::text(TPS_NS, "ActualType", actual));
         message.add(MessageElement::text(TPS_NS, "Supertypes", ancestors.join(",")));
         message.add(MessageElement::text(TPS_NS, "EventId", event_id.to_hex()));
+        if !trace_ids.is_empty() {
+            // One id per payload, in payload order, so the subscriber edge
+            // can close each event's trace individually. The padding element
+            // below absorbs the extra bytes: the wire size stays at
+            // `target_event_size` whether tracing is on or off.
+            message.add(MessageElement::text(
+                TPS_NS,
+                "TraceIds",
+                TraceId::encode_list(trace_ids),
+            ));
+        }
         if payloads.len() == 1 {
             // Paper-identical single-event layout.
             message.add(MessageElement::binary(TPS_NS, "Payload", payloads[0].clone()));
@@ -729,7 +781,7 @@ impl TpsEngine {
                     src_peer,
                     message,
                 } => {
-                    self.handle_wire_message(pipe_id, src_peer, &message);
+                    self.handle_wire_message(pipe_id, src_peer, &message, ctx.now());
                 }
                 _ => {}
             }
@@ -765,7 +817,7 @@ impl TpsEngine {
         }
     }
 
-    fn handle_wire_message(&mut self, pipe_id: PipeId, src_peer: PeerId, message: &Message) {
+    fn handle_wire_message(&mut self, pipe_id: PipeId, src_peer: PeerId, message: &Message, now: SimTime) {
         if !self.pipe_to_type.contains_key(&pipe_id) {
             return;
         }
@@ -777,6 +829,10 @@ impl TpsEngine {
         if payloads.is_empty() {
             return;
         }
+        let trace_ids: Vec<TraceId> = message
+            .element_text(TPS_NS, "TraceIds")
+            .map(|t| TraceId::decode_list(&t))
+            .unwrap_or_default();
         // Learn the hierarchy the publisher declared, so that objects_received
         // and subtype matching work even for types not linked locally.
         if let Some(supertypes) = message.element_text(TPS_NS, "Supertypes") {
@@ -794,6 +850,15 @@ impl TpsEngine {
             if let Ok(id) = Uuid::from_hex(&id_hex) {
                 if !self.seen_events.insert(id) {
                     self.counters.duplicates_dropped += payloads.len() as u64;
+                    // The whole batch dies in the TPS dedup window: one
+                    // terminal drop span per packed event.
+                    self.record_spans(
+                        now,
+                        &trace_ids,
+                        SpanKind::Dropped {
+                            cause: DropCause::Duplicate,
+                        },
+                    );
                     return;
                 }
                 // Sliding dedup window (same shape as the wire service's):
@@ -809,7 +874,9 @@ impl TpsEngine {
             }
         }
         // Unwrap the (possibly batched) message into individual events at
-        // the subscriber edge.
+        // the subscriber edge. Each event closes its own trace: one
+        // `Delivered` span per packed trace id.
+        self.record_spans(now, &trace_ids, SpanKind::Delivered);
         for payload in payloads {
             self.counters.events_received += 1;
             self.push_history(HistoryLog::Received, actual.clone(), payload.clone());
@@ -950,6 +1017,7 @@ mod tests {
             &["SkiRental".to_owned()],
             Uuid::derive("e"),
             std::slice::from_ref(&payload),
+            &[],
         );
         assert!(message.wire_size() >= 1910);
         assert!(message.wire_size() < 1910 + 64);
@@ -972,6 +1040,7 @@ mod tests {
             &["SkiRental".to_owned()],
             Uuid::derive("batch"),
             &payloads,
+            &[],
         );
         assert_eq!(TpsEngine::message_payloads(&message), payloads);
         // Single-event messages keep the paper's layout.
@@ -980,6 +1049,7 @@ mod tests {
             &["SkiRental".to_owned()],
             Uuid::derive("one"),
             &payloads[..1],
+            &[],
         );
         assert!(single.element(TPS_NS, "Payload").is_some());
         assert_eq!(TpsEngine::message_payloads(&single), payloads[..1].to_vec());
@@ -1060,17 +1130,19 @@ mod tests {
             &["SkiRental".to_owned()],
             Uuid::derive("e1"),
             std::slice::from_ref(&cheap),
+            &[],
         );
         let msg2 = engine.build_message(
             "SkiRental",
             &["SkiRental".to_owned()],
             Uuid::derive("e2"),
             std::slice::from_ref(&pricey),
+            &[],
         );
         let publisher = jxta::PeerId::derive("remote-shop");
-        engine.handle_wire_message(pipe.pipe_id, publisher, &msg1);
-        engine.handle_wire_message(pipe.pipe_id, publisher, &msg2);
-        engine.handle_wire_message(pipe.pipe_id, publisher, &msg1); // duplicate
+        engine.handle_wire_message(pipe.pipe_id, publisher, &msg1, SimTime::ZERO);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &msg2, SimTime::ZERO);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &msg1, SimTime::ZERO); // duplicate
 
         assert_eq!(
             sink.borrow().len(),
@@ -1120,16 +1192,87 @@ mod tests {
             &["SkiRental".to_owned()],
             Uuid::derive("batch"),
             &payloads,
+            &[],
         );
         let publisher = jxta::PeerId::derive("remote-shop");
-        engine.handle_wire_message(pipe.pipe_id, publisher, &batch);
-        engine.handle_wire_message(pipe.pipe_id, publisher, &batch); // duplicate batch
+        engine.handle_wire_message(pipe.pipe_id, publisher, &batch, SimTime::ZERO);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &batch, SimTime::ZERO); // duplicate batch
 
         assert_eq!(sink.borrow().len(), 4, "each batched event is delivered once");
         assert_eq!(engine.counters().events_received, 4);
         assert_eq!(engine.counters().duplicates_dropped, 4);
         let order: Vec<String> = sink.borrow().iter().map(|e| e.shop.clone()).collect();
         assert_eq!(order, vec!["s0", "s1", "s2", "s3"], "batch order is preserved");
+    }
+
+    #[test]
+    fn batched_publish_unpacks_one_trace_id_per_event() {
+        use jxta::telemetry::trace::TraceCollector;
+        use std::cell::RefCell;
+
+        let mut engine = TpsEngine::new(TpsConfig::new("skier"));
+        let tracer: SharedTraceCollector = Rc::new(RefCell::new(TraceCollector::with_capacity(256)));
+        engine.set_trace_collector(Rc::clone(&tracer));
+        engine.registry.register::<SkiRental>();
+        let pipe = PeerGroup::for_event_type("SkiRental", jxta::PeerId::derive("x"))
+            .wire_pipe()
+            .unwrap()
+            .clone();
+        engine.pipe_to_type.insert(pipe.pipe_id, "SkiRental".to_owned());
+        let payloads: Vec<Vec<u8>> = (0..3)
+            .map(|i| {
+                codec::to_vec(&SkiRental {
+                    shop: format!("s{i}"),
+                    price: i as f32,
+                })
+                .unwrap()
+            })
+            .collect();
+        // One trace id per packed event, as core_publish would allocate.
+        let origin = 0xAB;
+        let ids: Vec<TraceId> = payloads
+            .iter()
+            .map(|_| tracer.borrow_mut().allocate(origin))
+            .collect();
+        let batch = engine.build_message(
+            "SkiRental",
+            &["SkiRental".to_owned()],
+            Uuid::derive("batch"),
+            &payloads,
+            &ids,
+        );
+        let publisher = jxta::PeerId::derive("remote-shop");
+        engine.handle_wire_message(pipe.pipe_id, publisher, &batch, SimTime::from_millis(7));
+
+        let collector = tracer.borrow();
+        for id in &ids {
+            let delivered: Vec<_> = collector
+                .trace_of(*id)
+                .into_iter()
+                .filter(|s| s.kind == SpanKind::Delivered)
+                .collect();
+            assert_eq!(delivered.len(), 1, "one Delivered span per batched event");
+            assert_eq!(delivered[0].at_us, SimTime::from_millis(7).as_micros());
+        }
+        drop(collector);
+
+        // A duplicate copy of the whole batch dies in the TPS dedup window:
+        // exactly one Dropped{Duplicate} span per packed event.
+        engine.handle_wire_message(pipe.pipe_id, publisher, &batch, SimTime::from_millis(9));
+        let collector = tracer.borrow();
+        for id in &ids {
+            let drops = collector
+                .trace_of(*id)
+                .into_iter()
+                .filter(|s| {
+                    s.kind
+                        == SpanKind::Dropped {
+                            cause: DropCause::Duplicate,
+                        }
+                })
+                .count();
+            assert_eq!(drops, 1, "exactly one duplicate-drop span per event");
+        }
     }
 
     #[test]
@@ -1154,18 +1297,19 @@ mod tests {
                 &["SkiRental".to_owned()],
                 Uuid::derive(tag),
                 std::slice::from_ref(&payload),
+                &[],
             )
         };
         let e1 = msg(&engine, "e1");
-        engine.handle_wire_message(pipe.pipe_id, publisher, &e1);
-        engine.handle_wire_message(pipe.pipe_id, publisher, &e1); // in-window dup
+        engine.handle_wire_message(pipe.pipe_id, publisher, &e1, SimTime::ZERO);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &e1, SimTime::ZERO); // in-window dup
         assert_eq!(engine.counters().duplicates_dropped, 1);
         for tag in ["e2", "e3"] {
-            engine.handle_wire_message(pipe.pipe_id, publisher, &msg(&engine, tag));
+            engine.handle_wire_message(pipe.pipe_id, publisher, &msg(&engine, tag), SimTime::ZERO);
         }
         assert!(engine.seen_events.len() <= 2, "window stays bounded");
         // e1 slid out of the window: replaying it is no longer suppressed.
-        engine.handle_wire_message(pipe.pipe_id, publisher, &e1);
+        engine.handle_wire_message(pipe.pipe_id, publisher, &e1, SimTime::ZERO);
         assert_eq!(engine.counters().duplicates_dropped, 1);
         assert_eq!(engine.counters().events_received, 4);
     }
@@ -1203,8 +1347,9 @@ mod tests {
                 &["SkiRental".to_owned()],
                 Uuid::derive(tag),
                 std::slice::from_ref(&payload),
+                &[],
             );
-            engine.handle_wire_message(pipe.pipe_id, publisher, &msg);
+            engine.handle_wire_message(pipe.pipe_id, publisher, &msg, SimTime::ZERO);
         };
         send(&mut engine, "e1");
         engine.set_paused(SubscriptionId(1), true);
