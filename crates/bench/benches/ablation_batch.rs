@@ -64,7 +64,7 @@ fn bench(c: &mut Criterion) {
                             events,
                             SEED,
                         )
-                    })
+                    });
                 },
             );
         }

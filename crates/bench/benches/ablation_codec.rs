@@ -10,16 +10,16 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_codec");
     group.bench_function("marshal_ski_rental", |b| {
-        b.iter(|| tps::codec::to_vec(black_box(&offer)).unwrap())
+        b.iter(|| tps::codec::to_vec(black_box(&offer)).unwrap());
     });
     group.bench_function("unmarshal_ski_rental", |b| {
-        b.iter(|| tps::codec::from_slice::<SkiRental>(black_box(&encoded)).unwrap())
+        b.iter(|| tps::codec::from_slice::<SkiRental>(black_box(&encoded)).unwrap());
     });
     group.bench_function("structural_upcast_to_rental_offer", |b| {
-        b.iter(|| tps::codec::from_slice::<RentalOffer>(black_box(&encoded)).unwrap())
+        b.iter(|| tps::codec::from_slice::<RentalOffer>(black_box(&encoded)).unwrap());
     });
     group.bench_function("raw_bytes_copy_baseline", |b| {
-        b.iter(|| black_box(&encoded).to_vec())
+        b.iter(|| black_box(&encoded).to_vec());
     });
     group.finish();
 }

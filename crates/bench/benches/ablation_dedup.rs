@@ -9,10 +9,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_dedup");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     group.bench_function("raw_wire_no_dedup", |b| {
-        b.iter(|| invocation_time(Flavor::JxtaWire, 1, 10, 7))
+        b.iter(|| invocation_time(Flavor::JxtaWire, 1, 10, 7));
     });
     group.bench_function("sr_jxta_with_dedup", |b| {
-        b.iter(|| invocation_time(Flavor::SrJxta, 1, 10, 7))
+        b.iter(|| invocation_time(Flavor::SrJxta, 1, 10, 7));
     });
     group.finish();
 }

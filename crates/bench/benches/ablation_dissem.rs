@@ -27,9 +27,7 @@ const SEED: u64 = 2002;
 /// smoke-runs in seconds while still exercising every strategy and the
 /// mesh code paths — bench rot shows up as a compile or runtime failure.
 fn smoke() -> bool {
-    std::env::var("TPS_BENCH_SMOKE")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    std::env::var("TPS_BENCH_SMOKE").is_ok_and(|v| v == "1")
 }
 
 fn subscriber_counts() -> &'static [usize] {
@@ -143,13 +141,13 @@ fn bench(c: &mut Criterion) {
                         events(),
                         SEED,
                     )
-                })
+                });
             });
         }
     }
     for &shards in mesh_shards() {
         group.bench_with_input(BenchmarkId::new("mesh-shards", shards), &shards, |b, &shards| {
-            b.iter(|| mesh_fanout_report(16, shards, events(), SEED))
+            b.iter(|| mesh_fanout_report(16, shards, events(), SEED));
         });
     }
     let trace_subs = if smoke() { 4 } else { 16 };

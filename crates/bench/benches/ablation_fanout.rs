@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                     scenario
                 },
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

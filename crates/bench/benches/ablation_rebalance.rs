@@ -30,9 +30,7 @@ const SEED: u64 = 2002;
 const EPOCH_SECS: u64 = 15;
 
 fn smoke() -> bool {
-    std::env::var("TPS_BENCH_SMOKE")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    std::env::var("TPS_BENCH_SMOKE").is_ok_and(|v| v == "1")
 }
 
 /// Epochs after the kill. The full run covers the whole lease lifetime plus
@@ -140,7 +138,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(5));
     for (label, on) in [("with-controller", true), ("without-controller", false)] {
         group.bench_with_input(BenchmarkId::new(label, SHARDS), &on, |b, &on| {
-            b.iter(|| delivery_trajectory(on))
+            b.iter(|| delivery_trajectory(on));
         });
     }
     group.finish();

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                         scenario
                     },
                     criterion::BatchSize::SmallInput,
-                )
+                );
             });
         }
     }

@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     for flavor in [Flavor::JxtaWire, Flavor::SrJxta, Flavor::SrTps] {
         for subs in [1usize, 4] {
             group.bench_with_input(BenchmarkId::new(flavor.label(), subs), &subs, |b, &subs| {
-                b.iter(|| publisher_throughput(flavor, subs, 20, 2, 2002))
+                b.iter(|| publisher_throughput(flavor, subs, 20, 2, 2002));
             });
         }
     }

@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     for flavor in [Flavor::JxtaWire, Flavor::SrJxta, Flavor::SrTps] {
         for pubs in [1usize, 4] {
             group.bench_with_input(BenchmarkId::new(flavor.label(), pubs), &pubs, |b, &pubs| {
-                b.iter(|| subscriber_throughput(flavor, pubs, 10, 2002))
+                b.iter(|| subscriber_throughput(flavor, pubs, 10, 2002));
             });
         }
     }

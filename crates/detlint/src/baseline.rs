@@ -1,0 +1,59 @@
+//! The checked-in findings baseline.
+//!
+//! `detlint.baseline` at the workspace root records the identities of
+//! findings that were present when the gate was introduced. CI fails only on
+//! findings *not* in the baseline, so the list can shrink monotonically
+//! toward empty without a flag day. Identities are line-number-free (see
+//! [`crate::rules::Finding::identity`]) so unrelated edits never churn it.
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Parse a baseline file: one identity per line, `#` comments and blank
+/// lines ignored.
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Render the baseline for the given findings, sorted and deduplicated.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# detlint baseline — accepted pre-existing findings.\n\
+         # One identity per line: RULE <TAB> file <TAB> item path <TAB> key.\n\
+         # Regenerate with: cargo run -p detlint -- --workspace --write-baseline\n\
+         # New findings (anything not listed here) fail the build.\n",
+    );
+    let ids: BTreeSet<String> = findings.iter().map(Finding::identity).collect();
+    for id in ids {
+        out.push_str(&id);
+        out.push('\n');
+    }
+    out
+}
+
+/// Split findings into (new, baselined) against a parsed baseline, and
+/// report stale baseline entries that no longer correspond to any finding.
+pub fn diff<'a>(
+    findings: &'a [Finding],
+    baseline: &BTreeSet<String>,
+) -> (Vec<&'a Finding>, Vec<&'a Finding>, Vec<String>) {
+    let current: BTreeSet<String> = findings.iter().map(Finding::identity).collect();
+    let new: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| !baseline.contains(&f.identity()))
+        .collect();
+    let old: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| baseline.contains(&f.identity()))
+        .collect();
+    let stale: Vec<String> = baseline
+        .iter()
+        .filter(|b| !current.contains(*b))
+        .cloned()
+        .collect();
+    (new, old, stale)
+}

@@ -1,0 +1,191 @@
+//! CLI for the determinism audit. Typical invocations:
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace              # human-readable, diffed against detlint.baseline
+//! cargo run -p detlint -- --workspace --json       # machine-readable findings
+//! cargo run -p detlint -- --workspace --deny-new   # CI gate: new findings OR stale baseline entries fail
+//! cargo run -p detlint -- --workspace --write-baseline
+//! ```
+//!
+//! Exit code 0 when every finding is baselined; 1 when new findings exist
+//! (or, under `--deny-new`, when the baseline lists findings that no longer
+//! fire — a stale baseline hides regressions); 2 on usage/IO errors.
+
+use detlint::rules::{Finding, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    deny_new: bool,
+    write_baseline: bool,
+    baseline_path: Option<PathBuf>,
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        json: false,
+        deny_new: false,
+        write_baseline: false,
+        baseline_path: None,
+    };
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => opts.json = true,
+            "--deny-new" => opts.deny_new = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--baseline" => {
+                let Some(p) = args.next() else {
+                    eprintln!("detlint: --baseline requires a path");
+                    return ExitCode::from(2);
+                };
+                opts.baseline_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: detlint --workspace [--json] [--deny-new] [--write-baseline] \
+                     [--baseline PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (only --workspace scans are supported)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("detlint: pass --workspace to scan the enclosing cargo workspace");
+        return ExitCode::from(2);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("detlint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = detlint::find_workspace_root(&cwd) else {
+        eprintln!(
+            "detlint: no workspace root (Cargo.toml with [workspace]) above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let findings = match detlint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("detlint.baseline"));
+    if opts.write_baseline {
+        let rendered = detlint::baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("detlint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "detlint: wrote {} finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map(|t| detlint::baseline::parse(&t))
+        .unwrap_or_default();
+    let (new, old, stale) = detlint::baseline::diff(&findings, &baseline);
+
+    if opts.json {
+        print_json(&new, &old, &stale);
+    } else {
+        print_human(&new, &old, &stale, &baseline_path.display().to_string());
+    }
+
+    let stale_fails = opts.deny_new && !stale.is_empty();
+    if new.is_empty() && !stale_fails {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_human(new: &[&Finding], old: &[&Finding], stale: &[String], baseline_path: &str) {
+    for f in new {
+        let item = if f.item.is_empty() {
+            String::new()
+        } else {
+            format!(" {}", f.item)
+        };
+        println!("{}:{} [{}]{item}: {}", f.file, f.line, f.rule, f.message);
+    }
+    let mut per_rule: Vec<(Rule, usize)> = Vec::new();
+    for f in new.iter().chain(old.iter()) {
+        match per_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => per_rule.push((f.rule, 1)),
+        }
+    }
+    per_rule.sort_by_key(|(r, _)| *r);
+    let summary: Vec<String> = per_rule.iter().map(|(r, n)| format!("{r}×{n}")).collect();
+    println!(
+        "detlint: {} new finding(s), {} baselined, {} stale baseline entr{} [{}]",
+        new.len(),
+        old.len(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" },
+        if summary.is_empty() {
+            "clean".to_owned()
+        } else {
+            summary.join(", ")
+        },
+    );
+    for s in stale {
+        println!(
+            "  stale baseline entry (no longer fires): {}",
+            s.replace('\t', " | ")
+        );
+    }
+    if !stale.is_empty() {
+        println!("  refresh with: cargo run -p detlint -- --workspace --write-baseline  ({baseline_path})");
+    }
+}
+
+fn print_json(new: &[&Finding], old: &[&Finding], stale: &[String]) {
+    let esc = detlint::json_escape;
+    let render = |f: &Finding, is_new: bool| {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"item\":\"{}\",\"key\":\"{}\",\
+             \"message\":\"{}\",\"new\":{}}}",
+            f.rule,
+            esc(&f.file),
+            f.line,
+            esc(&f.item),
+            esc(&f.key),
+            esc(&f.message),
+            is_new
+        )
+    };
+    let mut items: Vec<String> = new.iter().map(|f| render(f, true)).collect();
+    items.extend(old.iter().map(|f| render(f, false)));
+    let stales: Vec<String> = stale.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    println!(
+        "{{\"findings\":[{}],\"new\":{},\"baselined\":{},\"stale\":[{}]}}",
+        items.join(","),
+        new.len(),
+        old.len(),
+        stales.join(",")
+    );
+}

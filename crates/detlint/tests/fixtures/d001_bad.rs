@@ -1,0 +1,18 @@
+// Known-bad: reads the host wall clock from simulation code.
+use std::time::{Instant, SystemTime};
+
+pub struct Sampler {
+    started: Instant,
+}
+
+impl Sampler {
+    pub fn new() -> Self {
+        Sampler { started: Instant::now() }
+    }
+
+    pub fn stamp(&self) -> u64 {
+        let epoch = SystemTime::now();
+        let _ = epoch;
+        self.started.elapsed().as_micros() as u64
+    }
+}

@@ -1,0 +1,16 @@
+// Known-good: virtual time only; wall-clock names appear solely inside
+// strings and comments, which the lexer scrubs.
+pub struct VirtualClock {
+    now_us: u64,
+}
+
+impl VirtualClock {
+    // A comment mentioning Instant::now must not fire.
+    pub fn advance(&mut self, us: u64) {
+        self.now_us += us;
+    }
+
+    pub fn describe(&self) -> String {
+        format!("not a real clock, no SystemTime here: {}", self.now_us)
+    }
+}

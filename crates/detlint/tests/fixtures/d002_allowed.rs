@@ -1,0 +1,16 @@
+// Known-good: the iteration is order-sensitive but deliberately accepted,
+// with an annotation carrying the justification.
+use std::collections::HashMap;
+
+pub struct Pool {
+    workers: HashMap<u64, String>,
+}
+
+impl Pool {
+    pub fn poke_all(&mut self) {
+        // detlint::allow(D002, reason = "side effects are commutative: each worker is poked exactly once")
+        for worker in self.workers.values_mut() {
+            worker.push('!');
+        }
+    }
+}

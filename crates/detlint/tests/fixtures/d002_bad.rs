@@ -1,0 +1,25 @@
+// Known-bad: order-sensitive walks over hash containers.
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    counts: HashMap<String, u64>,
+    members: HashSet<u64>,
+}
+
+impl Table {
+    pub fn export(&self) -> Vec<String> {
+        self.counts.keys().cloned().collect()
+    }
+
+    pub fn visit(&self) {
+        for member in &self.members {
+            let _ = member;
+        }
+    }
+
+    pub fn drain_all(&mut self) {
+        for (name, count) in self.counts.drain() {
+            let _ = (name, count);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+// Known-good: ordered containers, lookups, sorted/order-free reductions.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Table {
+    counts: HashMap<String, u64>,
+    ordered: BTreeMap<String, u64>,
+    members: HashSet<u64>,
+}
+
+impl Table {
+    pub fn lookup(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.counts.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<String, u64>>()
+    }
+
+    pub fn snapshot_multiline(&self) -> BTreeMap<String, u64> {
+        self.counts
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<BTreeMap<_, _>>()
+    }
+
+    pub fn walk_ordered(&self) {
+        for (name, count) in &self.ordered {
+            let _ = (name, count);
+        }
+    }
+
+    pub fn contains(&self, member: u64) -> bool {
+        self.members.contains(&member)
+    }
+}

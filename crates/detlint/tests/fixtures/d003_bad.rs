@@ -1,0 +1,7 @@
+// Known-bad: OS-level nondeterminism in kernel code.
+pub fn decide() -> bool {
+    let jitter: u64 = rand::random();
+    let debug = std::env::var("DEBUG_LEVEL").is_ok();
+    std::thread::spawn(|| {});
+    jitter % 2 == 0 && debug
+}

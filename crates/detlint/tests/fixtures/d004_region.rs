@@ -1,0 +1,19 @@
+// D004 fixture: `label` omits `Gamma`, `ALL` names every variant.
+#[derive(Debug, Clone, Copy)]
+pub enum Flavor {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+impl Flavor {
+    pub const ALL: [Flavor; 3] = [Flavor::Alpha, Flavor::Beta, Flavor::Gamma];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Flavor::Alpha => "alpha",
+            Flavor::Beta => "beta",
+            _ => "other",
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// Known-bad for D005: the first allow suppresses nothing (the map below it
+// is a BTreeMap), and the second is malformed (no reason).
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    entries: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    pub fn walk(&self) {
+        // detlint::allow(D002, reason = "left behind after a BTreeMap conversion")
+        for entry in self.entries.values() {
+            let _ = entry;
+        }
+    }
+
+    pub fn other(&self) -> usize {
+        // detlint::allow(D001)
+        self.entries.len()
+    }
+}

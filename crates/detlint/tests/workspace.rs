@@ -1,0 +1,71 @@
+//! The gate, as a test: scanning the real workspace must produce no finding
+//! that is not in the committed `detlint.baseline` — so plain `cargo test`
+//! enforces the determinism contract even before CI's dedicated detlint job
+//! runs. Also pins the acceptance criteria on the baseline itself: no
+//! accepted wall-clock (D001) or thread/OS (D003) findings, ever.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/detlint → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn workspace_scan_has_no_unbaselined_findings() {
+    let root = workspace_root();
+    let findings = detlint::scan_workspace(root).expect("workspace scan");
+    let baseline_text = std::fs::read_to_string(root.join("detlint.baseline")).unwrap_or_default();
+    let baseline = detlint::baseline::parse(&baseline_text);
+    let (new, _, stale) = detlint::baseline::diff(&findings, &baseline);
+    assert!(
+        new.is_empty(),
+        "new detlint findings — fix them or (rarely) annotate detlint::allow:\n{}",
+        new.iter()
+            .map(|f| format!("  {}:{} [{}] {}: {}", f.file, f.line, f.rule, f.item, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries (refresh with --write-baseline): {stale:?}"
+    );
+}
+
+#[test]
+fn baseline_never_accepts_wall_clock_or_thread_nondeterminism() {
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("detlint.baseline")).unwrap_or_default();
+    let baseline = detlint::baseline::parse(&baseline_text);
+    for entry in &baseline {
+        assert!(
+            !entry.starts_with("D001") && !entry.starts_with("D003"),
+            "D001/D003 findings must be fixed, not baselined: {entry}"
+        );
+    }
+}
+
+#[test]
+fn exhaustiveness_anchors_exist_in_the_workspace() {
+    // If a D004 anchor (enum or region) is renamed away, the scan reports
+    // table drift as a finding; this test keeps the failure message close to
+    // the table that needs updating.
+    let root = workspace_root();
+    let findings = detlint::scan_workspace(root).expect("workspace scan");
+    let drift: Vec<_> = findings
+        .iter()
+        .filter(|f| {
+            f.key.starts_with("missing-enum:")
+                || f.key.starts_with("missing-region:")
+                || f.key.starts_with("missing-file:")
+        })
+        .collect();
+    assert!(
+        drift.is_empty(),
+        "detlint WORKSPACE_PAIRS drifted from the sources: {drift:?}"
+    );
+}

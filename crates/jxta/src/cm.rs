@@ -9,7 +9,7 @@
 
 use crate::adv::{AdvKind, AnyAdvertisement};
 use simnet::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default lifetime for advertisements published by the local peer.
 pub const DEFAULT_LOCAL_LIFETIME: SimDuration = SimDuration::from_secs(60 * 60);
@@ -90,9 +90,13 @@ pub fn match_pattern(pattern: &str, candidate: &str) -> bool {
 }
 
 /// The per-peer advertisement cache.
+///
+/// Both levels are ordered maps: `search`/`expire` walk them, and discovery
+/// responses assembled from a walk feed directly into wire traffic — the
+/// determinism contract forbids hash order there.
 #[derive(Debug, Default)]
 pub struct CacheManager {
-    entries: HashMap<AdvKind, HashMap<String, CachedAdv>>,
+    entries: BTreeMap<AdvKind, BTreeMap<String, CachedAdv>>,
 }
 
 impl CacheManager {
@@ -128,8 +132,7 @@ impl CacheManager {
         self.entries
             .get(&kind)
             .and_then(|m| m.get(key))
-            .map(|c| c.expires_at > now)
-            .unwrap_or(false)
+            .is_some_and(|c| c.expires_at > now)
     }
 
     /// Returns all live advertisements of `kind` matching `filter`.
@@ -137,13 +140,12 @@ impl CacheManager {
         let Some(slot) = self.entries.get(&kind) else {
             return Vec::new();
         };
-        let mut result: Vec<(&String, &CachedAdv)> = slot
-            .iter()
-            .filter(|(_, c)| c.expires_at > now && filter.matches(&c.adv))
-            .collect();
-        // Deterministic order: by key.
-        result.sort_by(|a, b| a.0.cmp(b.0));
-        result.into_iter().map(|(_, c)| c.adv.clone()).collect()
+        // BTreeMap iteration is already key-ordered — deterministic without
+        // an explicit sort.
+        slot.values()
+            .filter(|c| c.expires_at > now && filter.matches(&c.adv))
+            .map(|c| c.adv.clone())
+            .collect()
     }
 
     /// Returns all live advertisements of `kind`.
@@ -185,8 +187,7 @@ impl CacheManager {
     pub fn len(&self, kind: AdvKind, now: SimTime) -> usize {
         self.entries
             .get(&kind)
-            .map(|m| m.values().filter(|c| c.expires_at > now).count())
-            .unwrap_or(0)
+            .map_or(0, |m| m.values().filter(|c| c.expires_at > now).count())
     }
 
     /// Whether the cache holds no live entries at all.

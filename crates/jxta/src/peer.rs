@@ -416,10 +416,7 @@ impl JxtaPeer {
                 // A shard is dead only when the controller says so; a seed
                 // we never heard from at all is treated optimistically (it
                 // may simply not have booted yet).
-                !self
-                    .peer_at(addr)
-                    .map(|p| self.rebalance.is_dead(p))
-                    .unwrap_or(false)
+                !self.peer_at(addr).is_some_and(|p| self.rebalance.is_dead(p))
             })
             .collect();
         dissem::adoption_map(&alive)
@@ -493,8 +490,7 @@ impl JxtaPeer {
                 let shard = ring
                     .iter()
                     .position(|&a| a == entry.address)
-                    .map(|i| i.to_string())
-                    .unwrap_or_else(|| peer.to_string());
+                    .map_or_else(|| peer.to_string(), |i| i.to_string());
                 registry.set_counter(
                     format!("{prefix}.shard{shard}.relayed"),
                     entry.report.events_relayed,
@@ -590,9 +586,9 @@ impl JxtaPeer {
     pub fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, datagram: &simnet::Datagram) {
         self.info.note_received(datagram.payload.len());
         self.charge_decode(ctx, datagram.payload.len());
-        let message = match WireMessage::from_bytes(&datagram.payload) {
-            Ok(message) => message,
-            Err(_) => return, // not JXTA traffic; ignore, as a real stack would
+        // Not JXTA traffic → ignore, as a real stack would.
+        let Ok(message) = WireMessage::from_bytes(&datagram.payload) else {
+            return;
         };
         let reply_addr = if datagram.src_addr.is_multicast() {
             None
@@ -770,7 +766,9 @@ impl JxtaPeer {
 
     /// The number of listeners currently bound to an output pipe.
     pub fn wire_listener_count(&self, pipe_id: PipeId) -> usize {
-        self.wire.output_pipe(pipe_id).map(|p| p.len()).unwrap_or(0)
+        self.wire
+            .output_pipe(pipe_id)
+            .map_or(0, super::services::wire::OutputPipeState::len)
     }
 
     /// Publishes an application [`Message`] on a wire pipe.
@@ -1042,6 +1040,51 @@ impl JxtaPeer {
             self.transmit(ctx, connection.address, &envelope);
             return true;
         }
+        // A rendezvous that cannot resolve the destination forwards through
+        // the mesh: the edge is leased to *some* shard, and that shard's
+        // rendezvous knows its address (handle_relay checks its lease table).
+        // O(mesh links) per message where the multicast fallback below would
+        // be O(subnet).
+        if self.rendezvous.is_rendezvous() {
+            let links: Vec<SimAddress> = self
+                .rendezvous
+                .mesh_link_ids()
+                .into_iter()
+                .filter_map(|peer| self.rendezvous.mesh_link_address(peer))
+                .collect();
+            if !links.is_empty() {
+                let envelope = WireMessage::Relay {
+                    dest,
+                    inner: wm.to_bytes(),
+                };
+                for addr in links {
+                    self.transmit(ctx, addr, &envelope);
+                }
+                return true;
+            }
+        }
+        // An edge that has seeds but no lease yet relays through the seeds
+        // for the same reason propagate() does: pre-lease traffic must not
+        // multicast a subnet that has rendezvous infrastructure.
+        if !self.rendezvous.is_rendezvous() && !self.rendezvous.seed_addresses().is_empty() {
+            let seeds: Vec<SimAddress> = self
+                .rendezvous
+                .seed_addresses()
+                .iter()
+                .copied()
+                .filter(|a| self.local_transports.contains(&a.transport))
+                .collect();
+            if !seeds.is_empty() {
+                let envelope = WireMessage::Relay {
+                    dest,
+                    inner: wm.to_bytes(),
+                };
+                for addr in seeds {
+                    self.transmit(ctx, addr, &envelope);
+                }
+                return true;
+            }
+        }
         if self.local_transports.contains(&TransportKind::Multicast) {
             let envelope = WireMessage::Relay {
                 dest,
@@ -1053,13 +1096,40 @@ impl JxtaPeer {
         false
     }
 
+    /// Whether this edge knows any rendezvous it can route control traffic
+    /// through: a granted lease, or (before the grant) configured seeds.
+    fn has_rendezvous_path(&self) -> bool {
+        self.rendezvous.connection().is_some() || !self.rendezvous.seed_addresses().is_empty()
+    }
+
     /// Propagates a message to the neighbourhood: subnet multicast, our
     /// rendezvous (if we are an edge peer), and all connected clients (if we
     /// are a rendezvous), excluding `exclude`.
     fn propagate(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage, exclude: Option<PeerId>) {
         self.rendezvous.note_propagated();
-        if self.local_transports.contains(&TransportKind::Multicast) {
-            self.transmit_multicast(ctx, wm);
+        // An edge that knows rendezvous peers routes control traffic through
+        // them instead of multicasting the subnet (the JXTA 2.0 edge
+        // behaviour): on a large LAN the multicast leg makes every resolver
+        // query and publish push an O(peers) broadcast that every receiver
+        // must decode and often answer — O(peers²) per discovery round.
+        // Before the lease is granted the seeds stand in for the connection;
+        // only peers with no rendezvous path at all (rendezvous-less
+        // deployments) keep the multicast leg their discovery relies on.
+        if self.rendezvous.is_rendezvous() || !self.has_rendezvous_path() {
+            if self.local_transports.contains(&TransportKind::Multicast) {
+                self.transmit_multicast(ctx, wm);
+            }
+        } else if self.rendezvous.connection().is_none() {
+            let seeds: Vec<SimAddress> = self
+                .rendezvous
+                .seed_addresses()
+                .iter()
+                .copied()
+                .filter(|a| self.local_transports.contains(&a.transport))
+                .collect();
+            for seed in seeds {
+                self.transmit(ctx, seed, wm);
+            }
         }
         if let Some(connection) = self.rendezvous.connection().cloned() {
             if Some(connection.peer) != exclude {
@@ -1180,8 +1250,7 @@ impl JxtaPeer {
                 let expired = self
                     .rendezvous
                     .connection()
-                    .map(|conn| conn.lease_expires_at <= now)
-                    .unwrap_or(false);
+                    .is_some_and(|conn| conn.lease_expires_at <= now);
                 let unanswered = self.rendezvous.connection().is_none()
                     && self.rendezvous.connect_pending()
                     && !self.rendezvous.seed_addresses().is_empty();
@@ -1305,7 +1374,7 @@ impl JxtaPeer {
             } => self.handle_rdv_lease(ctx, rdv, granted, lease_ms, reply_addr),
             WireMessage::Publish { adv_xml, src_peer } => self.handle_publish(ctx, &adv_xml, src_peer),
             WireMessage::LoadReport { peer, report } => {
-                self.handle_load_report(ctx, peer, report, reply_addr)
+                self.handle_load_report(ctx, peer, report, reply_addr);
             }
             WireMessage::WireData(packet) => self.handle_wire_data(ctx, packet),
             WireMessage::Relay { dest, inner } => self.handle_relay(ctx, dest, inner),
@@ -1423,13 +1492,31 @@ impl JxtaPeer {
                 source: src_peer,
             });
         }
-        // Rendezvous peers re-propagate pushes to their clients.
+        // Rendezvous peers index pushes and replicate them across the
+        // rendezvous mesh (the SRDI model), so an advertisement published in
+        // one shard is indexed by every rendezvous and any edge's query finds
+        // it there. Pushes deliberately do NOT re-fan down to clients: that
+        // would cost O(clients) per publish — O(peers²) when every starting
+        // edge pushes its own advertisements — and edges pull what they need
+        // through resolver queries anyway. The seen-window absorbs the echo a
+        // mesh neighbour sends back.
         if self.rendezvous.is_rendezvous() {
+            let push_instance = Uuid::derive(&format!("publish/{src_peer}/{adv_xml}"));
+            if self.rendezvous.seen_before(push_instance, ctx.now()) {
+                return;
+            }
             let wm = WireMessage::Publish {
                 adv_xml: adv_xml.to_owned(),
                 src_peer,
             };
-            self.propagate_to_clients_only(ctx, &wm, Some(src_peer));
+            for peer in self.rendezvous.mesh_link_ids() {
+                if peer == src_peer {
+                    continue;
+                }
+                if let Some(addr) = self.rendezvous.mesh_link_address(peer) {
+                    self.transmit(ctx, addr, &wm);
+                }
+            }
         }
     }
 
@@ -1582,8 +1669,15 @@ impl JxtaPeer {
         }
         let handle_cost = self.jittered(ctx, self.config.costs.resolver_handle_fixed);
         ctx.charge(handle_cost);
-        // Rendezvous peers forward queries onward (scoped by the hop budget).
-        if self.rendezvous.is_rendezvous() && query.hops_left > 0 {
+        // Rendezvous peers forward queries onward (scoped by the hop budget)
+        // — but a discovery (PDP) query whose threshold the local cache
+        // already satisfies is answered from the cache instead of being
+        // walked to every client. The walk exists to find advertisements the
+        // rendezvous index lacks; once edges have remote-published their
+        // advertisements the index answers everything and the per-round
+        // query flood (O(clients) per query, O(clients²) per finder round)
+        // disappears. Cold starts still flood and behave exactly as before.
+        if self.rendezvous.is_rendezvous() && query.hops_left > 0 && self.should_walk_clients(ctx, &query) {
             let mut forwarded = query.clone();
             forwarded.hops_left -= 1;
             let wm = WireMessage::ResolverQuery(forwarded);
@@ -1602,6 +1696,24 @@ impl JxtaPeer {
             let wm = WireMessage::ResolverResponse(response);
             self.send_to_peer(ctx, query.src_peer, &wm);
         }
+    }
+
+    /// Whether a rendezvous should walk (re-flood) a resolver query to its
+    /// clients. Non-PDP queries always walk — their answers live on specific
+    /// peers (pipe listeners, group authorities, ping targets), not in the
+    /// rendezvous cache. PDP queries walk only while the local index knows
+    /// *nothing* matching the filter: every remotely-published advertisement
+    /// is replicated to every rendezvous via the mesh, so an empty result
+    /// means the advertisement (if it exists) was only ever published
+    /// locally on some edge — exactly the case the client walk exists for.
+    fn should_walk_clients(&self, ctx: &NodeContext<'_>, query: &ResolverQuery) -> bool {
+        if query.handler != handlers::PDP {
+            return true;
+        }
+        let Ok(dq) = DiscoveryQuery::from_xml_string(&query.body) else {
+            return true;
+        };
+        self.discovery.local(dq.kind, &dq.filter, ctx.now()).is_empty()
     }
 
     fn answer_pdp(&mut self, ctx: &mut NodeContext<'_>, query: &ResolverQuery) -> Option<String> {
@@ -1770,10 +1882,10 @@ impl JxtaPeer {
         match verdict {
             MembershipVerdict::Accepted => self.membership.set_state(group, MembershipState::Member, now),
             MembershipVerdict::Rejected(_) => {
-                self.membership.set_state(group, MembershipState::Rejected, now)
+                self.membership.set_state(group, MembershipState::Rejected, now);
             }
             MembershipVerdict::Requirements(_) => {
-                self.membership.set_state(group, MembershipState::Applied, now)
+                self.membership.set_state(group, MembershipState::Applied, now);
             }
             MembershipVerdict::Left => {}
         }

@@ -8,7 +8,7 @@ use crate::adv::{MembershipPolicy, PeerGroupAdvertisement};
 use crate::id::{PeerGroupId, PeerId};
 use crate::protocols::pmp::{Credential, CredentialRequirement, MembershipVerdict};
 use simnet::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// This peer's standing in one group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,11 +27,13 @@ pub enum MembershipState {
 #[derive(Debug, Default)]
 pub struct MembershipService {
     /// Groups this peer administers (it created them), with their policies.
-    authored: HashMap<PeerGroupId, MembershipPolicy>,
+    /// Ordered maps throughout: `groups()` walks these, and its result feeds
+    /// protocol traffic.
+    authored: BTreeMap<PeerGroupId, MembershipPolicy>,
     /// Members admitted by this peer, per authored group.
-    admitted: HashMap<PeerGroupId, Vec<PeerId>>,
+    admitted: BTreeMap<PeerGroupId, Vec<PeerId>>,
     /// This peer's own standing in groups it applied to.
-    memberships: HashMap<PeerGroupId, (MembershipState, SimTime)>,
+    memberships: BTreeMap<PeerGroupId, (MembershipState, SimTime)>,
 }
 
 impl MembershipService {
@@ -95,7 +97,7 @@ impl MembershipService {
 
     /// The members this authority has admitted to `group`.
     pub fn admitted(&self, group: PeerGroupId) -> &[PeerId] {
-        self.admitted.get(&group).map(Vec::as_slice).unwrap_or(&[])
+        self.admitted.get(&group).map_or(&[], Vec::as_slice)
     }
 
     /// Records this peer's own standing in a group it applied to.

@@ -21,7 +21,7 @@ use dissem::{
 };
 use rand::RngCore;
 use simnet::{SimAddress, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// How many message ids each input pipe remembers for duplicate suppression.
 pub const DEDUP_WINDOW: usize = 8192;
@@ -59,8 +59,13 @@ impl OutputPipeState {
 /// Per-peer wire service state.
 #[derive(Debug)]
 pub struct WireService {
-    input_pipes: HashSet<PipeId>,
-    output_pipes: HashMap<PipeId, OutputPipeState>,
+    /// Ordered containers (not hash) — both are iterated on paths that feed
+    /// event ordering (`input_pipes()`, `forget_peer`), and the determinism
+    /// contract requires those walks to be independent of hash seeds.
+    input_pipes: BTreeSet<PipeId>,
+    output_pipes: BTreeMap<PipeId, OutputPipeState>,
+    /// Per-pipe dedup state: lookup/insert only, never iterated — hash is
+    /// fine here.
     seen: HashMap<PipeId, (HashSet<Uuid>, VecDeque<Uuid>)>,
     strategy: Box<dyn DisseminationStrategy<PeerId>>,
     messages_sent: u64,
@@ -86,8 +91,8 @@ impl WireService {
     /// strategy.
     pub fn with_config(config: &DisseminationConfig) -> Self {
         WireService {
-            input_pipes: HashSet::new(),
-            output_pipes: HashMap::new(),
+            input_pipes: BTreeSet::new(),
+            output_pipes: BTreeMap::new(),
             seen: HashMap::new(),
             strategy: config.build(),
             messages_sent: 0,
@@ -177,11 +182,9 @@ impl WireService {
         self.input_pipes.contains(&pipe)
     }
 
-    /// All local input pipes, in deterministic order.
+    /// All local input pipes, in deterministic (ascending id) order.
     pub fn input_pipes(&self) -> Vec<PipeId> {
-        let mut pipes: Vec<_> = self.input_pipes.iter().copied().collect();
-        pipes.sort();
-        pipes
+        self.input_pipes.iter().copied().collect()
     }
 
     /// Creates (or returns the existing) output pipe for `pipe`.

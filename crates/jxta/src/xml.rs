@@ -344,7 +344,7 @@ impl<'a> Parser<'a> {
                 }
                 _ => {
                     let start = self.pos;
-                    while self.peek().map(|b| b != b'<').unwrap_or(false) {
+                    while self.peek().is_some_and(|b| b != b'<') {
                         self.pos += 1;
                     }
                     let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();

@@ -152,8 +152,7 @@ fn cutting_mesh_links_partitions_at_shard_boundaries_and_healing_restores() {
         let counts = topology.delivered_counts(index);
         let local = by_shard
             .get(&publisher_shard)
-            .map(|subs| subs.contains(&index))
-            .unwrap_or(false);
+            .is_some_and(|subs| subs.contains(&index));
         assert_eq!(
             counts.get("partitioned").copied().unwrap_or(0),
             usize::from(local),

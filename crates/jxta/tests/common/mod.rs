@@ -325,8 +325,7 @@ impl Topology {
         self.rendezvous.iter().copied().find(|&id| {
             self.net
                 .node_ref::<DeliveryApp>(id)
-                .map(|n| n.peer.peer_id() == connected)
-                .unwrap_or(false)
+                .is_some_and(|n| n.peer.peer_id() == connected)
         })
     }
 }

@@ -203,7 +203,7 @@ impl NetworkBuilder {
                 Some(cap) => TraceBuffer::with_capacity(cap),
                 None => TraceBuffer::disabled(),
             },
-            drop_counts: HashMap::new(),
+            drop_counts: [0; DropReason::ALL.len()],
             max_datagram: self.max_datagram,
             next_host,
             blocked_pairs: HashSet::new(),
@@ -237,7 +237,10 @@ pub struct Network {
     next_timer: u64,
     master_rng: StdRng,
     trace: TraceBuffer,
-    drop_counts: HashMap<DropReason, u64>,
+    /// Per-reason drop counters, indexed by [`DropReason::index`]. A dense
+    /// array (not a hash map) so summary/export order never depends on
+    /// insertion or hash order — see the determinism contract.
+    drop_counts: [u64; DropReason::ALL.len()],
     max_datagram: usize,
     next_host: u32,
     blocked_pairs: HashSet<(NodeId, NodeId)>,
@@ -256,7 +259,7 @@ impl Network {
 
     /// Whether a node is still running.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.slots.get(node.index()).map(|s| s.alive).unwrap_or(false)
+        self.slots.get(node.index()).is_some_and(|s| s.alive)
     }
 
     /// The node's current interface addresses.
@@ -285,14 +288,19 @@ impl Network {
 
     /// How many datagrams were dropped for `reason`.
     pub fn drops(&self, reason: DropReason) -> u64 {
-        self.drop_counts.get(&reason).copied().unwrap_or(0)
+        self.drop_counts[reason.index()]
     }
 
     /// Network-wide drop counts broken down by reason — lets fault tests
     /// assert on exact drop causes (`fault_injected`, `node_down`, ...)
-    /// instead of aggregate loss.
+    /// instead of aggregate loss. Iterates [`DropReason::ALL`], so the
+    /// summary order is a constant of the enum, not of the run.
     pub fn drop_summary(&self) -> DropSummary {
-        DropSummary::from_counts(self.drop_counts.iter().map(|(&reason, &count)| (reason, count)))
+        DropSummary::from_counts(
+            DropReason::ALL
+                .into_iter()
+                .map(|reason| (reason, self.drops(reason))),
+        )
     }
 
     /// Exports the kernel's counters into a metrics registry under
@@ -397,7 +405,7 @@ impl Network {
         self.next_host += 1;
         let slot = &mut self.slots[node.index()];
         let mut changes = Vec::new();
-        for addr in slot.interfaces.iter_mut() {
+        for addr in &mut slot.interfaces {
             if addr.transport == TransportKind::Multicast {
                 continue;
             }
@@ -549,7 +557,7 @@ impl Network {
             return;
         }
         self.trace.push(self.now, TraceEvent::NodeStarted { node });
-        let commands = self.run_handler(node, |n, ctx| n.on_start(ctx));
+        let commands = self.run_handler(node, super::node::SimNode::on_start);
         self.apply_commands(node, commands);
     }
 
@@ -667,7 +675,7 @@ impl Network {
         reason: DropReason,
         dst: Option<NodeId>,
     ) {
-        *self.drop_counts.entry(reason).or_insert(0) += 1;
+        self.drop_counts[reason.index()] += 1;
         if let Some(dst) = dst {
             self.slots[dst.index()].stats.datagrams_dropped += 1;
         }

@@ -42,6 +42,22 @@ impl DropReason {
             DropReason::FaultInjected => "fault_injected",
         }
     }
+
+    /// This reason's position in [`DropReason::ALL`] — the dense index used
+    /// by per-reason count arrays ([`DropSummary`], the kernel's drop
+    /// counters). Keeping counts in `ALL`-ordered arrays instead of hash
+    /// maps is part of the determinism contract: export order never depends
+    /// on insertion or hash order.
+    pub const fn index(self) -> usize {
+        match self {
+            DropReason::RandomLoss => 0,
+            DropReason::Firewall => 1,
+            DropReason::UnknownAddress => 2,
+            DropReason::NodeDown => 3,
+            DropReason::EmptyMulticastGroup => 4,
+            DropReason::FaultInjected => 5,
+        }
+    }
 }
 
 impl fmt::Display for DropReason {
@@ -80,20 +96,12 @@ impl DropSummary {
 
     /// Adds `count` drops of the given reason.
     pub fn add(&mut self, reason: DropReason, count: u64) {
-        let index = DropReason::ALL
-            .iter()
-            .position(|r| *r == reason)
-            .expect("DropReason::ALL is exhaustive");
-        self.counts[index] += count;
+        self.counts[reason.index()] += count;
     }
 
     /// Drops recorded for one reason.
     pub fn of(&self, reason: DropReason) -> u64 {
-        let index = DropReason::ALL
-            .iter()
-            .position(|r| *r == reason)
-            .expect("DropReason::ALL is exhaustive");
-        self.counts[index]
+        self.counts[reason.index()]
     }
 
     /// Total drops across all reasons.
@@ -228,6 +236,13 @@ mod tests {
     fn drop_reason_labels_are_unique_and_exhaustive() {
         let labels: std::collections::HashSet<_> = DropReason::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), DropReason::ALL.len());
+    }
+
+    #[test]
+    fn drop_reason_index_matches_all_order() {
+        for (i, reason) in DropReason::ALL.into_iter().enumerate() {
+            assert_eq!(reason.index(), i);
+        }
     }
 
     #[test]

@@ -415,8 +415,7 @@ impl Scenario {
                 }
                 self.net
                     .node_ref::<RdvNode>(id)
-                    .map(|n| n.peer.rendezvous().counters().2 as u32)
-                    .unwrap_or(0)
+                    .map_or(0, |n| n.peer.rendezvous().counters().2 as u32)
             })
             .collect();
         let hot = jxta::dissem::hot_shards(&lease_counts, self.dissemination.rebalance.hot_ratio_percent);
@@ -499,8 +498,7 @@ impl Scenario {
         self.rendezvous.iter().copied().find(|&id| {
             self.net
                 .node_ref::<RdvNode>(id)
-                .map(|n| n.peer.peer_id() == connected_rdv)
-                .unwrap_or(false)
+                .is_some_and(|n| n.peer.peer_id() == connected_rdv)
         })
     }
 

@@ -286,8 +286,12 @@ impl simnet::SimNode for JxtaSkiApp {
             // of the same type.
             self.peer
                 .discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
-            ctx.set_timer(self.finder_interval, TIMER_SR_FINDER);
         }
+        // Every flavour runs the finder tick: publishers must retry pipe
+        // resolution because the initial attempt races peer start-up (a
+        // listener that has not leased with its rendezvous yet cannot be
+        // walked, so the first resolution round can miss it).
+        ctx.set_timer(self.finder_interval, TIMER_SR_FINDER);
         self.drain(ctx);
     }
 
@@ -300,8 +304,20 @@ impl simnet::SimNode for JxtaSkiApp {
         if is_jxta_timer(tag) {
             self.peer.on_timer(ctx, tag);
         } else if tag == TIMER_SR_FINDER {
-            self.peer
-                .discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
+            if self.full_featured {
+                self.peer
+                    .discover_remote(ctx, AdvKind::Group, SearchFilter::by_name("ps-SkiRental*"), 10);
+            }
+            if self.role == Role::Publisher {
+                // Pipe resolutions are additive (newly answering listeners
+                // bind on top of the ones already resolved), so retrying
+                // picks up listeners whose leases were not yet granted when
+                // the previous round walked the rendezvous.
+                let pipes = self.known_pipes.clone();
+                for pipe in &pipes {
+                    self.peer.resolve_wire_output_pipe(ctx, pipe);
+                }
+            }
             ctx.set_timer(self.finder_interval, TIMER_SR_FINDER);
         }
         self.drain(ctx);

@@ -247,8 +247,7 @@ impl MetricsSnapshot {
         self.counters
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
-            .unwrap_or(0)
+            .map_or(0, |(_, v)| *v)
     }
 
     /// The value of a gauge in this snapshot, if present.

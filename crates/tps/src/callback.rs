@@ -47,7 +47,7 @@ where
     F: FnMut(&PsException) + 'static,
 {
     fn handle(&mut self, error: &PsException) {
-        (self.0)(error)
+        (self.0)(error);
     }
 }
 

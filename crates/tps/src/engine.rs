@@ -33,7 +33,7 @@ use jxta::{
     PipeAdvertisement, PipeId, SearchFilter, Uuid,
 };
 use simnet::{Datagram, NodeContext, SimAddress, SimDuration, SimTime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 /// Timer tag of the periodic advertisement finder.
@@ -182,8 +182,12 @@ pub struct TpsEngine {
     config: TpsConfig,
     peer: JxtaPeer,
     registry: TypeRegistry,
-    channels: HashMap<String, TypeChannel>,
-    pipe_to_type: HashMap<PipeId, String>,
+    /// Ordered by type name: `run_finder` walks this map to issue discovery
+    /// queries, so its order is part of the deterministic event schedule. A
+    /// hash map here once leaked the process-random hash seed into query
+    /// send order (breaking cross-process same-seed runs).
+    channels: BTreeMap<String, TypeChannel>,
+    pipe_to_type: BTreeMap<PipeId, String>,
     subscriptions: Vec<Subscription>,
     next_subscription: u64,
     session: Rc<SessionShared>,
@@ -204,8 +208,8 @@ impl TpsEngine {
             config,
             peer,
             registry: TypeRegistry::new(),
-            channels: HashMap::new(),
-            pipe_to_type: HashMap::new(),
+            channels: BTreeMap::new(),
+            pipe_to_type: BTreeMap::new(),
             subscriptions: Vec::new(),
             next_subscription: 0,
             session: SessionShared::new(),
@@ -405,8 +409,10 @@ impl TpsEngine {
                 type_name,
                 supertypes,
             } => {
-                self.registry
-                    .register_raw(type_name, supertypes.iter().map(|s| s.to_string()).collect());
+                self.registry.register_raw(
+                    type_name,
+                    supertypes.iter().map(std::string::ToString::to_string).collect(),
+                );
             }
             SessionCommand::PreparePublisher { type_name } => {
                 // Publishes go out on the type's channel *and* every ancestor
@@ -768,6 +774,21 @@ impl TpsEngine {
                 SearchFilter::by_name(format!("{}{}*", jxta::PS_PREFIX, type_name)),
                 self.config.adv_threshold,
             );
+            // Re-launch output-pipe resolution for open publisher channels.
+            // Resolutions are additive (new responders bind on top of the
+            // already-bound listeners) and the initial attempt races listener
+            // start-up: a subscriber whose rendezvous lease was not yet
+            // granted cannot be reached by the resolution walk, so under
+            // direct fan-out it would otherwise never be bound.
+            let open_pipes = self
+                .channels
+                .get(&type_name)
+                .filter(|channel| channel.output_open)
+                .map(|channel| channel.pipes.clone())
+                .unwrap_or_default();
+            for pipe in &open_pipes {
+                self.peer.resolve_wire_output_pipe(ctx, pipe);
+            }
         }
     }
 

@@ -60,15 +60,18 @@ impl TypeRegistry {
     pub fn register<T: TpsEvent>(&mut self) {
         self.register_raw(
             T::TYPE_NAME,
-            T::SUPERTYPES.iter().map(|s| s.to_string()).collect(),
+            T::SUPERTYPES
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         );
     }
 
     /// Registers a type by name (used when only the name is known, e.g. for
     /// types seen on the wire but not linked into this peer).
-    pub fn register_raw(&mut self, type_name: &str, supertypes: Vec<String>) {
+    pub fn register_raw(&mut self, type_name: &str, declared: Vec<String>) {
         let entry = self.supertypes.entry(type_name.to_owned()).or_default();
-        for sup in supertypes {
+        for sup in declared {
             if !entry.contains(&sup) {
                 entry.push(sup);
             }

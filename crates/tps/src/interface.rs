@@ -161,7 +161,7 @@ struct BoxedHandler<T>(Box<dyn TpsExceptionHandler<T>>);
 
 impl<T: 'static> TpsExceptionHandler<T> for BoxedHandler<T> {
     fn handle(&mut self, error: &PsException) {
-        self.0.handle(error)
+        self.0.handle(error);
     }
 }
 
