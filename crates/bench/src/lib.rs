@@ -1,6 +1,23 @@
-//! Reporting helpers shared by the `reproduce` binary and the Criterion
-//! benches: formatting of the per-figure comparison tables (paper values vs
-//! values measured on this reproduction).
+//! # tps-bench — figure reproductions and ablation benches
+//!
+//! The measurement surface of the reproduction. Three Criterion benches
+//! regenerate the paper's figures (`fig18_invocation_time`,
+//! `fig19_publisher_throughput`, `fig20_subscriber_throughput`) and six
+//! ablations isolate one mechanism each (`ablation_dissem`,
+//! `ablation_batch`, `ablation_codec`, `ablation_dedup`,
+//! `ablation_fanout`, `ablation_rebalance`). The `reproduce` binary
+//! (`cargo run -p tps-bench --bin reproduce --release`) prints the
+//! paper-vs-measured comparison tables without the bench harness.
+//!
+//! All series are measured in *virtual* time on the deterministic
+//! simulator, so runs are reproducible per seed ([`DEFAULT_SEED`]; change
+//! it to check conclusions are seed-independent). Set `TPS_BENCH_SMOKE=1`
+//! to run reduced-iteration shapes — that is what CI does to keep bench
+//! code from rotting.
+//!
+//! This crate itself holds the shared reporting helpers: [`SeriesReport`]
+//! pairs a reproduced series with the paper's reference value and renders
+//! the comparison rows used by both consumers.
 
 use ski_rental::{stats, Flavor, SeriesStats};
 

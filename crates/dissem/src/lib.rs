@@ -83,6 +83,19 @@ impl fmt::Display for StrategyKind {
     }
 }
 
+/// Parses the [`StrategyKind::label`] form back (`direct-fanout`,
+/// `rendezvous-tree`, `rendezvous-mesh`, `gossip`) — the inverse of
+/// `Display`, used by serialized fault schedules (crate `dst`).
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StrategyKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == s)
+            .ok_or_else(|| format!("unknown dissemination strategy '{s}'"))
+    }
+}
+
 /// Static configuration of the dissemination subsystem, threaded through
 /// `PeerConfig` and `TpsConfig`.
 #[derive(Debug, Clone, PartialEq, Eq)]

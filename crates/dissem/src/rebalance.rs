@@ -169,6 +169,15 @@ pub fn adopter_of(dead_index: usize, alive: &[bool]) -> Option<usize> {
     if dead_index >= n {
         return None;
     }
+    // The `dst` explorer's planted canary (see crates/dst/tests/canary.rs):
+    // with the `dst-canary` feature on, the adoption ring fails to wrap, so
+    // the last shard's hash range is orphaned when its rendezvous dies —
+    // exactly the class of off-by-one the adoption-coverage invariant must
+    // catch. Compiled out entirely in normal builds.
+    #[cfg(feature = "dst-canary")]
+    if dead_index + 1 == n {
+        return None;
+    }
     (1..n)
         .map(|step| (dead_index + step) % n)
         .find(|&candidate| alive[candidate])

@@ -1,0 +1,116 @@
+//! The seed sweep: generate → run → (on failure) minimize, over a seed
+//! range, producing a deterministic text report.
+//!
+//! A sweep is a pure function of `(seed range, generator bounds)`: running
+//! it twice yields bit-identical reports, which is itself one of the
+//! explorer's regression tests.
+
+use crate::gen::{generate_with, GenConfig};
+use crate::minimize::{minimize, Minimized};
+use crate::run::{run_schedule, RunReport};
+use crate::schedule::FaultSchedule;
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// One failing seed: the original schedule, its violations, and (when
+/// minimization ran) the shrunk replayable script.
+#[derive(Debug, Clone)]
+pub struct SeedFailure {
+    /// The generator seed that produced the failure.
+    pub seed: u64,
+    /// The schedule as generated.
+    pub schedule: FaultSchedule,
+    /// The original run's report.
+    pub report: RunReport,
+    /// The minimization outcome, if requested.
+    pub minimized: Option<Minimized>,
+}
+
+/// The outcome of a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The swept seed range.
+    pub seeds: Range<u64>,
+    /// Seeds whose run violated an invariant.
+    pub failures: Vec<SeedFailure>,
+}
+
+impl SweepReport {
+    /// True when every seed in the range passed.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the deterministic text report the CLI prints: a PASS/FAIL
+    /// line per failing seed, each with its violations and its minimized
+    /// schedule ready to paste into a regression test.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let examined = self.seeds.end.saturating_sub(self.seeds.start);
+        if self.clean() {
+            let _ = writeln!(
+                out,
+                "dst: {} seeds ({}..{}) explored, all invariants held",
+                examined, self.seeds.start, self.seeds.end
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "dst: {} of {} seeds ({}..{}) violated invariants",
+            self.failures.len(),
+            examined,
+            self.seeds.start,
+            self.seeds.end
+        );
+        for failure in &self.failures {
+            let _ = writeln!(out, "\nseed {} FAILED:", failure.seed);
+            for violation in &failure.report.violations {
+                let _ = writeln!(out, "  - {violation}");
+            }
+            if let Some(minimized) = &failure.minimized {
+                let _ = writeln!(
+                    out,
+                    "  minimized in {} runs ({} -> {} under the size metric):",
+                    minimized.runs,
+                    failure.schedule.size(),
+                    minimized.schedule.size()
+                );
+                for line in minimized.schedule.to_string().lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+                for violation in &minimized.report.violations {
+                    let _ = writeln!(out, "    still fails: {violation}");
+                }
+            } else {
+                let _ = writeln!(out, "  schedule (minimization off):");
+                for line in failure.schedule.to_string().lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sweeps `seeds`, generating each schedule under `cfg`, running it, and —
+/// when `minimize_failures` is set — shrinking every failure to a strictly
+/// smaller replayable script.
+pub fn sweep(seeds: Range<u64>, cfg: &GenConfig, minimize_failures: bool) -> SweepReport {
+    let mut failures = Vec::new();
+    for seed in seeds.clone() {
+        let schedule = generate_with(seed, cfg);
+        let report = run_schedule(&schedule);
+        if report.passed() {
+            continue;
+        }
+        let minimized = minimize_failures.then(|| minimize(&schedule));
+        failures.push(SeedFailure {
+            seed,
+            schedule,
+            report,
+            minimized,
+        });
+    }
+    SweepReport { seeds, failures }
+}

@@ -1,0 +1,165 @@
+//! The explorer's command line: seed sweeps, single-schedule replay, and
+//! schedule printing.
+//!
+//! ```text
+//! cargo run --release -p dst -- --seeds 0..100
+//! cargo run --release -p dst -- --print-schedule 42
+//! cargo run --release -p dst -- --replay minimized.dst
+//! ```
+//!
+//! Exit status: 0 when every invariant held, 1 when any seed (or the
+//! replayed schedule) failed, 2 on a usage error.
+
+use dst::{generate_with, run_schedule, sweep, GenConfig};
+use simnet::SimDuration;
+use std::ops::Range;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: dst [--seeds A..B] [--max-faults N] [--max-subscribers N]
+           [--max-publishers N] [--settle <time>] [--no-minimize]
+           [--print-schedule SEED] [--replay FILE]
+
+  --seeds A..B          sweep seeds A inclusive to B exclusive (default 0..25)
+  --max-faults N        fault intents per schedule (default 4)
+  --max-subscribers N   largest subscriber population (default 12)
+  --max-publishers N    largest publisher population (default 2)
+  --settle <time>       convergence SLA after the last fault, compact time
+                        form such as 180s (default 180s)
+  --no-minimize         report failures without shrinking them
+  --print-schedule SEED print the schedule a seed generates, then exit
+  --replay FILE         run one schedule script (as printed by the explorer
+                        or --print-schedule) instead of sweeping";
+
+struct Options {
+    seeds: Range<u64>,
+    cfg: GenConfig,
+    minimize: bool,
+    print_schedule: Option<u64>,
+    replay: Option<String>,
+}
+
+fn parse_seed_range(raw: &str) -> Result<Range<u64>, String> {
+    let (start, end) = raw
+        .split_once("..")
+        .ok_or_else(|| format!("--seeds '{raw}' is not of the form A..B"))?;
+    let parse = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| format!("--seeds bound '{s}' is not a u64"))
+    };
+    let range = parse(start)?..parse(end)?;
+    if range.is_empty() {
+        return Err(format!("--seeds '{raw}' is an empty range"));
+    }
+    Ok(range)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        seeds: 0..25,
+        cfg: GenConfig::default(),
+        minimize: true,
+        print_schedule: None,
+        replay: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => options.seeds = parse_seed_range(&value("--seeds")?)?,
+            "--max-faults" => {
+                options.cfg.max_faults = value("--max-faults")?
+                    .parse()
+                    .map_err(|_| "--max-faults needs a count".to_owned())?;
+            }
+            "--max-subscribers" => {
+                options.cfg.max_subscribers = value("--max-subscribers")?
+                    .parse()
+                    .map_err(|_| "--max-subscribers needs a count".to_owned())?;
+            }
+            "--max-publishers" => {
+                options.cfg.max_publishers = value("--max-publishers")?
+                    .parse()
+                    .map_err(|_| "--max-publishers needs a count".to_owned())?;
+            }
+            "--settle" => {
+                options.cfg.settle = value("--settle")?
+                    .parse::<SimDuration>()
+                    .map_err(|e| format!("--settle: {e}"))?;
+            }
+            "--no-minimize" => options.minimize = false,
+            "--print-schedule" => {
+                options.print_schedule = Some(
+                    value("--print-schedule")?
+                        .parse()
+                        .map_err(|_| "--print-schedule needs a seed".to_owned())?,
+                );
+            }
+            "--replay" => options.replay = Some(value("--replay")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("dst: {message}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(seed) = options.print_schedule {
+        print!("{}", generate_with(seed, &options.cfg));
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = options.replay {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("dst: cannot read {path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        let schedule = match text.parse::<dst::FaultSchedule>() {
+            Ok(schedule) => schedule,
+            Err(error) => {
+                eprintln!("dst: {path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = run_schedule(&schedule);
+        if report.passed() {
+            println!(
+                "dst: replay of {path} passed ({} live subscribers, {} traced events)",
+                report.live_subscribers, report.traced_events
+            );
+            return ExitCode::SUCCESS;
+        }
+        println!("dst: replay of {path} FAILED:");
+        for violation in &report.violations {
+            println!("  - {violation}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let report = sweep(options.seeds, &options.cfg, options.minimize);
+    print!("{}", report.render());
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

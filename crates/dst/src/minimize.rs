@@ -1,0 +1,137 @@
+//! Greedy schedule minimization: given a failing [`FaultSchedule`], find a
+//! strictly smaller one that still fails, by repeatedly trying to drop
+//! faults and shrink the population and re-running deterministically.
+//!
+//! The search is a fixpoint of four reduction moves, each kept only if the
+//! candidate still violates an invariant:
+//!
+//! 1. drop one scripted fault;
+//! 2. shrink the subscriber population (to 1, to half, by one);
+//! 3. shrink the publisher population the same way;
+//! 4. shrink the shard count (mesh only, floor 2).
+//!
+//! Population shrinks drop any fault whose target falls out of range — the
+//! role-indexed script form makes that a pure truncation, no renumbering.
+//! Because every candidate run is a pure function of its schedule, the
+//! minimized script plus its seed is a complete, replayable bug report.
+
+use crate::run::{run_schedule, RunReport};
+use crate::schedule::{Fault, FaultSchedule, StrategyKind, Target};
+
+/// Upper bound on candidate runs per minimization, as a safety stop; the
+/// greedy fixpoint converges far earlier on generated schedules.
+const MAX_RUNS: usize = 200;
+
+/// The outcome of one minimization.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The smallest still-failing schedule found.
+    pub schedule: FaultSchedule,
+    /// The report of the minimized schedule's (failing) run.
+    pub report: RunReport,
+    /// How many candidate runs the search spent.
+    pub runs: usize,
+}
+
+fn retain_in_range(schedule: &mut FaultSchedule) {
+    let topo = schedule.topology;
+    let in_range = |target: Target| match target {
+        Target::Rdv(i) => i < topo.shards,
+        Target::Pub(i) => i < topo.publishers,
+        Target::Sub(i) => i < topo.subscribers,
+    };
+    schedule.faults.retain(|&(_, fault)| match fault {
+        Fault::Kill(t) | Fault::Revive(t) => in_range(t),
+        Fault::Cut(a, b) | Fault::Restore(a, b) => in_range(a) && in_range(b),
+        Fault::Loss(_) | Fault::Heal => true,
+    });
+}
+
+/// Shrinks a failing schedule to a strictly smaller one that still fails.
+///
+/// # Panics
+///
+/// Panics if `failing` does not actually fail — minimizing a passing
+/// schedule is a caller bug.
+pub fn minimize(failing: &FaultSchedule) -> Minimized {
+    let mut runs = 0usize;
+    let check = |runs: &mut usize, candidate: &FaultSchedule| -> Option<RunReport> {
+        if *runs >= MAX_RUNS {
+            return None;
+        }
+        *runs += 1;
+        let report = run_schedule(candidate);
+        (!report.passed()).then_some(report)
+    };
+
+    let mut best = failing.clone();
+    let mut best_report = check(&mut runs, &best).expect("minimize() needs a schedule that fails");
+
+    loop {
+        let mut improved = false;
+
+        // Move 1: drop single faults, front to back.
+        let mut index = 0;
+        while index < best.faults.len() {
+            let mut candidate = best.clone();
+            candidate.faults.remove(index);
+            if let Some(report) = check(&mut runs, &candidate) {
+                best = candidate;
+                best_report = report;
+                improved = true;
+            } else {
+                index += 1;
+            }
+        }
+
+        // Moves 2-4: population shrinks, boldest first.
+        let topo = best.topology;
+        let mut shrinks: Vec<FaultSchedule> = Vec::new();
+        for subscribers in [1, topo.subscribers / 2, topo.subscribers.saturating_sub(1)] {
+            if (1..topo.subscribers).contains(&subscribers) {
+                let mut candidate = best.clone();
+                candidate.topology.subscribers = subscribers;
+                shrinks.push(candidate);
+            }
+        }
+        for publishers in [1, topo.publishers.saturating_sub(1)] {
+            if (1..topo.publishers).contains(&publishers) {
+                let mut candidate = best.clone();
+                candidate.topology.publishers = publishers;
+                shrinks.push(candidate);
+            }
+        }
+        if topo.kind == StrategyKind::RendezvousMesh {
+            for shards in [2, topo.shards.saturating_sub(1)] {
+                if (2..topo.shards).contains(&shards) {
+                    let mut candidate = best.clone();
+                    candidate.topology.shards = shards;
+                    shrinks.push(candidate);
+                }
+            }
+        }
+        for mut candidate in shrinks {
+            retain_in_range(&mut candidate);
+            if candidate.size() >= best.size() {
+                continue;
+            }
+            if let Some(report) = check(&mut runs, &candidate) {
+                best = candidate;
+                best_report = report;
+                improved = true;
+                break; // population changed; restart the whole pass
+            }
+        }
+
+        if !improved || runs >= MAX_RUNS {
+            break;
+        }
+    }
+
+    debug_assert_eq!(best.validate(), Ok(()));
+    Minimized {
+        schedule: best,
+        report: best_report,
+        runs,
+    }
+}

@@ -1,0 +1,61 @@
+//! The canary self-test: with the planted adoption-ring bug compiled in
+//! (`--features canary`, which enables `dissem/dst-canary`), the explorer
+//! must find it in a bounded sweep, minimize it to a strictly smaller
+//! schedule, and produce a script that replays the failure verbatim.
+//!
+//! The planted bug: `adopter_of` fails to wrap the rendezvous ring, so when
+//! the *last* shard's rendezvous dies for good nobody adopts its hash range
+//! — an orphaned shard the adoption-coverage invariant reports as an
+//! `AdoptionHole`. `tests/explorer.rs` replays the minimized script with
+//! the feature off and asserts it passes.
+
+#![cfg(feature = "canary")]
+
+use dst::{run_schedule, sweep, FaultSchedule, GenConfig, Violation};
+
+#[test]
+fn the_explorer_finds_and_minimizes_the_planted_bug() {
+    let report = sweep(0..20, &GenConfig::default(), true);
+    assert!(
+        !report.clean(),
+        "20 seeds must be enough to hit a permanent last-shard kill"
+    );
+
+    let failure = &report.failures[0];
+    assert!(
+        failure
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AdoptionHole { .. })),
+        "the planted bug orphans a shard: {:?}",
+        failure.report.violations
+    );
+
+    let minimized = failure.minimized.as_ref().expect("minimization ran");
+    assert!(
+        minimized.schedule.size() < failure.schedule.size(),
+        "minimized size {} must be strictly below the original {}",
+        minimized.schedule.size(),
+        failure.schedule.size()
+    );
+    assert!(
+        minimized
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AdoptionHole { .. })),
+        "minimization must preserve the violation class"
+    );
+
+    // The minimized script is a complete bug report: parsing its printed
+    // form back and re-running reproduces the failure bit for bit.
+    let text = minimized.schedule.to_string();
+    let replayed: FaultSchedule = text.parse().expect("minimized schedule round-trips");
+    assert_eq!(replayed, minimized.schedule);
+    assert_eq!(
+        run_schedule(&replayed),
+        minimized.report,
+        "pasting the script back must reproduce the exact report"
+    );
+}

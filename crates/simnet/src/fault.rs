@@ -36,6 +36,8 @@ use crate::id::{NodeId, SubnetId};
 use crate::link::LinkSpec;
 use crate::network::Network;
 use crate::time::SimTime;
+use std::fmt;
+use std::str::FromStr;
 
 /// One scripted fault event.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +140,121 @@ impl ChurnDriver {
             FaultAction::RestoreLink(a, b) => net.unblock_pair(*a, *b),
             FaultAction::SetLink(a, b, spec) => net.links_mut().set_symmetric(*a, *b, spec.clone()),
         }
+    }
+
+    /// The full script — applied and pending entries alike, in time order.
+    pub fn script(&self) -> &[(SimTime, FaultAction)] {
+        &self.script
+    }
+}
+
+/// One script line: `kill node-3`, `revive node-3`, `cut node-1 node-2`,
+/// `restore node-1 node-2`, or
+/// `link subnet-0 subnet-1 latency=300us jitter=200us bandwidth=12500000 loss=0.25`.
+/// the `FromStr` impl parses exactly this shape back, so a churn
+/// script printed from a run can be pasted verbatim into a regression test.
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Kill(node) => write!(f, "kill {node}"),
+            FaultAction::Revive(node) => write!(f, "revive {node}"),
+            FaultAction::CutLink(a, b) => write!(f, "cut {a} {b}"),
+            FaultAction::RestoreLink(a, b) => write!(f, "restore {a} {b}"),
+            FaultAction::SetLink(a, b, spec) => write!(f, "link {a} {b} {spec}"),
+        }
+    }
+}
+
+fn parse_node(token: &str) -> Result<NodeId, String> {
+    token
+        .strip_prefix("node-")
+        .and_then(|raw| raw.parse().ok())
+        .map(NodeId::from_raw)
+        .ok_or_else(|| format!("'{token}' is not a node-<index> reference"))
+}
+
+fn parse_subnet(token: &str) -> Result<SubnetId, String> {
+    token
+        .strip_prefix("subnet-")
+        .and_then(|raw| raw.parse().ok())
+        .map(SubnetId)
+        .ok_or_else(|| format!("'{token}' is not a subnet-<index> reference"))
+}
+
+impl FromStr for FaultAction {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut words = s.split_whitespace();
+        let verb = words.next().ok_or("empty fault action")?;
+        let mut next = |what: &str| {
+            words
+                .next()
+                .ok_or_else(|| format!("'{verb}' is missing its {what}"))
+                .map(str::to_owned)
+        };
+        let action = match verb {
+            "kill" => FaultAction::Kill(parse_node(&next("target node")?)?),
+            "revive" => FaultAction::Revive(parse_node(&next("target node")?)?),
+            "cut" => FaultAction::CutLink(
+                parse_node(&next("first node")?)?,
+                parse_node(&next("second node")?)?,
+            ),
+            "restore" => FaultAction::RestoreLink(
+                parse_node(&next("first node")?)?,
+                parse_node(&next("second node")?)?,
+            ),
+            "link" => {
+                let a = parse_subnet(&next("first subnet")?)?;
+                let b = parse_subnet(&next("second subnet")?)?;
+                let spec: LinkSpec = words.collect::<Vec<_>>().join(" ").parse()?;
+                return Ok(FaultAction::SetLink(a, b, spec));
+            }
+            other => return Err(format!("unknown fault verb '{other}'")),
+        };
+        match words.next() {
+            Some(extra) => Err(format!("trailing token '{extra}' after '{verb}'")),
+            None => Ok(action),
+        }
+    }
+}
+
+/// The whole script, one action per line: `at <time> <action>` with the
+/// compact exact time form of [`SimTime::to_compact_string`]. Applied and
+/// pending entries print alike; parsing the output yields a fresh driver
+/// with nothing applied yet.
+impl fmt::Display for ChurnDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (when, action) in &self.script {
+            writeln!(f, "at {} {}", when.to_compact_string(), action)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses the [`fmt::Display`] form back. Blank lines and `#` comments are
+/// skipped, so scripts survive being embedded in documentation or test
+/// fixtures.
+impl FromStr for ChurnDriver {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut driver = ChurnDriver::new();
+        for (index, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("at ")
+                .ok_or_else(|| format!("line {}: expected 'at <time> <action>'", index + 1))?;
+            let (when, action) = rest
+                .trim()
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: missing action after the time", index + 1))?;
+            let when: SimTime = when.parse().map_err(|e| format!("line {}: {e}", index + 1))?;
+            let action: FaultAction = action.parse().map_err(|e| format!("line {}: {e}", index + 1))?;
+            driver.at(when, action);
+        }
+        Ok(driver)
     }
 }
 
@@ -302,6 +419,59 @@ mod tests {
         churn.run_until(&mut net, SimTime::from_secs(9));
         assert_eq!(churn.pending(), 0);
         assert!(!net.is_alive(a));
+    }
+
+    #[test]
+    fn scripts_roundtrip_through_display_and_fromstr() {
+        let mut churn = ChurnDriver::new();
+        churn
+            .kill_at(SimTime::from_secs(3), NodeId::from_raw(4))
+            .revive_at(SimTime::from_millis(4_500), NodeId::from_raw(4))
+            .cut_link_at(SimTime::from_secs(5), NodeId::from_raw(1), NodeId::from_raw(2))
+            .restore_link_at(SimTime::from_secs(6), NodeId::from_raw(1), NodeId::from_raw(2))
+            .at(
+                SimTime::from_secs(7),
+                FaultAction::SetLink(SubnetId(0), SubnetId(1), crate::link::LinkSpec::lossy(0.25)),
+            );
+        let text = churn.to_string();
+        assert_eq!(
+            text.lines().next(),
+            Some("at 3s kill node-4"),
+            "script lines are human-readable:\n{text}"
+        );
+        let reparsed: ChurnDriver = text.parse().expect("script parses back");
+        assert_eq!(reparsed.script(), churn.script());
+        assert_eq!(reparsed.to_string(), text, "round-trip is a fixpoint");
+    }
+
+    #[test]
+    fn script_parsing_skips_comments_and_rejects_junk() {
+        let parsed: ChurnDriver = "# a comment\n\nat 1s kill node-0\n".parse().unwrap();
+        assert_eq!(parsed.pending(), 1);
+        assert!("at 1s kill".parse::<ChurnDriver>().is_err(), "missing target");
+        assert!("at 1s kill node-0 extra".parse::<ChurnDriver>().is_err());
+        assert!(
+            "kill node-0".parse::<ChurnDriver>().is_err(),
+            "missing 'at <time>'"
+        );
+        assert!("at 1s explode node-0".parse::<ChurnDriver>().is_err());
+        assert!("at 1s cut node-0 subnet-1".parse::<ChurnDriver>().is_err());
+    }
+
+    #[test]
+    fn parsed_scripts_replay_identically_to_built_ones() {
+        let script = "at 3s kill node-0\nat 7s revive node-0\n";
+        let run = |churn: &mut ChurnDriver| {
+            let (mut net, a, _b) = two_tickers();
+            churn.run_until(&mut net, SimTime::from_secs(10));
+            net.node_ref::<Ticker>(a).unwrap().ticks.clone()
+        };
+        let mut built = ChurnDriver::new();
+        built
+            .kill_at(SimTime::from_secs(3), NodeId::from_raw(0))
+            .revive_at(SimTime::from_secs(7), NodeId::from_raw(0));
+        let mut parsed: ChurnDriver = script.parse().unwrap();
+        assert_eq!(run(&mut parsed), run(&mut built));
     }
 
     #[test]

@@ -115,6 +115,67 @@ impl Default for LinkSpec {
     }
 }
 
+/// The script form of a link spec, as used by `ChurnDriver` fault scripts:
+/// `latency=300us jitter=200us bandwidth=12500000 loss=0.25`. All four
+/// fields are always printed; the `FromStr` impl parses the same shape
+/// back exactly (`f64`'s shortest-round-trip `Display` keeps the loss
+/// probability lossless).
+impl std::fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency={} jitter={} bandwidth={} loss={}",
+            self.latency.to_compact_string(),
+            self.jitter.to_compact_string(),
+            self.bandwidth_bytes_per_sec,
+            self.loss_probability
+        )
+    }
+}
+
+impl std::str::FromStr for LinkSpec {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = LinkSpec::perfect();
+        let mut seen = [false; 4];
+        for field in s.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("link field '{field}' is not key=value"))?;
+            match key {
+                "latency" => {
+                    spec.latency = value.parse()?;
+                    seen[0] = true;
+                }
+                "jitter" => {
+                    spec.jitter = value.parse()?;
+                    seen[1] = true;
+                }
+                "bandwidth" => {
+                    spec.bandwidth_bytes_per_sec =
+                        value.parse().map_err(|_| format!("bad bandwidth '{value}'"))?;
+                    seen[2] = true;
+                }
+                "loss" => {
+                    spec.loss_probability = value.parse().map_err(|_| format!("bad loss '{value}'"))?;
+                    if !(0.0..=1.0).contains(&spec.loss_probability) {
+                        return Err(format!("loss '{value}' outside [0, 1]"));
+                    }
+                    seen[3] = true;
+                }
+                other => return Err(format!("unknown link field '{other}'")),
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Ok(spec)
+        } else {
+            Err(format!(
+                "link spec '{s}' must name latency, jitter, bandwidth and loss"
+            ))
+        }
+    }
+}
+
 /// A table of link specs keyed by directed subnet pair, with a default used
 /// for pairs that have no explicit entry.
 #[derive(Debug, Clone, Default)]
@@ -191,6 +252,30 @@ mod tests {
 
         table.set_directed(a, a, LinkSpec::perfect());
         assert_eq!(table.spec(a, a), &LinkSpec::perfect());
+    }
+
+    #[test]
+    fn link_spec_script_form_roundtrips() {
+        for spec in [
+            LinkSpec::perfect(),
+            LinkSpec::lan(),
+            LinkSpec::wan(),
+            LinkSpec::lossy(0.25),
+            LinkSpec::lan().with_loss(1.0 / 3.0), // not representable in decimal
+        ] {
+            assert_eq!(spec.to_string().parse::<LinkSpec>().as_ref(), Ok(&spec));
+        }
+        assert_eq!(
+            LinkSpec::lan().with_loss(0.25).to_string(),
+            "latency=300us jitter=200us bandwidth=12500000 loss=0.25"
+        );
+        assert!("latency=1s".parse::<LinkSpec>().is_err(), "all fields required");
+        assert!("latency=1s jitter=0s bandwidth=0 loss=7"
+            .parse::<LinkSpec>()
+            .is_err());
+        assert!("latency=1s jitter=0s bandwidth=0 loss=0 x=1"
+            .parse::<LinkSpec>()
+            .is_err());
     }
 
     #[test]

@@ -206,6 +206,70 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// Renders a microsecond count in the compact exact form used by fault
+/// scripts: the coarsest of `s`/`ms`/`us` that loses nothing (`5s`,
+/// `1500ms`, `250us`). [`parse_compact`] inverts it exactly.
+pub(crate) fn format_compact(us: u64) -> String {
+    if us.is_multiple_of(1_000_000) {
+        format!("{}s", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Parses the compact form produced by [`format_compact`] back into
+/// microseconds: a non-negative integer followed by `s`, `ms` or `us`.
+pub(crate) fn parse_compact(text: &str) -> Result<u64, String> {
+    let (digits, scale) = if let Some(d) = text.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = text.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        return Err(format!("time '{text}' needs an s/ms/us suffix"));
+    };
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("time '{text}' is not an integer count"))?;
+    value
+        .checked_mul(scale)
+        .ok_or_else(|| format!("time '{text}' overflows the microsecond clock"))
+}
+
+impl SimTime {
+    /// The compact exact rendering used by fault scripts (`5s`, `1500ms`,
+    /// `250us`); the `FromStr` impl parses it back losslessly, which is
+    /// what lets a minimized fault schedule be pasted into a test verbatim.
+    pub fn to_compact_string(self) -> String {
+        format_compact(self.0)
+    }
+}
+
+impl SimDuration {
+    /// The compact exact rendering used by fault scripts; see
+    /// [`SimTime::to_compact_string`].
+    pub fn to_compact_string(self) -> String {
+        format_compact(self.0)
+    }
+}
+
+impl std::str::FromStr for SimTime {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_compact(s).map(SimTime)
+    }
+}
+
+impl std::str::FromStr for SimDuration {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_compact(s).map(SimDuration)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +305,22 @@ mod tests {
         assert_eq!(d.saturating_mul(3), SimDuration::from_millis(30));
         assert_eq!(d.mul_f64(0.5), SimDuration::from_millis(5));
         assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn compact_form_roundtrips_exactly() {
+        for us in [0, 1, 250, 1_000, 1_500, 1_000_000, 90_000_000, 5_250_000] {
+            let t = SimTime::from_micros(us);
+            assert_eq!(t.to_compact_string().parse::<SimTime>(), Ok(t));
+            let d = SimDuration::from_micros(us);
+            assert_eq!(d.to_compact_string().parse::<SimDuration>(), Ok(d));
+        }
+        assert_eq!(SimTime::from_secs(5).to_compact_string(), "5s");
+        assert_eq!(SimDuration::from_millis(1_500).to_compact_string(), "1500ms");
+        assert_eq!(SimDuration::from_micros(250).to_compact_string(), "250us");
+        assert!("5".parse::<SimDuration>().is_err(), "suffix is mandatory");
+        assert!("x5s".parse::<SimTime>().is_err());
+        assert!("-1s".parse::<SimDuration>().is_err());
     }
 
     #[test]

@@ -376,6 +376,21 @@ impl Scenario {
         &self.rendezvous
     }
 
+    /// How many rendezvous peers the scenario was built with.
+    pub fn num_rendezvous(&self) -> usize {
+        self.rendezvous.len()
+    }
+
+    /// How many publishers the scenario was built with.
+    pub fn num_publishers(&self) -> usize {
+        self.publishers.len()
+    }
+
+    /// How many subscribers the scenario was built with.
+    pub fn num_subscribers(&self) -> usize {
+        self.subscribers.len()
+    }
+
     /// The simulation node id of publisher `index`.
     pub fn publisher_id(&self, index: usize) -> NodeId {
         self.publishers[index]
