@@ -26,6 +26,7 @@ pub mod cm;
 pub mod endpoint;
 pub mod error;
 pub mod events;
+pub mod flyweight;
 pub mod id;
 pub mod message;
 pub mod peer;
@@ -46,6 +47,7 @@ pub use adv::{
 pub use cm::SearchFilter;
 pub use error::JxtaError;
 pub use events::JxtaEvent;
+pub use flyweight::{FlyweightEdge, FlyweightLease, TIMER_FLYWEIGHT};
 pub use id::{PeerGroupId, PeerId, PipeId, QueryId, Uuid};
 pub use message::{Message, MessageElement};
 pub use peer::{

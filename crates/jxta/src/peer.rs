@@ -27,6 +27,7 @@ use crate::protocols::{handlers, ProtocolPayload};
 use crate::services::{
     DiscoveryService, MembershipService, MembershipState, PeerInfoService, RendezvousService, WireService,
 };
+use bytes::Bytes;
 use dissem::{RebalanceController, RebalanceEvent};
 use rand::Rng;
 use simnet::{NodeContext, SimAddress, SimDuration, SimTime, TransportKind};
@@ -215,6 +216,11 @@ pub struct JxtaPeer {
     mailbox_depth: u32,
     tracer: Option<SharedTraceCollector>,
     defer_delivery_spans: bool,
+    /// Reusable `(client, address)` buffer for the rendezvous fan-down
+    /// loops: taken before the loop, refilled from the lease table, restored
+    /// after — so forwarding one event to a 100k-client shard allocates
+    /// nothing per event (and nothing per client).
+    fanout_scratch: Vec<(PeerId, SimAddress)>,
 }
 
 impl JxtaPeer {
@@ -243,6 +249,7 @@ impl JxtaPeer {
             rebalance: RebalanceController::new(config.dissemination.rebalance),
             mailbox_depth: 0,
             tracer: None,
+            fanout_scratch: Vec::new(),
             defer_delivery_spans: false,
             config,
         }
@@ -850,6 +857,8 @@ impl JxtaPeer {
         // gossiped back to the publisher is dropped instead of re-forwarded.
         self.wire.seen_before(pipe_id, msg_id);
         let wm = WireMessage::WireData(packet);
+        // Encode once: every direct copy below shares this buffer.
+        let encoded = wm.to_bytes();
         self.wire.note_sent();
         let mut sent = 0;
         for peer in &plan.unicast {
@@ -864,7 +873,7 @@ impl JxtaPeer {
             let addr = self.wire_peer_address(*peer, listeners.get(peer).map(Vec::as_slice));
             match addr {
                 Some(addr) => {
-                    self.transmit(ctx, addr, &wm);
+                    self.transmit_encoded(ctx, addr, &encoded);
                     self.record_spans(ctx.now(), &trace_ids, self.classify_send(*peer));
                     sent += 1;
                 }
@@ -961,9 +970,18 @@ impl JxtaPeer {
 
     fn transmit(&mut self, ctx: &mut NodeContext<'_>, addr: SimAddress, wm: &WireMessage) {
         let bytes = wm.to_bytes();
+        self.transmit_encoded(ctx, addr, &bytes);
+    }
+
+    /// Sends an already-encoded wire message: the same per-recipient cost
+    /// charge and traffic accounting as [`JxtaPeer::transmit`], minus the
+    /// codec. Fan-out paths encode the message once and share the buffer —
+    /// `Bytes` is `Arc`-backed, so each extra recipient costs a refcount
+    /// bump instead of a re-serialisation.
+    fn transmit_encoded(&mut self, ctx: &mut NodeContext<'_>, addr: SimAddress, bytes: &Bytes) {
         self.charge_send(ctx, bytes.len());
         self.info.note_sent(bytes.len());
-        let _ = ctx.send(addr, bytes);
+        let _ = ctx.send(addr, bytes.clone());
     }
 
     fn transmit_multicast(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage) {
@@ -1107,6 +1125,9 @@ impl JxtaPeer {
     /// are a rendezvous), excluding `exclude`.
     fn propagate(&mut self, ctx: &mut NodeContext<'_>, wm: &WireMessage, exclude: Option<PeerId>) {
         self.rendezvous.note_propagated();
+        // One encode shared by every leg below — on a rendezvous the client
+        // leg alone can be the whole subscriber population of a shard.
+        let encoded = wm.to_bytes();
         // An edge that knows rendezvous peers routes control traffic through
         // them instead of multicasting the subnet (the JXTA 2.0 edge
         // behaviour): on a large LAN the multicast leg makes every resolver
@@ -1128,28 +1149,25 @@ impl JxtaPeer {
                 .filter(|a| self.local_transports.contains(&a.transport))
                 .collect();
             for seed in seeds {
-                self.transmit(ctx, seed, wm);
+                self.transmit_encoded(ctx, seed, &encoded);
             }
         }
         if let Some(connection) = self.rendezvous.connection().cloned() {
             if Some(connection.peer) != exclude {
-                self.transmit(ctx, connection.address, wm);
+                self.transmit_encoded(ctx, connection.address, &encoded);
             }
         }
         if self.rendezvous.is_rendezvous() {
-            for (peer, lease) in self.rendezvous.clients() {
+            let mut targets = std::mem::take(&mut self.fanout_scratch);
+            self.rendezvous
+                .collect_client_targets(&self.local_transports, &mut targets);
+            for &(peer, addr) in &targets {
                 if Some(peer) == exclude || peer == self.peer_id {
                     continue;
                 }
-                if let Some(addr) = lease
-                    .endpoints
-                    .iter()
-                    .copied()
-                    .find(|a| self.local_transports.contains(&a.transport))
-                {
-                    self.transmit(ctx, addr, wm);
-                }
+                self.transmit_encoded(ctx, addr, &encoded);
             }
+            self.fanout_scratch = targets;
         }
     }
 
@@ -1526,19 +1544,20 @@ impl JxtaPeer {
         wm: &WireMessage,
         exclude: Option<PeerId>,
     ) {
-        for (peer, lease) in self.rendezvous.clients() {
+        // The fan-down loop of a rendezvous: one encode for the whole lease
+        // table, shared per client, and one reusable target buffer instead
+        // of cloning every lease.
+        let encoded = wm.to_bytes();
+        let mut targets = std::mem::take(&mut self.fanout_scratch);
+        self.rendezvous
+            .collect_client_targets(&self.local_transports, &mut targets);
+        for &(peer, addr) in &targets {
             if Some(peer) == exclude {
                 continue;
             }
-            if let Some(addr) = lease
-                .endpoints
-                .iter()
-                .copied()
-                .find(|a| self.local_transports.contains(&a.transport))
-            {
-                self.transmit(ctx, addr, wm);
-            }
+            self.transmit_encoded(ctx, addr, &encoded);
         }
+        self.fanout_scratch = targets;
     }
 
     fn handle_wire_data(&mut self, ctx: &mut NodeContext<'_>, packet: WirePacket) {
@@ -1603,10 +1622,14 @@ impl JxtaPeer {
                 ttl: packet.ttl - 1,
                 ..packet.clone()
             });
+            // Encode the forwarded packet once; the fan-down of a 100k-client
+            // shard then shares one buffer instead of re-running the codec
+            // per member.
+            let encoded = forwarded.to_bytes();
             let mut copies = 0;
             for peer in plan.forward {
                 if let Some(addr) = self.wire_peer_address(peer, self.rendezvous.client_endpoints(peer)) {
-                    self.transmit(ctx, addr, &forwarded);
+                    self.transmit_encoded(ctx, addr, &encoded);
                     if traced && from_elsewhere {
                         self.record_spans(ctx.now(), &packet.trace_ids, self.classify_send(peer));
                     }

@@ -8,7 +8,7 @@
 //! beyond their own subnet.
 
 use crate::id::{PeerId, Uuid};
-use simnet::{SimAddress, SimDuration, SimTime};
+use simnet::{SimAddress, SimDuration, SimTime, TransportKind};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use telemetry::LoadReport;
 
@@ -125,6 +125,24 @@ impl RendezvousService {
     /// (peer-id) order.
     pub fn clients(&self) -> Vec<(PeerId, ClientLease)> {
         self.clients.iter().map(|(p, l)| (*p, l.clone())).collect()
+    }
+
+    /// Fills `out` with each client's forwarding target — its first endpoint
+    /// matching one of `transports` — in deterministic (peer-id) order,
+    /// skipping clients with no usable endpoint. The buffer is cleared
+    /// first; callers keep a reusable scratch so the per-event fan-down of a
+    /// 100k-client lease table allocates nothing and never clones a lease's
+    /// endpoint list (unlike [`RendezvousService::clients`]).
+    pub fn collect_client_targets(&self, transports: &[TransportKind], out: &mut Vec<(PeerId, SimAddress)>) {
+        out.clear();
+        out.extend(self.clients.iter().filter_map(|(peer, lease)| {
+            lease
+                .endpoints
+                .iter()
+                .copied()
+                .find(|a| transports.contains(&a.transport))
+                .map(|addr| (*peer, addr))
+        }));
     }
 
     /// The ids of the currently connected clients, in deterministic
@@ -469,6 +487,29 @@ mod tests {
             ),
             "recent fillers stay"
         );
+    }
+
+    /// The seen window under a mega-scale id stream: 20 000 distinct ids
+    /// (well past the 4096 window) must leave memory pinned at exactly
+    /// `SEEN_WINDOW` entries with strictly oldest-first eviction.
+    #[test]
+    fn seen_window_holds_at_ten_thousand_plus_ids() {
+        const TOTAL: usize = 20_000;
+        let mut rdv = RendezvousService::new(true, vec![]);
+        for i in 0..TOTAL {
+            assert!(!rdv.seen_before(Uuid::derive(&format!("m{i}")), SimTime::ZERO));
+        }
+        assert_eq!(rdv.seen.len(), SEEN_WINDOW, "the id map stays at the bound");
+        assert_eq!(rdv.seen_order.len(), SEEN_WINDOW, "the FIFO stays at the bound");
+        // Every id in the newest window is still rejected as a duplicate...
+        for i in (TOTAL - SEEN_WINDOW)..TOTAL {
+            assert!(rdv.seen_before(Uuid::derive(&format!("m{i}")), SimTime::ZERO));
+        }
+        // ...and the id just past the window's edge has been forgotten.
+        assert!(!rdv.seen_before(
+            Uuid::derive(&format!("m{}", TOTAL - SEEN_WINDOW - 1)),
+            SimTime::ZERO
+        ));
     }
 
     #[test]

@@ -349,6 +349,28 @@ mod tests {
         );
     }
 
+    /// The dedup window under a mega-scale id stream: 20 000 distinct ids
+    /// (well past the 8192 window) must leave memory pinned at exactly
+    /// `DEDUP_WINDOW` entries with strictly oldest-first eviction.
+    #[test]
+    fn dedup_window_holds_at_ten_thousand_plus_ids() {
+        const TOTAL: usize = 20_000;
+        let mut wire = WireService::new();
+        let pipe = PipeId::derive("a");
+        for i in 0..TOTAL {
+            assert!(!wire.seen_before(pipe, Uuid::derive(&format!("m{i}"))));
+        }
+        let (set, order) = &wire.seen[&pipe];
+        assert_eq!(set.len(), DEDUP_WINDOW, "the id set stays at the bound");
+        assert_eq!(order.len(), DEDUP_WINDOW, "the FIFO stays at the bound");
+        // Every id in the newest window is still rejected as a duplicate...
+        for i in (TOTAL - DEDUP_WINDOW)..TOTAL {
+            assert!(wire.seen_before(pipe, Uuid::derive(&format!("m{i}"))));
+        }
+        // ...and the id just past the window's edge has been forgotten.
+        assert!(!wire.seen_before(pipe, Uuid::derive(&format!("m{}", TOTAL - DEDUP_WINDOW - 1))));
+    }
+
     #[test]
     fn counters_accumulate() {
         let mut wire = WireService::new();

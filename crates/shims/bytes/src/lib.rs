@@ -168,6 +168,33 @@ mod tests {
     }
 
     #[test]
+    fn clone_is_refcount_only() {
+        // A clone must never copy the payload: it bumps the shared
+        // allocation's refcount and nothing else, no matter the size.
+        let a = Bytes::from(vec![7u8; 1 << 20]);
+        assert_eq!(std::sync::Arc::strong_count(&a.data), 1);
+        let clones: Vec<Bytes> = (0..64).map(|_| a.clone()).collect();
+        assert_eq!(std::sync::Arc::strong_count(&a.data), 65);
+        assert!(clones.iter().all(|c| c.as_ptr() == a.as_ptr()));
+        drop(clones);
+        assert_eq!(std::sync::Arc::strong_count(&a.data), 1);
+    }
+
+    #[test]
+    fn copies_detach_from_the_source() {
+        // `Bytes` is immutable, so clone-then-mutate hazards can only come
+        // from aliasing the *source* buffer. Construction must snapshot.
+        let mut src = vec![1u8, 2, 3];
+        let snapshot = Bytes::copy_from_slice(&src);
+        let via_slice = Bytes::from(&src[..]);
+        src[0] = 99;
+        src.push(4);
+        assert_eq!(snapshot, [1u8, 2, 3][..]);
+        assert_eq!(via_slice, [1u8, 2, 3][..]);
+        assert_eq!(Bytes::from(src), [99u8, 2, 3, 4][..]);
+    }
+
+    #[test]
     fn deref_gives_slice_methods() {
         let a = Bytes::from("hello".to_owned());
         assert_eq!(&a[1..3], b"el");

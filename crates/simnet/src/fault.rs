@@ -40,7 +40,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// One scripted fault event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultAction {
     /// Shut the node down ([`Network::shutdown_node`]); in-flight datagrams
     /// and timers addressed to it are lost.
@@ -121,7 +121,7 @@ impl ChurnDriver {
     /// publishes between `run_until` segments.
     pub fn run_until(&mut self, net: &mut Network, horizon: SimTime) {
         while self.next < self.script.len() {
-            let (when, action) = self.script[self.next].clone();
+            let (when, action) = self.script[self.next];
             if when > horizon {
                 break;
             }
@@ -138,7 +138,7 @@ impl ChurnDriver {
             FaultAction::Revive(node) => net.revive_node(*node),
             FaultAction::CutLink(a, b) => net.block_pair(*a, *b),
             FaultAction::RestoreLink(a, b) => net.unblock_pair(*a, *b),
-            FaultAction::SetLink(a, b, spec) => net.links_mut().set_symmetric(*a, *b, spec.clone()),
+            FaultAction::SetLink(a, b, spec) => net.links_mut().set_symmetric(*a, *b, *spec),
         }
     }
 

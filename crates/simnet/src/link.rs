@@ -11,7 +11,10 @@ use crate::time::SimDuration;
 use std::collections::HashMap;
 
 /// Propagation and reliability characteristics of one directed subnet pair.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy` on purpose: the kernel reads a spec per delivery, and a 100k-member
+/// fan-out must not allocate per member just to look at link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Fixed one-way propagation delay.
     pub latency: SimDuration,
@@ -195,7 +198,7 @@ impl LinkTable {
 
     /// Sets the link spec between two subnets in **both** directions.
     pub fn set_symmetric(&mut self, a: SubnetId, b: SubnetId, spec: LinkSpec) {
-        self.overrides.insert((a, b), spec.clone());
+        self.overrides.insert((a, b), spec);
         self.overrides.insert((b, a), spec);
     }
 

@@ -14,12 +14,17 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 /// Default upper bound on a single datagram's payload (1 MiB); JXTA messages
 /// in the paper are ~2 KB, so this is generous while still catching runaway
 /// serialisation bugs.
 pub const DEFAULT_MAX_DATAGRAM: usize = 1 << 20;
+
+/// The first host address the builder hands out (10.0.0.1). Hosts are
+/// assigned sequentially from here, which is what lets the kernel resolve
+/// a unicast address with an array index instead of a hash lookup.
+const HOST_BASE: u32 = 0x0A00_0001;
 
 #[derive(Debug)]
 enum EventKind {
@@ -153,12 +158,14 @@ impl NetworkBuilder {
     /// Finalises the network. Every node's `on_start` is scheduled at time 0
     /// in node-id order.
     pub fn build(self) -> Network {
-        let mut addr_map = HashMap::new();
+        let mut addr_table: Vec<Option<NodeId>> = Vec::with_capacity(self.nodes.len());
+        let mut mcast_groups: BTreeMap<SubnetId, Vec<NodeId>> = BTreeMap::new();
         let mut slots = Vec::with_capacity(self.nodes.len());
-        let mut next_host: u32 = 0x0A00_0001; // 10.0.0.1
+        let mut next_host: u32 = HOST_BASE;
         for (idx, (node, config)) in self.nodes.into_iter().enumerate() {
             let host = next_host;
             next_host += 1;
+            addr_table.push(Some(NodeId::from_raw(idx as u32)));
             let mut interfaces = Vec::new();
             for transport in &config.transports {
                 let port = match transport {
@@ -168,8 +175,11 @@ impl NetworkBuilder {
                     TransportKind::Bluetooth => 9703,
                 };
                 let addr = SimAddress::new(*transport, host, port);
-                if *transport != TransportKind::Multicast {
-                    addr_map.insert(addr, NodeId::from_raw(idx as u32));
+                if *transport == TransportKind::Multicast {
+                    mcast_groups
+                        .entry(config.subnet)
+                        .or_default()
+                        .push(NodeId::from_raw(idx as u32));
                 }
                 interfaces.push(addr);
             }
@@ -194,7 +204,11 @@ impl NetworkBuilder {
             seq: 0,
             queue: BinaryHeap::new(),
             slots,
-            addr_map,
+            addr_table,
+            mcast_groups,
+            mcast_scratch: Vec::new(),
+            command_scratch: Vec::new(),
+            events_processed: 0,
             links: self.links,
             cancelled_timers: HashSet::new(),
             next_timer: 0,
@@ -231,7 +245,21 @@ pub struct Network {
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
     slots: Vec<NodeSlot>,
-    addr_map: HashMap<SimAddress, NodeId>,
+    /// Host-indexed address table: `addr_table[host - HOST_BASE]` names the
+    /// node that currently owns that host (`None` after the host is
+    /// abandoned by a re-assignment). Unicast resolution is an array index
+    /// plus an interface check instead of a hash lookup per send.
+    addr_table: Vec<Option<NodeId>>,
+    /// Per-subnet multicast membership in node-id order, fixed at build time
+    /// (a node's transports never change): a multicast send walks its own
+    /// subnet's members instead of every slot in the network.
+    mcast_groups: BTreeMap<SubnetId, Vec<NodeId>>,
+    /// Reusable buffer for the alive-member subset of one multicast fan-out.
+    mcast_scratch: Vec<NodeId>,
+    /// Reusable command buffer handed to node handlers, so steady-state event
+    /// processing allocates nothing per event.
+    command_scratch: Vec<Command>,
+    events_processed: u64,
     links: LinkTable,
     cancelled_timers: HashSet<TimerToken>,
     next_timer: u64,
@@ -255,6 +283,12 @@ impl Network {
     /// The number of nodes ever added (including shut-down ones).
     pub fn num_nodes(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Events processed since construction (starts, deliveries, timer
+    /// firings) — the numerator of the bench series' events/sec figure.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Whether a node is still running.
@@ -411,12 +445,25 @@ impl Network {
             }
             let old = *addr;
             let new = SimAddress::new(old.transport, new_host, old.port);
-            self.addr_map.remove(&old);
-            self.addr_map.insert(new, node);
             *addr = new;
             changes.push((old, new));
         }
         let new_addrs: Vec<SimAddress> = slot.interfaces.clone();
+        // Tombstone the abandoned host and claim the fresh one in the table;
+        // sends to the old addresses now miss and drop as `UnknownAddress`.
+        if let Some(&(old, _)) = changes.first() {
+            if let Some(entry) = self
+                .addr_table
+                .get_mut((old.host.wrapping_sub(HOST_BASE)) as usize)
+            {
+                *entry = None;
+            }
+        }
+        let new_offset = (new_host - HOST_BASE) as usize;
+        if self.addr_table.len() <= new_offset {
+            self.addr_table.resize(new_offset + 1, None);
+        }
+        self.addr_table[new_offset] = Some(node);
         for (old, new) in changes {
             self.trace
                 .push(self.now, TraceEvent::AddressChanged { node, old, new });
@@ -465,6 +512,7 @@ impl Network {
         };
         debug_assert!(event.at >= self.now, "event queue went backwards");
         self.now = event.at;
+        self.events_processed += 1;
         match event.kind {
             EventKind::Start { node } => self.handle_start(node),
             EventKind::Deliver { dst, datagram } => self.handle_deliver(dst, datagram),
@@ -495,6 +543,7 @@ impl Network {
             .node
             .take()
             .expect("node is re-entrantly borrowed");
+        let scratch = std::mem::take(&mut self.command_scratch);
         let (result, commands, charged) = {
             let slot = &mut self.slots[node.index()];
             let mut ctx = NodeContext {
@@ -505,7 +554,7 @@ impl Network {
                 rng: &mut slot.rng,
                 next_timer: &mut self.next_timer,
                 charged: SimDuration::ZERO,
-                commands: Vec::new(),
+                commands: scratch,
             };
             let concrete = boxed
                 .as_any_mut()
@@ -617,6 +666,7 @@ impl Network {
             .node
             .take()
             .expect("node is re-entrantly borrowed");
+        let scratch = std::mem::take(&mut self.command_scratch);
         let commands = {
             let slot = &mut self.slots[node.index()];
             let mut ctx = NodeContext {
@@ -627,7 +677,7 @@ impl Network {
                 rng: &mut slot.rng,
                 next_timer: &mut self.next_timer,
                 charged: SimDuration::ZERO,
-                commands: Vec::new(),
+                commands: scratch,
             };
             f(boxed.as_mut(), &mut ctx);
             std::mem::take(&mut ctx.commands)
@@ -636,8 +686,8 @@ impl Network {
         commands
     }
 
-    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command>) {
-        for command in commands {
+    fn apply_commands(&mut self, node: NodeId, mut commands: Vec<Command>) {
+        for command in commands.drain(..) {
             match command {
                 Command::Send {
                     local_delay,
@@ -659,6 +709,25 @@ impl Network {
                     self.shutdown_node(node);
                 }
             }
+        }
+        // Hand the drained buffer back for the next handler. Nothing in the
+        // command loop re-enters a node handler, so the scratch slot is free
+        // by the time we get here.
+        self.command_scratch = commands;
+    }
+
+    /// Resolves a unicast destination to the node that currently owns it: an
+    /// array index by host offset, then an exact-interface check so stale
+    /// ports/transports (and addresses abandoned by a re-assignment) still
+    /// miss, exactly like the old exact-address map.
+    fn lookup_unicast(&self, addr: SimAddress) -> Option<NodeId> {
+        let offset = addr.host.checked_sub(HOST_BASE)? as usize;
+        let node = (*self.addr_table.get(offset)?)?;
+        let slot = &self.slots[node.index()];
+        if slot.interfaces.contains(&addr) {
+            Some(node)
+        } else {
+            None
         }
     }
 
@@ -694,10 +763,10 @@ impl Network {
         // the CPU time it had charged when it queued the send.
         let departed = self.now + local_delay;
         if payload.len() > self.max_datagram {
-            // Oversized payloads are dropped loudly in traces; the synchronous
-            // path already validated interfaces, and real UDP would fragment
-            // or fail silently here.
-            self.record_drop(departed, from, dst, DropReason::UnknownAddress, None);
+            // Oversized payloads are dropped loudly in traces *and* counted
+            // under their own reason so `why_missing` can name the cause;
+            // real UDP would fragment or fail silently here.
+            self.record_drop(departed, from, dst, DropReason::OversizedPayload, None);
             return;
         }
         let src_subnet = self.slots[from.index()].subnet;
@@ -722,32 +791,31 @@ impl Network {
         );
 
         if dst.is_multicast() {
-            let members: Vec<NodeId> = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(idx, slot)| {
-                    *idx != from.index()
-                        && slot.alive
-                        && slot.subnet == src_subnet
-                        && slot
-                            .interfaces
-                            .iter()
-                            .any(|a| a.transport == TransportKind::Multicast)
-                })
-                .map(|(idx, _)| NodeId::from_raw(idx as u32))
-                .collect();
+            // Membership is precomputed per subnet (transports are fixed at
+            // build time); only the liveness filter runs per send, into a
+            // reused scratch buffer.
+            let mut members = std::mem::take(&mut self.mcast_scratch);
+            members.clear();
+            if let Some(group) = self.mcast_groups.get(&src_subnet) {
+                members.extend(
+                    group
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != from && self.slots[m.index()].alive),
+                );
+            }
             if members.is_empty() {
                 self.record_drop(departed, from, dst, DropReason::EmptyMulticastGroup, None);
-                return;
+            } else {
+                for &member in &members {
+                    self.deliver_one(from, src_addr, dst, member, local_delay, payload.clone());
+                }
             }
-            for member in members {
-                self.deliver_one(from, src_addr, dst, member, local_delay, payload.clone());
-            }
+            self.mcast_scratch = members;
             return;
         }
 
-        let Some(&target) = self.addr_map.get(&dst) else {
+        let Some(target) = self.lookup_unicast(dst) else {
             self.record_drop(departed, from, dst, DropReason::UnknownAddress, None);
             return;
         };
@@ -792,7 +860,7 @@ impl Network {
         }
         let src_subnet = self.slots[from.index()].subnet;
         let dst_subnet = self.slots[target.index()].subnet;
-        let spec = self.links.spec(src_subnet, dst_subnet).clone();
+        let spec = *self.links.spec(src_subnet, dst_subnet);
         if spec.loss_probability > 0.0 && self.master_rng.gen_bool(spec.loss_probability) {
             self.record_drop(
                 self.now + local_delay,
@@ -981,6 +1049,71 @@ mod tests {
         });
         net.run_until_idle();
         assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn oversized_payload_drop_is_counted_under_its_own_reason() {
+        let mut builder = NetworkBuilder::new(5);
+        builder.enable_trace(64);
+        builder.max_datagram(8);
+        let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let b = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let mut net = builder.build();
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"way past the limit")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 0);
+        assert_eq!(net.drops(DropReason::OversizedPayload), 1);
+        assert_eq!(net.drops(DropReason::UnknownAddress), 0, "must not masquerade");
+        assert_eq!(net.drop_summary().to_string(), "oversized_payload=1");
+        // The trace carries the same verdict for drop forensics.
+        assert!(net.trace().records().any(|r| matches!(
+            r.event,
+            TraceEvent::DatagramDropped {
+                reason: DropReason::OversizedPayload,
+                ..
+            }
+        )));
+        let _ = a;
+    }
+
+    #[test]
+    fn events_processed_counts_every_step() {
+        let (mut net, a, b) = two_node_net(true);
+        let after_start = net.run_until_idle();
+        assert_eq!(net.events_processed(), after_start);
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"ping")).unwrap();
+        });
+        let more = net.run_until_idle();
+        assert_eq!(more, 2, "echo round trip is two deliveries");
+        assert_eq!(net.events_processed(), after_start + more);
+    }
+
+    #[test]
+    fn multicast_skips_dead_members_and_detects_empty_groups() {
+        let mut builder = NetworkBuilder::new(9);
+        let a = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let b = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let c = builder.add_node(Box::new(Echo::new(false)), NodeConfig::lan_peer(SubnetId(0)));
+        let mut net = builder.build();
+        net.run_until_idle();
+        net.shutdown_node(b);
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send_multicast(Bytes::from_static(b"who's there")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(c).unwrap().received.len(), 1);
+        assert_eq!(net.drops(DropReason::EmptyMulticastGroup), 0);
+        net.shutdown_node(c);
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send_multicast(Bytes::from_static(b"anyone")).unwrap();
+        });
+        net.run_until_idle();
+        assert_eq!(net.drops(DropReason::EmptyMulticastGroup), 1);
     }
 
     #[test]

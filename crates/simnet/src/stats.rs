@@ -18,17 +18,21 @@ pub enum DropReason {
     EmptyMulticastGroup,
     /// A fault-injection rule (blocked node pair) swallowed the datagram.
     FaultInjected,
+    /// The payload exceeded the network's `max_datagram` limit and was
+    /// rejected on the send path.
+    OversizedPayload,
 }
 
 impl DropReason {
     /// Every drop reason, in a stable reporting order.
-    pub const ALL: [DropReason; 6] = [
+    pub const ALL: [DropReason; 7] = [
         DropReason::RandomLoss,
         DropReason::Firewall,
         DropReason::UnknownAddress,
         DropReason::NodeDown,
         DropReason::EmptyMulticastGroup,
         DropReason::FaultInjected,
+        DropReason::OversizedPayload,
     ];
 
     /// A short machine-friendly label (used as a metric-name suffix).
@@ -40,6 +44,7 @@ impl DropReason {
             DropReason::NodeDown => "node_down",
             DropReason::EmptyMulticastGroup => "empty_multicast",
             DropReason::FaultInjected => "fault_injected",
+            DropReason::OversizedPayload => "oversized_payload",
         }
     }
 
@@ -56,6 +61,7 @@ impl DropReason {
             DropReason::NodeDown => 3,
             DropReason::EmptyMulticastGroup => 4,
             DropReason::FaultInjected => 5,
+            DropReason::OversizedPayload => 6,
         }
     }
 }
@@ -69,6 +75,7 @@ impl fmt::Display for DropReason {
             DropReason::NodeDown => "destination node is down",
             DropReason::EmptyMulticastGroup => "no member in multicast group",
             DropReason::FaultInjected => "dropped by fault injection",
+            DropReason::OversizedPayload => "payload exceeds the datagram size limit",
         };
         f.write_str(s)
     }

@@ -215,6 +215,40 @@ mod tests {
         assert_eq!(TraceBuffer::with_capacity(0).capacity, 1);
     }
 
+    /// The ring at a mega-scale push count: a 4096-capacity buffer fed
+    /// 20 000 records holds exactly the newest 4096 in order and accounts
+    /// for every eviction.
+    #[test]
+    fn ring_stays_bounded_at_twenty_thousand_pushes() {
+        const CAPACITY: usize = 4_096;
+        const TOTAL: u64 = 20_000;
+        let mut buf = TraceBuffer::with_capacity(CAPACITY);
+        for i in 0..TOTAL {
+            buf.push(
+                SimTime::from_millis(i),
+                TraceEvent::TimerFired {
+                    node: NodeId::from_raw(0),
+                    tag: i,
+                },
+            );
+        }
+        assert_eq!(buf.len(), CAPACITY);
+        assert_eq!(buf.dropped_records(), TOTAL - CAPACITY as u64);
+        let tags: Vec<u64> = buf
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::TimerFired { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags.first().copied(), Some(TOTAL - CAPACITY as u64));
+        assert_eq!(tags.last().copied(), Some(TOTAL - 1));
+        assert!(
+            tags.windows(2).all(|w| w[1] == w[0] + 1),
+            "the retained window is contiguous and ordered"
+        );
+    }
+
     #[test]
     fn count_matching_filters_events() {
         let mut buf = TraceBuffer::with_capacity(16);

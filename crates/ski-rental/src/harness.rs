@@ -158,6 +158,83 @@ impl Scenario {
         }
     }
 
+    /// Builds the mega-scale scenario: `rendezvous` full rendezvous peers in
+    /// a sharded mesh, `publishers` SR-TPS publishers, and `subscribers`
+    /// **flyweight** subscribers ([`SkiNode::boxed_flyweight`]) — a lease +
+    /// mailbox each instead of a full JXTA stack, which is what makes 100k+
+    /// subscriber populations buildable and runnable in seconds. Costs are
+    /// free (flyweights model zero-CPU consumers); delivery is still the
+    /// real wire protocol end to end.
+    pub fn build_flyweight_mesh(
+        rendezvous: usize,
+        publishers: usize,
+        subscribers: usize,
+        seed: u64,
+    ) -> Scenario {
+        assert!(rendezvous >= 1, "a scenario needs at least one rendezvous");
+        let dissemination = DisseminationConfig::rendezvous_mesh(rendezvous);
+        let costs = CostModel::free();
+        let mut builder = NetworkBuilder::new(seed);
+        let rdv_addrs: Vec<SimAddress> = (0..rendezvous)
+            .map(|i| SimAddress::new(TransportKind::Tcp, 0x0A00_0001 + i as u32, 9701))
+            .collect();
+        let mut rendezvous_ids = Vec::new();
+        for i in 0..rendezvous {
+            let mesh_peers: Vec<SimAddress> = rdv_addrs
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a)
+                .collect();
+            let rdv_config = jxta::peer::PeerConfig::rendezvous(format!("rdv-{i}"))
+                .with_seeds(mesh_peers)
+                .with_costs(costs.clone())
+                .with_dissemination(dissemination.clone());
+            rendezvous_ids.push(builder.add_node(
+                Box::new(RdvNode {
+                    peer: jxta::JxtaPeer::new(rdv_config),
+                }),
+                NodeConfig::lan_peer(SubnetId(0)),
+            ));
+        }
+        let mut publisher_ids = Vec::new();
+        for i in 0..publishers {
+            let node = SkiNode::boxed_with_dissemination(
+                Flavor::SrTps,
+                Role::Publisher,
+                &format!("shop-{i}"),
+                rdv_addrs.clone(),
+                costs.clone(),
+                dissemination.clone(),
+            );
+            publisher_ids.push(builder.add_node(node, NodeConfig::lan_peer(SubnetId(0))));
+        }
+        // TCP only: flyweights never join multicast groups, so the kernel's
+        // per-subnet member lists stay small whatever the population.
+        let flyweight_config = NodeConfig::lan_peer(SubnetId(0)).with_transports(vec![TransportKind::Tcp]);
+        let subscriber_ids = (0..subscribers)
+            .map(|i| {
+                builder.add_node(
+                    SkiNode::boxed_flyweight(&format!("skier-{i}"), rdv_addrs.clone(), rendezvous),
+                    flyweight_config.clone(),
+                )
+            })
+            .collect();
+        Scenario {
+            net: builder.build(),
+            flavor: Flavor::SrTps,
+            dissemination,
+            rendezvous: rendezvous_ids,
+            publishers: publisher_ids,
+            subscribers: subscriber_ids,
+            offers: OfferGenerator::new(seed ^ 0x5EED),
+            invocation_times: telemetry::WindowedHistogram::default(),
+            tracer: None,
+            trace_nodes: Vec::new(),
+        }
+    }
+
     /// Turns on the causal tracing plane: a shared span collector is
     /// installed on every peer (rendezvous and edges) and kernel tracing is
     /// enabled with the same capacity, so trace spans can be joined against
@@ -175,6 +252,11 @@ impl Scenario {
         }
         for &id in self.publishers.iter().chain(&self.subscribers) {
             let node = self.net.node_mut::<SkiNode>(id).expect("edge exists");
+            // Flyweights live outside the tracing plane (no per-copy spans
+            // at mega-scale); everything else joins it.
+            if node.peer_opt().is_none() {
+                continue;
+            }
             node.set_trace_collector(Rc::clone(&tracer));
             trace_nodes.push((id, node.peer_ref().trace_node()));
         }
@@ -489,11 +571,12 @@ impl Scenario {
             let Some(node) = self.net.node_ref::<SkiNode>(id) else {
                 continue;
             };
-            match node.engine_ref() {
-                Some(engine) => engine.export_metrics(&mut registry, &format!("tps.{label}")),
-                None => node
-                    .peer_ref()
-                    .export_metrics(&mut registry, &format!("jxta.{label}")),
+            match (node.engine_ref(), node.peer_opt()) {
+                (Some(engine), _) => engine.export_metrics(&mut registry, &format!("tps.{label}")),
+                (None, Some(peer)) => peer.export_metrics(&mut registry, &format!("jxta.{label}")),
+                // Flyweights have no metrics surface of their own; the
+                // kernel's simnet.* counters already cover their traffic.
+                (None, None) => {}
             }
         }
         registry.insert_histogram("harness.publish_invocation_ms", self.invocation_times.clone());
@@ -503,13 +586,7 @@ impl Scenario {
     /// The shard (rendezvous node id) an edge peer currently leases with,
     /// if it is connected.
     pub fn shard_of(&self, edge: NodeId) -> Option<NodeId> {
-        let connected_rdv = self
-            .net
-            .node_ref::<SkiNode>(edge)?
-            .peer_ref()
-            .rendezvous()
-            .connection()?
-            .peer;
+        let connected_rdv = self.net.node_ref::<SkiNode>(edge)?.leased_rendezvous()?;
         self.rendezvous.iter().copied().find(|&id| {
             self.net
                 .node_ref::<RdvNode>(id)
@@ -537,6 +614,14 @@ impl Scenario {
             .node_ref::<SkiNode>(self.subscribers[index])
             .expect("subscriber exists")
             .received_times()
+    }
+
+    /// The flyweight behind subscriber `index`, for scenarios built with
+    /// [`Scenario::build_flyweight_mesh`] (`None` for full-stack subscribers).
+    pub fn flyweight(&self, index: usize) -> Option<&jxta::FlyweightEdge> {
+        self.net
+            .node_ref::<SkiNode>(self.subscribers[index])?
+            .flyweight_ref()
     }
 
     /// Number of offers received so far by subscriber `index`.

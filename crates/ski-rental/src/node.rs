@@ -6,6 +6,7 @@ use crate::jxta_app::{JxtaSkiApp, Role};
 use crate::tps_app::TpsSkiApp;
 use crate::types::SkiRental;
 use jxta::peer::{CostModel, PeerConfig};
+use jxta::{FlyweightEdge, PeerId, PipeId};
 use simnet::{Datagram, NodeContext, SimAddress, SimTime, TimerToken};
 use tps::TpsConfig;
 
@@ -53,6 +54,10 @@ pub enum SkiNode {
     SrJxta(JxtaSkiApp),
     /// SR-TPS peer.
     SrTps(TpsSkiApp),
+    /// A flyweight subscriber: lease + subscription + mailbox, no full JXTA
+    /// stack. The mega-scale population representation (see
+    /// [`jxta::FlyweightEdge`]); subscribe-only.
+    Flyweight(FlyweightEdge),
 }
 
 impl SkiNode {
@@ -107,6 +112,19 @@ impl SkiNode {
         Box::new(Self::new(flavor, role, name, seeds, costs))
     }
 
+    /// Boxed flyweight-subscriber constructor: a [`jxta::FlyweightEdge`]
+    /// leasing with the `shards`-way rendezvous mesh behind `seeds` and
+    /// subscribed to the `SkiRental` wire pipe. Costs nothing per idle node
+    /// and cannot publish.
+    pub fn boxed_flyweight(name: &str, seeds: Vec<SimAddress>, shards: usize) -> Box<Self> {
+        Box::new(SkiNode::Flyweight(FlyweightEdge::new(
+            name,
+            seeds,
+            shards,
+            PipeId::derive(<SkiRental as tps::TpsEvent>::TYPE_NAME),
+        )))
+    }
+
     /// Boxed strategy-aware constructor.
     pub fn boxed_with_dissemination(
         flavor: Flavor,
@@ -135,6 +153,7 @@ impl SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.publish_offer(ctx, offer),
             SkiNode::SrTps(app) => app.publish_offer(ctx, offer),
+            SkiNode::Flyweight(_) => Err("flyweight peers are subscribe-only".to_owned()),
         }
     }
 
@@ -159,14 +178,44 @@ impl SkiNode {
                 Ok(())
             }
             SkiNode::SrTps(app) => app.publish_offer_batch(ctx, offers),
+            SkiNode::Flyweight(_) => Err("flyweight peers are subscribe-only".to_owned()),
         }
     }
 
     /// The underlying JXTA peer, whatever the flavour.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the flyweight variant, which carries no JXTA stack — use
+    /// [`SkiNode::peer_opt`] when flyweights may be in the population.
     pub fn peer_ref(&self) -> &jxta::JxtaPeer {
+        self.peer_opt()
+            .expect("flyweight peers carry no JXTA stack; use peer_opt")
+    }
+
+    /// The underlying JXTA peer, or `None` for the flyweight variant.
+    pub fn peer_opt(&self) -> Option<&jxta::JxtaPeer> {
         match self {
-            SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.peer(),
-            SkiNode::SrTps(app) => app.engine().peer(),
+            SkiNode::Wire(app) | SkiNode::SrJxta(app) => Some(app.peer()),
+            SkiNode::SrTps(app) => Some(app.engine().peer()),
+            SkiNode::Flyweight(_) => None,
+        }
+    }
+
+    /// The rendezvous peer this node currently leases with, whatever the
+    /// flavour (flyweights included), or `None` while unconnected.
+    pub fn leased_rendezvous(&self) -> Option<PeerId> {
+        match self {
+            SkiNode::Flyweight(fly) => fly.lease().map(|lease| lease.rdv),
+            _ => self.peer_ref().rendezvous().connection().map(|c| c.peer),
+        }
+    }
+
+    /// The flyweight edge, for the flyweight variant only.
+    pub fn flyweight_ref(&self) -> Option<&FlyweightEdge> {
+        match self {
+            SkiNode::Flyweight(fly) => Some(fly),
+            _ => None,
         }
     }
 
@@ -177,6 +226,9 @@ impl SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.set_trace_collector(tracer),
             SkiNode::SrTps(app) => app.set_trace_collector(tracer),
+            // Flyweights are deliberately outside the tracing plane: per-copy
+            // spans at 100k subscribers would dwarf the population itself.
+            SkiNode::Flyweight(_) => {}
         }
     }
 
@@ -185,7 +237,7 @@ impl SkiNode {
     pub fn engine_ref(&self) -> Option<&tps::TpsEngine> {
         match self {
             SkiNode::SrTps(app) => Some(app.engine()),
-            SkiNode::Wire(_) | SkiNode::SrJxta(_) => None,
+            SkiNode::Wire(_) | SkiNode::SrJxta(_) | SkiNode::Flyweight(_) => None,
         }
     }
 
@@ -194,16 +246,21 @@ impl SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.received().iter().map(|(t, _)| *t).collect(),
             SkiNode::SrTps(app) => app.received().iter().map(|(t, _)| *t).collect(),
+            SkiNode::Flyweight(fly) => fly.mailbox().iter().map(|&(t, _)| t).collect(),
         }
     }
 
-    /// The offers received so far.
+    /// The offers received so far. A flyweight records arrivals without
+    /// unmarshalling them (its mailbox holds message ids, not payloads), so
+    /// this is empty for the flyweight variant — use
+    /// [`SkiNode::received_count`] / [`SkiNode::received_times`] there.
     pub fn received_offers(&self) -> Vec<SkiRental> {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => {
                 app.received().iter().map(|(_, o)| o.clone()).collect()
             }
             SkiNode::SrTps(app) => app.received().iter().map(|(_, o)| o.clone()).collect(),
+            SkiNode::Flyweight(_) => Vec::new(),
         }
     }
 
@@ -212,6 +269,7 @@ impl SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.received().len(),
             SkiNode::SrTps(app) => app.received().len(),
+            SkiNode::Flyweight(fly) => fly.received_count(),
         }
     }
 }
@@ -221,6 +279,7 @@ impl simnet::SimNode for SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => simnet::SimNode::on_start(app, ctx),
             SkiNode::SrTps(app) => simnet::SimNode::on_start(app, ctx),
+            SkiNode::Flyweight(fly) => simnet::SimNode::on_start(fly, ctx),
         }
     }
 
@@ -228,6 +287,7 @@ impl simnet::SimNode for SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.on_datagram(ctx, datagram),
             SkiNode::SrTps(app) => app.on_datagram(ctx, datagram),
+            SkiNode::Flyweight(fly) => simnet::SimNode::on_datagram(fly, ctx, datagram),
         }
     }
 
@@ -235,6 +295,7 @@ impl simnet::SimNode for SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.on_timer(ctx, token, tag),
             SkiNode::SrTps(app) => app.on_timer(ctx, token, tag),
+            SkiNode::Flyweight(fly) => simnet::SimNode::on_timer(fly, ctx, token, tag),
         }
     }
 
@@ -242,6 +303,7 @@ impl simnet::SimNode for SkiNode {
         match self {
             SkiNode::Wire(app) | SkiNode::SrJxta(app) => app.on_address_changed(ctx, old, new),
             SkiNode::SrTps(app) => app.on_address_changed(ctx, old, new),
+            SkiNode::Flyweight(fly) => simnet::SimNode::on_address_changed(fly, ctx, old, new),
         }
     }
 

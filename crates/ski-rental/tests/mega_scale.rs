@@ -1,0 +1,121 @@
+//! The mega-scale acceptance scenario: a sharded rendezvous mesh serving
+//! 100 000 flyweight subscribers, with exactly-once delivery asserted for
+//! every one of them and a wall-time budget enforced in release builds.
+//!
+//! Debug builds shrink the population (the point of the release gate is the
+//! hot path, not the unoptimised build); CI's `scale-smoke` job runs this
+//! test in release at the full population.
+
+use simnet::SimDuration;
+use ski_rental::Scenario;
+use std::collections::HashSet;
+
+/// Full population in release; a small smoke population under debug builds.
+const SUBSCRIBERS: usize = if cfg!(debug_assertions) { 2_000 } else { 100_000 };
+const SHARDS: usize = 4;
+const PUBLISHES: usize = 3;
+
+/// Release wall-time ceiling for the whole scenario (build + run + assert).
+/// The tentpole's promise is "seconds, not minutes"; the budget leaves
+/// headroom for slow CI machines.
+const WALL_BUDGET_SECS: u64 = 120;
+
+#[test]
+fn mesh_delivers_exactly_once_to_one_hundred_thousand_flyweights() {
+    // Wall-clock measures the *test harness*, never simulation behaviour —
+    // the virtual clock below stays fully deterministic.
+    let wall = std::time::Instant::now(); // detlint::allow(D001, reason = "release wall-time budget of the scale gate; no simulation state depends on it")
+
+    let mut scenario = Scenario::build_flyweight_mesh(SHARDS, 1, SUBSCRIBERS, 2002);
+    // Leases + the publisher's pipe warm-up. Kept under the flyweights'
+    // 45 s housekeeping tick so the run schedules zero renewal events.
+    scenario.advance(SimDuration::from_secs(8));
+
+    for _ in 0..PUBLISHES {
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(3));
+    }
+    scenario.advance(SimDuration::from_secs(5));
+
+    // Exactly-once, for every single subscriber: the mailbox holds exactly
+    // one entry per publish, all with distinct message ids, and the dedup
+    // window never had to reject a duplicate copy.
+    let mut shard_population = vec![0usize; SHARDS];
+    for i in 0..SUBSCRIBERS {
+        let fly = scenario
+            .flyweight(i)
+            .expect("flyweight-mesh subscribers are flyweights");
+        let lease = fly.lease().unwrap_or_else(|| {
+            panic!(
+                "flyweight {i} never leased (connects sent: {})",
+                fly.connects_sent()
+            )
+        });
+        let shard = scenario
+            .rendezvous_ids()
+            .iter()
+            .position(|&id| scenario.shard_of(scenario.subscriber_id(i)) == Some(id))
+            .unwrap_or_else(|| panic!("flyweight {i} leased an unknown rendezvous {:?}", lease.rdv));
+        shard_population[shard] += 1;
+        assert_eq!(
+            fly.received_count(),
+            PUBLISHES,
+            "flyweight {i}: expected every publish exactly once, mailbox: {:?}",
+            fly.mailbox()
+        );
+        let distinct: HashSet<_> = fly.mailbox().iter().map(|&(_, id)| id).collect();
+        assert_eq!(distinct.len(), PUBLISHES, "flyweight {i} holds a duplicate id");
+        assert_eq!(fly.duplicates(), 0, "flyweight {i} received duplicate copies");
+    }
+    assert!(
+        shard_population.iter().all(|&n| n > 0),
+        "the population must spread over every shard, got {shard_population:?}"
+    );
+
+    // The delivery work actually happened in the kernel: at least
+    // subscribers x publishes deliveries were simulated.
+    let stats = scenario.network().total_stats();
+    assert!(
+        stats.datagrams_delivered >= (SUBSCRIBERS * PUBLISHES) as u64,
+        "kernel delivered {} datagrams for {} expected fan-out deliveries",
+        stats.datagrams_delivered,
+        SUBSCRIBERS * PUBLISHES
+    );
+
+    if !cfg!(debug_assertions) {
+        let elapsed = wall.elapsed();
+        assert!(
+            elapsed.as_secs() < WALL_BUDGET_SECS,
+            "the 100k scenario must complete in seconds of wall time, took {elapsed:?}"
+        );
+    }
+}
+
+#[test]
+fn flyweight_mesh_replays_bit_identically() {
+    // Same-seed replay at a four-digit population: mailbox contents (times
+    // and ids), kernel counters and the event count must all be identical.
+    let run = || {
+        let mut scenario = Scenario::build_flyweight_mesh(2, 1, 1_000, 77);
+        scenario.advance(SimDuration::from_secs(8));
+        scenario.publish_one(0);
+        scenario.advance(SimDuration::from_secs(5));
+        let mailboxes: Vec<_> = (0..1_000)
+            .map(|i| scenario.flyweight(i).unwrap().mailbox().to_vec())
+            .collect();
+        (
+            mailboxes,
+            scenario.network().total_stats(),
+            scenario.network().events_processed(),
+        )
+    };
+    let (mailboxes_a, stats_a, events_a) = run();
+    let (mailboxes_b, stats_b, events_b) = run();
+    assert_eq!(mailboxes_a, mailboxes_b);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(events_a, events_b);
+    assert!(
+        mailboxes_a.iter().all(|m| m.len() == 1),
+        "every flyweight hears the publish exactly once"
+    );
+}

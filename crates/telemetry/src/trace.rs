@@ -590,6 +590,29 @@ mod tests {
         assert_eq!(collector.dropped_records(), 0);
     }
 
+    /// The span ring at a mega-scale record count: a 4096-capacity collector
+    /// fed 20 000 spans holds exactly the newest 4096 in order and accounts
+    /// for every eviction.
+    #[test]
+    fn ring_stays_bounded_at_twenty_thousand_spans() {
+        const CAPACITY: usize = 4_096;
+        const TOTAL: u64 = 20_000;
+        let mut collector = TraceCollector::with_capacity(CAPACITY);
+        let id = TraceId { origin: 1, seq: 1 };
+        for at in 0..TOTAL {
+            collector.record(span(id, at, 1, SpanKind::Published));
+        }
+        assert_eq!(collector.len(), CAPACITY);
+        assert_eq!(collector.dropped_records(), TOTAL - CAPACITY as u64);
+        let kept: Vec<u64> = collector.spans().map(|s| s.at_us).collect();
+        assert_eq!(kept.first().copied(), Some(TOTAL - CAPACITY as u64));
+        assert_eq!(kept.last().copied(), Some(TOTAL - 1));
+        assert!(
+            kept.windows(2).all(|w| w[1] == w[0] + 1),
+            "the retained window is contiguous and ordered"
+        );
+    }
+
     #[test]
     fn trace_of_reconstructs_the_ordered_path() {
         let mut collector = TraceCollector::with_capacity(64);
