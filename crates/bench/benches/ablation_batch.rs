@@ -13,6 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ski_rental::harness::batch_comparison;
 use ski_rental::{DisseminationConfig, Flavor, StrategyKind};
 use std::time::Duration;
+use tps_bench::report::BenchJson;
 
 const BATCH_SIZES: [usize; 4] = [4, 16, 64, 256];
 const SUBSCRIBERS: usize = 4;
@@ -27,6 +28,10 @@ fn virtual_time_table() {
         "{:>8} {:>14} {:>14} {:>14} {:>9}",
         "events", "singles (ms)", "batch (ms)", "ms/event", "speedup"
     );
+    let mut json = BenchJson::new("ablation_batch");
+    json.meta_num("seed", SEED as f64)
+        .meta_num("subscribers", SUBSCRIBERS as f64)
+        .meta_str("strategy", "direct-fanout");
     for events in BATCH_SIZES {
         let (singles, batch) = batch_comparison(
             Flavor::SrTps,
@@ -43,7 +48,14 @@ fn virtual_time_table() {
             batch / events as f64,
             singles / batch
         );
+        json.row()
+            .num("events", events as f64)
+            .num("singles_ms", singles)
+            .num("batch_ms", batch)
+            .num("batch_ms_per_event", batch / events as f64)
+            .num("speedup", singles / batch);
     }
+    json.write_and_announce();
 }
 
 fn bench(c: &mut Criterion) {

@@ -20,6 +20,7 @@ use ski_rental::harness::{
 };
 use ski_rental::{DisseminationConfig, Flavor, StrategyKind};
 use std::time::Duration;
+use tps_bench::report::BenchJson;
 
 const SEED: u64 = 2002;
 
@@ -54,7 +55,7 @@ fn events() -> usize {
     }
 }
 
-fn virtual_time_table() {
+fn virtual_time_table(json: &mut BenchJson) {
     let events = events();
     println!("\nvirtual publisher invocation time (ms/event, mean of {events} events, seed {SEED})");
     let sweeps: Vec<Vec<(StrategyKind, f64)>> = subscriber_counts()
@@ -68,14 +69,19 @@ fn virtual_time_table() {
     println!();
     for (row, kind) in StrategyKind::ALL.into_iter().enumerate() {
         print!("{:<18}", kind.label());
-        for sweep in &sweeps {
+        for (sweep, &subs) in sweeps.iter().zip(subscriber_counts()) {
             print!("{:>9.1}", sweep[row].1);
+            json.row()
+                .str("table", "invocation_time")
+                .str("strategy", kind.label())
+                .num("subscribers", subs as f64)
+                .num("ms_per_event", sweep[row].1);
         }
         println!();
     }
 }
 
-fn mesh_series_table() {
+fn mesh_series_table(json: &mut BenchJson) {
     println!("\nrendezvous-mesh cost structure (16 subscribers unless noted, seed {SEED})");
     println!(
         "{:>7} {:>12} {:>15} {:>17} {:>11} {:>10}",
@@ -94,6 +100,14 @@ fn mesh_series_table() {
                 report.max_rendezvous_clients,
                 report.delivered_ratio * 100.0
             );
+            json.row()
+                .str("table", "mesh_fanout")
+                .num("shards", report.shards as f64)
+                .num("subscribers", report.subscribers as f64)
+                .num("publisher_copies", report.publisher_copies as f64)
+                .num("max_rendezvous_fanout", report.max_rendezvous_fanout as f64)
+                .num("max_rendezvous_clients", report.max_rendezvous_clients as f64)
+                .num("delivered_ratio", report.delivered_ratio);
         }
     }
 }
@@ -104,7 +118,7 @@ fn mesh_series_table() {
 /// publisher-side table above — DirectFanout's cheap overlay hops give the
 /// lowest end-to-end latency at small fan-outs, while the rendezvous
 /// strategies trade a relay hop for the flat publisher cost.
-fn trace_latency_table() {
+fn trace_latency_table(json: &mut BenchJson) {
     let subs = if smoke() { 4 } else { 16 };
     let events = events();
     println!("\nend-to-end virtual delivery latency (ms, {subs} subscribers, {events} events, seed {SEED})");
@@ -121,13 +135,25 @@ fn trace_latency_table() {
             summary.p99,
             summary.max
         );
+        json.row()
+            .str("table", "trace_latency")
+            .str("strategy", kind.label())
+            .num("subscribers", subs as f64)
+            .num("samples", summary.count as f64)
+            .num("p50_ms", summary.p50)
+            .num("p99_ms", summary.p99)
+            .num("max_ms", summary.max);
     }
 }
 
 fn bench(c: &mut Criterion) {
-    virtual_time_table();
-    mesh_series_table();
-    trace_latency_table();
+    let mut json = BenchJson::new("ablation_dissem");
+    json.meta_num("seed", SEED as f64)
+        .meta_str("mode", if smoke() { "smoke" } else { "full" });
+    virtual_time_table(&mut json);
+    mesh_series_table(&mut json);
+    trace_latency_table(&mut json);
+    json.write_and_announce();
     let mut group = c.benchmark_group("ablation_dissem");
     group.sample_size(10).measurement_time(Duration::from_secs(5));
     for kind in StrategyKind::ALL {

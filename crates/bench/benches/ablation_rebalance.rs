@@ -22,6 +22,7 @@ use simnet::{ChurnDriver, SimDuration};
 use ski_rental::harness::Scenario;
 use ski_rental::{DisseminationConfig, Flavor};
 use std::time::Duration;
+use tps_bench::report::BenchJson;
 
 const SHARDS: usize = 4;
 const SUBSCRIBERS: usize = 8;
@@ -105,6 +106,11 @@ fn trajectory_table() {
         "{:>12} {:>17} {:>17}",
         "t after kill", "with controller", "without"
     );
+    let mut json = BenchJson::new("ablation_rebalance");
+    json.meta_num("seed", SEED as f64)
+        .meta_num("shards", SHARDS as f64)
+        .meta_num("subscribers", SUBSCRIBERS as f64)
+        .meta_str("mode", if smoke() { "smoke" } else { "full" });
     for (epoch, (on, off)) in with_controller.iter().zip(&without_controller).enumerate() {
         println!(
             "{:>10}s {:>16.0}% {:>16.0}%",
@@ -112,7 +118,12 @@ fn trajectory_table() {
             on * 100.0,
             off * 100.0
         );
+        json.row()
+            .num("t_after_kill_secs", ((epoch as u64 + 1) * EPOCH_SECS) as f64)
+            .num("with_controller", *on)
+            .num("without_controller", *off);
     }
+    json.write_and_announce();
     let recovered = with_controller.last().copied().unwrap_or(0.0);
     let stranded = without_controller.last().copied().unwrap_or(0.0);
     println!(

@@ -17,6 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simnet::SimDuration;
 use ski_rental::harness::Scenario;
 use std::time::Duration;
+use tps_bench::report::BenchJson;
 
 const SHARDS: usize = 4;
 const PUBLISHES: usize = 3;
@@ -84,6 +85,11 @@ fn series_table() {
         "{:>12} {:>10} {:>16} {:>14} {:>12} {:>8}",
         "subscribers", "wall", "sim events/sec", "bytes/node", "delivered", "missing"
     );
+    let mut json = BenchJson::new("scale_population");
+    json.meta_num("seed", SEED as f64)
+        .meta_num("shards", SHARDS as f64)
+        .meta_num("publishes", PUBLISHES as f64)
+        .meta_str("mode", if smoke() { "smoke" } else { "full" });
     for population in populations() {
         let row = run_population(population);
         println!(
@@ -95,6 +101,14 @@ fn series_table() {
             row.delivered,
             row.missing
         );
+        json.row()
+            .num("subscribers", row.population as f64)
+            .num("wall_secs", row.wall.as_secs_f64())
+            .num("sim_events", row.events as f64)
+            .num("sim_events_per_sec", row.events_per_sec)
+            .num("bytes_per_node", row.bytes_per_node)
+            .num("delivered", row.delivered as f64)
+            .num("missing", row.missing as f64);
         assert_eq!(
             row.missing, 0,
             "{} subscribers: every flyweight must receive all {} publishes",
@@ -105,6 +119,7 @@ fn series_table() {
             "the kernel must have simulated at least one event per (subscriber, publish)"
         );
     }
+    json.write_and_announce();
 }
 
 fn bench(c: &mut Criterion) {

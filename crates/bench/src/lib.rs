@@ -17,7 +17,11 @@
 //!
 //! This crate itself holds the shared reporting helpers: [`SeriesReport`]
 //! pairs a reproduced series with the paper's reference value and renders
-//! the comparison rows used by both consumers.
+//! the comparison rows used by both consumers, and [`report::BenchJson`]
+//! emits each headline table as a machine-readable
+//! `target/bench-json/BENCH_<name>.json` artifact.
+
+pub mod report;
 
 use ski_rental::{stats, Flavor, SeriesStats};
 

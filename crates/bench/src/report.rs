@@ -1,0 +1,167 @@
+//! Machine-readable bench reports: `BENCH_<name>.json` artifacts.
+//!
+//! Every headline table a bench prints to the console is also emitted as a
+//! JSON artifact under `target/bench-json/`, so CI (and anyone diffing two
+//! branches) can compare series without scraping stdout. The writer is
+//! deliberately hand-rolled: field order is insertion order, floats render
+//! through the same [`format_f64`] the telemetry exporters use, and each row
+//! is one line — the artifact diffs like a table.
+//!
+//! Wall-clock figures (e.g. `wall_secs`) are honest measurements of the
+//! harness and vary run to run; every *virtual*-time figure in these files
+//! is deterministic per seed.
+
+use jxta::telemetry::export::{format_f64, push_json_string};
+use std::path::PathBuf;
+
+/// One JSON scalar, pre-rendered so the writer stays allocation-simple.
+#[derive(Debug, Clone)]
+enum Value {
+    Raw(String),
+    Str(String),
+}
+
+fn push_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Raw(raw) => out.push_str(raw),
+        Value::Str(s) => push_json_string(out, s),
+    }
+}
+
+fn push_object(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_string(out, key);
+        out.push_str(": ");
+        push_value(out, value);
+    }
+    out.push('}');
+}
+
+/// An in-progress `BENCH_<name>.json` artifact: top-level metadata plus a
+/// list of uniform-ish rows.
+#[derive(Debug)]
+pub struct BenchJson {
+    name: String,
+    meta: Vec<(String, Value)>,
+    rows: Vec<Vec<(String, Value)>>,
+}
+
+impl BenchJson {
+    /// Starts an artifact for the bench `name` (`BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchJson {
+            name: name.into(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one top-level metadata field (seed, population shape, smoke…).
+    pub fn meta_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.meta.push((key.to_owned(), Value::Raw(format_f64(value))));
+        self
+    }
+
+    /// Adds one top-level string metadata field.
+    pub fn meta_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.meta.push((key.to_owned(), Value::Str(value.to_owned())));
+        self
+    }
+
+    /// Opens a new row; fill it field by field via the returned builder.
+    pub fn row(&mut self) -> Row<'_> {
+        self.rows.push(Vec::new());
+        Row {
+            fields: self.rows.last_mut().expect("row just pushed"),
+        }
+    }
+
+    /// The rendered artifact: meta fields in insertion order, one row per
+    /// line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": ");
+        push_json_string(&mut out, &self.name);
+        out.push_str(",\n  \"meta\": ");
+        push_object(&mut out, &self.meta);
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_object(&mut out, row);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes `target/bench-json/BENCH_<name>.json` and returns its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench-json"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// `write`, reporting the outcome on the console instead of failing the
+    /// bench: the artifact is a side product, a read-only target dir must
+    /// not kill the measurement run.
+    pub fn write_and_announce(&self) {
+        match self.write() {
+            Ok(path) => println!("bench json: {}", path.display()),
+            Err(err) => eprintln!("bench json: failed to write BENCH_{}.json: {err}", self.name),
+        }
+    }
+}
+
+/// Field-by-field builder for one row of a [`BenchJson`].
+#[derive(Debug)]
+pub struct Row<'a> {
+    fields: &'a mut Vec<(String, Value)>,
+}
+
+impl Row<'_> {
+    /// Adds one numeric field (rendered via [`format_f64`]).
+    pub fn num(self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_owned(), Value::Raw(format_f64(value))));
+        self
+    }
+
+    /// Adds one string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_owned(), Value::Str(value.to_owned())));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_in_insertion_order_one_per_line() {
+        let mut report = BenchJson::new("unit");
+        report.meta_num("seed", 2002.0).meta_str("mode", "smoke");
+        report.row().str("strategy", "direct-fanout").num("ms", 1.5);
+        report.row().str("strategy", "gossip").num("ms", 0.25);
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"unit\",\n  \"meta\": {\"seed\": 2002, \"mode\": \"smoke\"},\n  \
+             \"rows\": [\n    {\"strategy\": \"direct-fanout\", \"ms\": 1.5},\n    \
+             {\"strategy\": \"gossip\", \"ms\": 0.25}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped_and_non_finite_numbers_clamped() {
+        let mut report = BenchJson::new("esc");
+        report.row().str("label", "a \"b\"\n").num("nan", f64::NAN);
+        let json = report.to_json();
+        assert!(json.contains("\"label\": \"a \\\"b\\\"\\n\""));
+        assert!(json.contains("\"nan\": 0"));
+    }
+}

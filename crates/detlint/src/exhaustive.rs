@@ -39,7 +39,7 @@ pub struct Pair {
 /// The workspace's exhaustiveness contracts. Documented in ARCHITECTURE.md's
 /// determinism-contract section; extend this table when a new
 /// variant-classifying site appears.
-pub const WORKSPACE_PAIRS: [Pair; 4] = [
+pub const WORKSPACE_PAIRS: [Pair; 5] = [
     // Every kernel drop reason must be countable, labelable, and indexable —
     // the drop-summary export iterates DropReason::ALL, so a variant missing
     // from any of these silently vanishes from metrics.
@@ -97,6 +97,30 @@ pub const WORKSPACE_PAIRS: [Pair; 4] = [
             kind: RegionKind::Fn,
             name: "timeline",
         }],
+    },
+    // Every health-alert kind must be enumerable, labelable, and indexable —
+    // the watchdog's alert log and the operator view key off the label table,
+    // so a variant missing from any of these renders as nothing.
+    Pair {
+        enum_name: "AlertKind",
+        enum_file: "crates/telemetry/src/slo.rs",
+        regions: &[
+            Region {
+                file: "crates/telemetry/src/slo.rs",
+                kind: RegionKind::Const,
+                name: "ALL",
+            },
+            Region {
+                file: "crates/telemetry/src/slo.rs",
+                kind: RegionKind::Fn,
+                name: "label",
+            },
+            Region {
+                file: "crates/telemetry/src/slo.rs",
+                kind: RegionKind::Fn,
+                name: "index",
+            },
+        ],
     },
     // Every dissemination strategy must be enumerable by the bench matrix.
     Pair {

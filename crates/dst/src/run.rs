@@ -40,6 +40,8 @@ use simnet::{ChurnDriver, FaultAction, LinkSpec, NodeId, SimDuration, SimTime, S
 use ski_rental::{DisseminationConfig, Scenario};
 use std::collections::BTreeSet;
 use std::fmt;
+use telemetry::series::RecorderConfig;
+use telemetry::slo::{AlertKind, SloRule};
 use telemetry::trace::{DeliveryVerdict, TraceId};
 
 /// Events per publisher in the post-settle probe wave.
@@ -49,6 +51,23 @@ const PROBE_DRAIN: SimDuration = SimDuration::from_secs(15);
 /// Span-ring capacity; generously above the span volume of any generated
 /// schedule so no forensic record is ever evicted.
 const TRACE_CAPACITY: usize = 1 << 17;
+/// Flight-recorder cadence: one sample per virtual second.
+const RECORDER_CADENCE_US: u64 = 1_000_000;
+/// Probe delivery-ratio floor under deterministic strategies: the probe wave
+/// lands after settle on a healed topology, so anything short of full
+/// delivery is a regression (the floor sits just under 1.0 only to dodge
+/// float rounding in the ratio).
+const PROBE_RATIO_FLOOR_DETERMINISTIC: f64 = 0.999;
+/// Probe delivery-ratio floor under gossip, whose probabilistic fan-out may
+/// legitimately skip peers.
+const PROBE_RATIO_FLOOR_GOSSIP: f64 = 0.5;
+/// Shard-load imbalance bound (mesh only): max allowed z-score of any live
+/// rendezvous's lease count against its owned-range share.
+const LOAD_ZMAX_BOUND: f64 = 4.0;
+/// End-to-end p99 delivery-latency ceiling (virtual ms) for non-gossip
+/// strategies under the free cost model — generous against LAN delays, and
+/// far below the planted 1500 ms canary stall.
+const LATENCY_P99_CEILING_MS: f64 = 750.0;
 
 /// One invariant violation, with enough context to start forensics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +135,33 @@ pub enum Violation {
         /// Ring positions of the claimants.
         owners: Vec<usize>,
     },
+    /// The watchdog's post-settle delivery-ratio SLO was breached and never
+    /// recovered: the probe wave's delivered-copy ratio ended below the
+    /// floor. Values in permille so the violation stays `Eq`-comparable.
+    SloDeliveryRatio {
+        /// Delivered probe copies per expected copy, in permille.
+        ratio_permille: u32,
+        /// The rule's floor, in permille.
+        floor_permille: u32,
+    },
+    /// The watchdog's shard-load imbalance bound (mesh only) was still
+    /// breached when invariants were read: some live rendezvous held a
+    /// lease population more than the bound's z-score above its
+    /// owned-range share.
+    SloLoadImbalance {
+        /// The observed maximum z-score, in thousandths.
+        zmax_milli: i64,
+        /// The rule's bound, in thousandths.
+        bound_milli: i64,
+    },
+    /// The watchdog's end-to-end p99 latency ceiling was still breached
+    /// when invariants were read.
+    SloLatencyP99 {
+        /// Observed p99 delivery latency, in whole virtual ms.
+        p99_ms: u64,
+        /// The rule's ceiling, in whole virtual ms.
+        ceiling_ms: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -163,6 +209,32 @@ impl fmt::Display for Violation {
             Violation::AdoptionOverlap { shard, owners } => {
                 write!(f, "shard {shard} is owned by {owners:?} simultaneously")
             }
+            Violation::SloDeliveryRatio {
+                ratio_permille,
+                floor_permille,
+            } => write!(
+                f,
+                "probe delivery ratio {}.{:03} ended below the SLO floor {}.{:03}",
+                ratio_permille / 1000,
+                ratio_permille % 1000,
+                floor_permille / 1000,
+                floor_permille % 1000
+            ),
+            Violation::SloLoadImbalance {
+                zmax_milli,
+                bound_milli,
+            } => write!(
+                f,
+                "shard-load z-score {}.{:03} ended above the balance bound {}.{:03}",
+                zmax_milli / 1000,
+                zmax_milli.rem_euclid(1000),
+                bound_milli / 1000,
+                bound_milli.rem_euclid(1000)
+            ),
+            Violation::SloLatencyP99 { p99_ms, ceiling_ms } => write!(
+                f,
+                "p99 delivery latency {p99_ms}ms ended above the SLO ceiling {ceiling_ms}ms"
+            ),
         }
     }
 }
@@ -242,6 +314,34 @@ pub fn run_schedule(schedule: &FaultSchedule) -> RunReport {
         CostModel::free(),
     );
     scenario.enable_tracing(TRACE_CAPACITY);
+    // The flight recorder samples every virtual second; the watchdog runs
+    // dst's own SLO rules over the recorded series (the harness's stock
+    // rules are tuned for operator consoles, not fault schedules).
+    scenario.enable_recorder(RecorderConfig::with_cadence_us(RECORDER_CADENCE_US));
+    let deterministic = topo.kind != StrategyKind::Gossip;
+    scenario.add_slo_rule(SloRule::floor(
+        AlertKind::DeliveryRatioLow,
+        "dst.probe_delivery_ratio",
+        if deterministic {
+            PROBE_RATIO_FLOOR_DETERMINISTIC
+        } else {
+            PROBE_RATIO_FLOOR_GOSSIP
+        },
+    ));
+    if topo.kind == StrategyKind::RendezvousMesh {
+        scenario.add_slo_rule(SloRule::ceiling(
+            AlertKind::ShardImbalance,
+            "harness.shard_load_zmax",
+            LOAD_ZMAX_BOUND,
+        ));
+    }
+    if deterministic {
+        scenario.add_slo_rule(SloRule::ceiling(
+            AlertKind::LatencyP99High,
+            "trace.latency_p99_ms",
+            LATENCY_P99_CEILING_MS,
+        ));
+    }
     scenario.warm_up();
 
     // Wave A on the healthy topology.
@@ -296,8 +396,8 @@ pub fn run_schedule(schedule: &FaultSchedule) -> RunReport {
     }
 
     // Probe delivery per live subscriber.
-    let deterministic = topo.kind != StrategyKind::Gossip;
     let mut live_subscribers = 0;
+    let mut probe_copies_delivered = 0u64;
     for (sub, &pre_count) in pre_counts.iter().enumerate() {
         if !scenario.network().is_alive(scenario.subscriber_id(sub)) {
             continue;
@@ -317,6 +417,7 @@ pub fn run_schedule(schedule: &FaultSchedule) -> RunReport {
             }
         }
         let got = scenario.received_count(sub) - pre_count;
+        probe_copies_delivered += got.min(expected) as u64;
         if got > expected {
             violations.push(Violation::DuplicateDelivery {
                 subscriber: sub,
@@ -356,6 +457,46 @@ pub fn run_schedule(schedule: &FaultSchedule) -> RunReport {
             .is_some_and(|rdv| scenario.network().is_alive(rdv));
         if !leased_live {
             violations.push(Violation::StrandedEdge { edge: label });
+        }
+    }
+
+    // SLO invariants: feed the probe-scoped delivery ratio into the
+    // watchdog (which also re-evaluates the load-balance and latency rules
+    // against their latest recorded points), then lower every alert still
+    // active into a violation. Edge-triggered alerts that fired mid-fault
+    // and cleared during settle are recovery, not regression — only an
+    // alert open at the end breaks the contract.
+    let expected_copies = expected as u64 * live_subscribers as u64;
+    let probe_ratio = if expected_copies == 0 {
+        1.0
+    } else {
+        probe_copies_delivered as f64 / expected_copies as f64
+    };
+    scenario.record_sample_now();
+    scenario.record_custom("dst.probe_delivery_ratio", probe_ratio);
+    for alert in scenario.watchdog().expect("recorder enabled").active_alerts() {
+        match alert.kind {
+            AlertKind::DeliveryRatioLow => violations.push(Violation::SloDeliveryRatio {
+                ratio_permille: (alert.value * 1000.0).round() as u32,
+                floor_permille: (alert.threshold * 1000.0).round() as u32,
+            }),
+            AlertKind::ShardImbalance => violations.push(Violation::SloLoadImbalance {
+                zmax_milli: (alert.value * 1000.0).round() as i64,
+                bound_milli: (alert.threshold * 1000.0).round() as i64,
+            }),
+            AlertKind::LatencyP99High => violations.push(Violation::SloLatencyP99 {
+                p99_ms: alert.value.round() as u64,
+                ceiling_ms: alert.threshold.round() as u64,
+            }),
+            // dst installs no rules of the remaining kinds; an alert here
+            // means a rule set drifted — surface it as a latency-style
+            // breach rather than dropping it on the floor.
+            AlertKind::MailboxDepthHigh | AlertKind::StaleLeases | AlertKind::HotShard => {
+                violations.push(Violation::SloLatencyP99 {
+                    p99_ms: alert.value.round() as u64,
+                    ceiling_ms: alert.threshold.round() as u64,
+                });
+            }
         }
     }
 

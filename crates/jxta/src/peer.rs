@@ -1618,6 +1618,15 @@ impl JxtaPeer {
             if plan.forward.is_empty() {
                 return;
             }
+            // A planted latency regression for validating the SLO watchdog:
+            // the rendezvous stalls for 1.5 virtual seconds before fanning an
+            // event down its forward plan. Every copy still arrives — the
+            // delivery invariants stay green — but the p99 latency ceiling
+            // does not. Test builds only, behind an off-by-default feature.
+            #[cfg(feature = "latency-canary")]
+            if self.rendezvous.is_rendezvous() {
+                ctx.charge(simnet::SimDuration::from_millis(1500));
+            }
             let forwarded = WireMessage::WireData(WirePacket {
                 ttl: packet.ttl - 1,
                 ..packet.clone()

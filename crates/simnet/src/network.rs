@@ -337,21 +337,37 @@ impl Network {
         )
     }
 
-    /// Exports the kernel's counters into a metrics registry under
-    /// `simnet.*`: total traffic, per-reason drops, and per-node
-    /// sent/delivered/dropped/queue figures. The event-queue length is a
-    /// gauge (`simnet.queue_len`) — the kernel's single shared "queue".
-    pub fn export_metrics(&self, registry: &mut telemetry::MetricsRegistry) {
+    /// Exports the kernel's aggregate counters into a metrics registry
+    /// under `simnet.*`: total traffic, per-reason drops, queue depth,
+    /// events processed and the live-node count. Deliberately allocates
+    /// nothing per node (the live count is one branch-free scan) — this is
+    /// the surface the flight recorder samples every cadence tick, and it
+    /// must stay cheap at 100k-node scale.
+    pub fn export_metrics_aggregate(&self, registry: &mut telemetry::MetricsRegistry) {
         let total = self.total_stats();
         registry.set_counter("simnet.datagrams_sent", total.datagrams_sent);
         registry.set_counter("simnet.datagrams_delivered", total.datagrams_delivered);
         registry.set_counter("simnet.datagrams_dropped", total.datagrams_dropped);
         registry.set_counter("simnet.bytes_sent", total.bytes_sent);
         registry.set_counter("simnet.timers_fired", total.timers_fired);
+        registry.set_counter("simnet.events_processed", self.events_processed);
         registry.set_gauge("simnet.queue_len", self.queue.len() as i64);
+        registry.set_gauge(
+            "simnet.nodes_alive",
+            self.slots.iter().filter(|s| s.alive).count() as i64,
+        );
         for reason in DropReason::ALL {
             registry.set_counter(format!("simnet.drops.{}", reason.label()), self.drops(reason));
         }
+    }
+
+    /// Exports the kernel's counters into a metrics registry under
+    /// `simnet.*`: the aggregate figures of
+    /// [`Network::export_metrics_aggregate`] plus per-node
+    /// sent/delivered/dropped/alive figures. O(nodes) — point-in-time
+    /// reports only, never per recorder tick.
+    pub fn export_metrics(&self, registry: &mut telemetry::MetricsRegistry) {
+        self.export_metrics_aggregate(registry);
         for (index, slot) in self.slots.iter().enumerate() {
             let prefix = format!("simnet.node{index}");
             registry.set_counter(format!("{prefix}.sent"), slot.stats.datagrams_sent);
@@ -490,6 +506,31 @@ impl Network {
     pub fn run_for(&mut self, duration: SimDuration) {
         let horizon = self.now + duration;
         self.run_until(horizon);
+    }
+
+    /// Runs until `horizon` like [`Network::run_until`], but pauses every
+    /// `cadence` of virtual time to call `observe` with the network — the
+    /// kernel-level hook a flight recorder samples from. The observer runs
+    /// with the clock parked exactly on each cadence boundary (and once at
+    /// `horizon` if it is not itself a boundary), so samples land on a
+    /// deterministic grid regardless of event timing. A zero cadence
+    /// degenerates to a plain `run_until` with one final observation.
+    pub fn run_sampled(
+        &mut self,
+        horizon: SimTime,
+        cadence: SimDuration,
+        mut observe: impl FnMut(&mut Network),
+    ) {
+        if cadence.as_micros() == 0 {
+            self.run_until(horizon);
+            observe(self);
+            return;
+        }
+        while self.now < horizon {
+            let next = self.now.saturating_add(cadence).min(horizon);
+            self.run_until(next);
+            observe(self);
+        }
     }
 
     /// Runs until no events remain. Returns the number of events processed.
@@ -1027,6 +1068,59 @@ mod tests {
             vec![b"allowed".to_vec()]
         );
         assert_eq!(net.drops(DropReason::Firewall), 1);
+    }
+
+    #[test]
+    fn run_sampled_parks_the_clock_on_the_cadence_grid() {
+        let (mut net, a, b) = two_node_net(false);
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"tick")).unwrap();
+        });
+        let mut observed = Vec::new();
+        net.run_sampled(SimTime::from_millis(10), SimDuration::from_millis(3), |net| {
+            observed.push(net.now().as_micros());
+        });
+        assert_eq!(
+            observed,
+            vec![3_000, 6_000, 9_000, 10_000],
+            "every cadence boundary plus the horizon"
+        );
+        assert_eq!(net.now(), SimTime::from_millis(10));
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_metrics_skip_the_per_node_rows() {
+        let (mut net, a, b) = two_node_net(false);
+        let dst = net.addresses_of(b)[0];
+        net.invoke::<Echo, _>(a, |_n, ctx| {
+            ctx.send(dst, Bytes::from_static(b"count me")).unwrap();
+        });
+        net.run_until_idle();
+        net.shutdown_node(b);
+
+        let mut registry = telemetry::MetricsRegistry::new();
+        net.export_metrics_aggregate(&mut registry);
+        assert_eq!(registry.counter("simnet.datagrams_sent"), 1);
+        assert_eq!(
+            registry.counter("simnet.events_processed"),
+            net.events_processed()
+        );
+        assert_eq!(registry.gauge("simnet.nodes_alive"), Some(1));
+        assert!(
+            registry.counters_with_prefix("simnet.node").is_empty(),
+            "the recorder-facing export carries no per-node rows"
+        );
+
+        let mut full = telemetry::MetricsRegistry::new();
+        net.export_metrics(&mut full);
+        assert_eq!(full.counter("simnet.node0.sent"), 1);
+        assert_eq!(
+            full.counter("simnet.datagrams_sent"),
+            1,
+            "full export embeds the aggregate"
+        );
     }
 
     #[test]

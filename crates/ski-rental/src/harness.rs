@@ -11,13 +11,16 @@ use crate::jxta_app::Role;
 use crate::node::{Flavor, SkiNode};
 use crate::workload::OfferGenerator;
 use jxta::peer::CostModel;
+use jxta::telemetry::series::{sparkline, RecorderConfig, SeriesRecorder};
+use jxta::telemetry::slo::{AlertKind, SloRule, SloWatchdog};
 use jxta::telemetry::trace::{DeliveryVerdict, TraceCollector, TraceId, DEFAULT_TRACE_CAPACITY};
-use jxta::{DisseminationConfig, SharedTraceCollector, StrategyKind};
+use jxta::{DisseminationConfig, PeerId, SharedTraceCollector, StrategyKind};
 use simnet::{
     DropReason, Network, NetworkBuilder, NodeConfig, NodeId, SimAddress, SimDuration, SimTime, SubnetId,
     TraceEvent, TransportKind,
 };
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 /// A built scenario: one or more rendezvous peers, `publishers` publishing
@@ -38,6 +41,49 @@ pub struct Scenario {
     /// Kernel node id ↔ 64-bit trace handle, for joining delivery spans
     /// against the kernel's own drop log.
     trace_nodes: Vec<(NodeId, u64)>,
+    /// The flight recorder + SLO watchdog, if enabled. `None` costs nothing:
+    /// every clock advance funnels through [`Scenario::run_net`], which
+    /// degenerates to a plain `run_for` when this is unset.
+    recorder: Option<RecorderState>,
+    /// Events published through this harness so far (batched events count
+    /// individually) — the denominator of the recorded delivery ratio.
+    published_events: u64,
+}
+
+/// The recorder plumbing of a [`Scenario`]: the series store, the watchdog
+/// evaluating rules against it, and the next point on the sampling grid.
+struct RecorderState {
+    recorder: SeriesRecorder,
+    watchdog: SloWatchdog,
+    next_sample_at: SimTime,
+}
+
+/// The series the operator view renders as sparklines — the health figures
+/// an operator scans first, not the full catalogue.
+const KEY_SERIES: [&str; 8] = [
+    "harness.delivery_ratio",
+    "harness.hot_shards",
+    "harness.mailbox_depth_max",
+    "harness.shard_load_zmax",
+    "harness.stale_leases",
+    "simnet.datagrams_delivered",
+    "simnet.queue_len",
+    "trace.latency_p99_ms",
+];
+
+/// The stock SLO rule set over the harness's recorded series, one rule per
+/// [`AlertKind`]. Thresholds are the defaults documented in
+/// `docs/observability.md`; scenarios with different service levels install
+/// their own rules instead.
+pub fn standard_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule::floor(AlertKind::DeliveryRatioLow, "harness.delivery_ratio", 0.95),
+        SloRule::ceiling(AlertKind::LatencyP99High, "trace.latency_p99_ms", 1000.0),
+        SloRule::ceiling(AlertKind::MailboxDepthHigh, "harness.mailbox_depth_max", 1024.0),
+        SloRule::ceiling(AlertKind::ShardImbalance, "harness.shard_load_zmax", 4.0),
+        SloRule::ceiling(AlertKind::StaleLeases, "harness.stale_leases", 0.0),
+        SloRule::ceiling(AlertKind::HotShard, "harness.hot_shards", 0.0),
+    ]
 }
 
 impl Scenario {
@@ -155,6 +201,8 @@ impl Scenario {
             invocation_times: telemetry::WindowedHistogram::default(),
             tracer: None,
             trace_nodes: Vec::new(),
+            recorder: None,
+            published_events: 0,
         }
     }
 
@@ -232,6 +280,8 @@ impl Scenario {
             invocation_times: telemetry::WindowedHistogram::default(),
             tracer: None,
             trace_nodes: Vec::new(),
+            recorder: None,
+            published_events: 0,
         }
     }
 
@@ -349,15 +399,284 @@ impl Scenario {
             .summary()
     }
 
+    /// Turns on the flight recorder: from now on every clock advance pauses
+    /// on a `config.cadence_us` virtual-time grid and samples the bounded
+    /// observable surface (kernel aggregates, per-rendezvous peers, harness
+    /// delivery/lease/mailbox/load figures, trace-plane latency quantiles)
+    /// into the recorder's per-metric rings, then evaluates the installed
+    /// SLO rules. No rules are installed by default — call
+    /// [`Scenario::add_standard_slo_rules`] for the stock set or
+    /// [`Scenario::add_slo_rule`] for custom ones. A scenario without this
+    /// call pays no recording cost at all.
+    pub fn enable_recorder(&mut self, config: RecorderConfig) {
+        let next_sample_at = self
+            .net
+            .now()
+            .saturating_add(SimDuration::from_micros(config.cadence_us));
+        self.recorder = Some(RecorderState {
+            recorder: SeriesRecorder::new(config),
+            watchdog: SloWatchdog::new(),
+            next_sample_at,
+        });
+    }
+
+    /// Installs one SLO rule on the watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder was not enabled.
+    pub fn add_slo_rule(&mut self, rule: SloRule) {
+        self.recorder_state_mut().watchdog.add_rule(rule);
+    }
+
+    /// Installs the stock rule set over the harness's own recorded series —
+    /// one rule per [`AlertKind`], thresholds documented in
+    /// `docs/observability.md`.
+    pub fn add_standard_slo_rules(&mut self) {
+        for rule in standard_slo_rules() {
+            self.add_slo_rule(rule);
+        }
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn recorder(&self) -> Option<&SeriesRecorder> {
+        self.recorder.as_ref().map(|s| &s.recorder)
+    }
+
+    /// The SLO watchdog, if the recorder is enabled.
+    pub fn watchdog(&self) -> Option<&SloWatchdog> {
+        self.recorder.as_ref().map(|s| &s.watchdog)
+    }
+
+    /// Records one harness-computed value into the named series at the
+    /// current virtual time and immediately re-evaluates the watchdog —
+    /// the hook `dst` uses to feed probe-scoped figures into SLO rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder was not enabled.
+    pub fn record_custom(&mut self, name: impl Into<String>, value: f64) {
+        let at = self.net.now().as_micros();
+        let state = self.recorder_state_mut();
+        state.recorder.record_value(at, name, value);
+        state.watchdog.evaluate(at, &state.recorder);
+    }
+
+    /// Forces one full recorder sample at the current virtual instant,
+    /// off-grid (the sampling grid itself is not advanced). Useful for a
+    /// final sample after the last clock advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder was not enabled.
+    pub fn record_sample_now(&mut self) {
+        assert!(self.recorder.is_some(), "recorder not enabled");
+        self.record_tick(false);
+    }
+
+    /// The recorder's full JSONL series export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder was not enabled.
+    pub fn export_series_jsonl(&self) -> String {
+        self.recorder().expect("recorder not enabled").export_jsonl()
+    }
+
+    /// The watchdog's alert log as deterministic text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder was not enabled.
+    pub fn export_alert_log(&self) -> String {
+        self.watchdog().expect("recorder not enabled").render_log()
+    }
+
+    fn recorder_state_mut(&mut self) -> &mut RecorderState {
+        self.recorder.as_mut().expect("recorder not enabled")
+    }
+
+    /// Every clock advance funnels through here: with no recorder it is a
+    /// plain `run_for`; with one, the run pauses on each cadence boundary
+    /// to take a sample and evaluate the watchdog, so the series grid is
+    /// identical whatever mix of `warm_up`/`advance`/`publish_*` calls
+    /// produced the timeline.
+    fn run_net(&mut self, duration: SimDuration) {
+        if self.recorder.is_none() {
+            self.net.run_for(duration);
+            return;
+        }
+        let horizon = self.net.now().saturating_add(duration);
+        while self.net.now() < horizon {
+            let next_sample = self
+                .recorder
+                .as_ref()
+                .expect("recorder checked above")
+                .next_sample_at;
+            self.net.run_until(next_sample.min(horizon));
+            if self.net.now() >= next_sample {
+                self.record_tick(true);
+            }
+        }
+    }
+
+    /// Takes one recorder sample at the current virtual instant and runs the
+    /// watchdog. The sampled surface is deliberately bounded — kernel
+    /// aggregates, the (few) rendezvous peers, and one O(edges) scan with no
+    /// per-edge allocation — so a tick stays cheap at 100k-flyweight scale.
+    fn record_tick(&mut self, advance_grid: bool) {
+        let at = self.net.now().as_micros();
+        let mut registry = telemetry::MetricsRegistry::new();
+        self.net.export_metrics_aggregate(&mut registry);
+        for (index, &id) in self.rendezvous.iter().enumerate() {
+            if let Some(node) = self.net.node_ref::<RdvNode>(id) {
+                node.peer
+                    .export_metrics(&mut registry, &format!("jxta.rdv{index}"));
+            }
+        }
+
+        // Rendezvous-side figures: lease counts (for the hot-shard rule) and
+        // the owned-share-normalised load z-score (for the imbalance rule).
+        let shards = self.rendezvous.len();
+        let mut dead_rdvs: BTreeSet<PeerId> = BTreeSet::new();
+        let mut lease_counts: Vec<u32> = Vec::with_capacity(shards);
+        let mut load_rows: Vec<(f64, f64)> = Vec::with_capacity(shards);
+        let mut total_clients = 0u64;
+        for &id in &self.rendezvous {
+            let alive = self.net.is_alive(id);
+            let node = self.net.node_ref::<RdvNode>(id).expect("rendezvous exists");
+            if !alive {
+                dead_rdvs.insert(node.peer.peer_id());
+                lease_counts.push(0);
+                continue;
+            }
+            let clients = node.peer.rendezvous().counters().2 as u32;
+            lease_counts.push(clients);
+            total_clients += u64::from(clients);
+            load_rows.push((
+                f64::from(clients),
+                node.peer.owned_shards().len() as f64 / shards as f64,
+            ));
+        }
+        let mut zmax = 0.0f64;
+        for (clients, share) in load_rows {
+            if share <= 0.0 || share >= 1.0 {
+                // A rendezvous owning nothing serves no leases; one owning
+                // everything trivially holds them all. Neither is imbalance.
+                continue;
+            }
+            let expected = total_clients as f64 * share;
+            let sigma = (total_clients as f64 * share * (1.0 - share)).sqrt().max(1.0);
+            zmax = zmax.max((clients - expected) / sigma);
+        }
+        let hot = jxta::dissem::hot_shards(&lease_counts, self.dissemination.rebalance.hot_ratio_percent);
+
+        // One pass over the edge population: delivered copies, mailbox
+        // depths, and live edges still leased to a dead rendezvous.
+        let mut received_total = 0u64;
+        let mut stale_leases = 0i64;
+        let mut mailbox_max = 0i64;
+        for &id in self.publishers.iter().chain(&self.subscribers) {
+            let Some(node) = self.net.node_ref::<SkiNode>(id) else {
+                continue;
+            };
+            if !self.net.is_alive(id) {
+                continue;
+            }
+            if let Some(engine) = node.engine_ref() {
+                mailbox_max = mailbox_max.max(engine.mailbox_depth() as i64);
+            }
+            if let Some(rdv) = node.leased_rendezvous() {
+                if dead_rdvs.contains(&rdv) {
+                    stale_leases += 1;
+                }
+            }
+        }
+        for &id in &self.subscribers {
+            if let Some(node) = self.net.node_ref::<SkiNode>(id) {
+                received_total += node.received_count() as u64;
+            }
+        }
+        let expected_copies = self.published_events * self.subscribers.len() as u64;
+        let delivery_ratio = if expected_copies == 0 {
+            1.0
+        } else {
+            received_total as f64 / expected_copies as f64
+        };
+
+        let state = self.recorder.as_mut().expect("recorder not enabled");
+        state.recorder.sample(at, &registry.snapshot());
+        state
+            .recorder
+            .record_value(at, "harness.delivery_ratio", delivery_ratio);
+        state
+            .recorder
+            .record_value(at, "harness.hot_shards", hot.len() as f64);
+        state
+            .recorder
+            .record_value(at, "harness.mailbox_depth_max", mailbox_max as f64);
+        state.recorder.record_value(at, "harness.shard_load_zmax", zmax);
+        state
+            .recorder
+            .record_value(at, "harness.stale_leases", stale_leases as f64);
+        if let Some(tracer) = &self.tracer {
+            let summary = tracer.borrow().latency_histogram().summary();
+            state
+                .recorder
+                .record_value(at, "trace.latency_p50_ms", summary.p50);
+            state
+                .recorder
+                .record_value(at, "trace.latency_p99_ms", summary.p99);
+        }
+        state.watchdog.evaluate(at, &state.recorder);
+        if advance_grid {
+            // Stay phase-aligned to the original grid, but never schedule a
+            // boundary at-or-before `now`: a churn driver advancing the
+            // network directly can leave the grid behind, and replaying the
+            // missed boundaries would stack identical-time samples.
+            let cadence = SimDuration::from_micros(state.recorder.cadence_us());
+            let now = SimTime::from_micros(at);
+            let mut next = state.next_sample_at.saturating_add(cadence);
+            while next <= now {
+                next = next.saturating_add(cadence);
+            }
+            state.next_sample_at = next;
+        }
+    }
+
     /// The operator's text console: the full metrics snapshot (rendered via
-    /// [`telemetry::MetricsSnapshot::render_text`]), the end-to-end delivery
-    /// latency summary, and the causal timeline of up to `max_timelines`
-    /// traced events (newest first — the events an operator is usually
-    /// debugging).
+    /// [`telemetry::MetricsSnapshot::render_text`]), the flight recorder's
+    /// key series as sparklines plus the active-alert table (when the
+    /// recorder is on), the end-to-end delivery latency summary, and the
+    /// causal timeline of up to `max_timelines` traced events (newest first
+    /// — the events an operator is usually debugging).
     pub fn operator_view(&self, max_timelines: usize) -> String {
         let mut out = String::new();
         out.push_str("== metrics ==\n");
         out.push_str(&self.metrics_registry().snapshot().render_text());
+        if let Some(state) = &self.recorder {
+            out.push_str("\n== series ==\n");
+            for name in KEY_SERIES {
+                let Some(series) = state.recorder.series(name) else {
+                    continue;
+                };
+                let last = series.last().map_or(0.0, |p| p.value);
+                out.push_str(&format!(
+                    "{name:<26} {} last={}\n",
+                    sparkline(&series.values()),
+                    jxta::telemetry::export::format_f64(last),
+                ));
+            }
+            out.push_str("\n== active alerts ==\n");
+            let mut any = false;
+            for alert in state.watchdog.active_alerts() {
+                any = true;
+                out.push_str(&format!("{alert}\n"));
+            }
+            if !any {
+                out.push_str("(none)\n");
+            }
+        }
         if let Some(tracer) = &self.tracer {
             let collector = tracer.borrow();
             let summary = collector.latency_histogram().summary();
@@ -401,12 +720,12 @@ impl Scenario {
     /// Runs the initialisation phase: rendezvous connection, advertisement
     /// publication/discovery and pipe binding.
     pub fn warm_up(&mut self) {
-        self.net.run_for(SimDuration::from_secs(30));
+        self.run_net(SimDuration::from_secs(30));
     }
 
     /// Advances virtual time.
     pub fn advance(&mut self, duration: SimDuration) {
-        self.net.run_for(duration);
+        self.run_net(duration);
     }
 
     /// The current virtual time.
@@ -421,7 +740,7 @@ impl Scenario {
     pub fn publish_one(&mut self, index: usize) -> SimDuration {
         let charged = self.publish_without_advancing(index);
         self.invocation_times.record(charged.as_millis_f64());
-        self.net.run_for(charged);
+        self.run_net(charged);
         charged
     }
 
@@ -431,6 +750,7 @@ impl Scenario {
     pub fn publish_without_advancing(&mut self, index: usize) -> SimDuration {
         let offer = self.offers.next_offer();
         let node = self.publishers[index];
+        self.published_events += 1;
         self.net.invoke::<SkiNode, _>(node, |peer, ctx| {
             peer.publish_offer(ctx, &offer).expect("publish failed");
             ctx.charged()
@@ -444,12 +764,13 @@ impl Scenario {
     pub fn publish_batch(&mut self, index: usize, count: usize) -> SimDuration {
         let offers: Vec<_> = (0..count).map(|_| self.offers.next_offer()).collect();
         let node = self.publishers[index];
+        self.published_events += count as u64;
         let charged = self.net.invoke::<SkiNode, _>(node, |peer, ctx| {
             peer.publish_offer_batch(ctx, &offers)
                 .expect("batch publish failed");
             ctx.charged()
         });
-        self.net.run_for(charged);
+        self.run_net(charged);
         charged
     }
 
@@ -603,8 +924,7 @@ impl Scenario {
         let before = self.net.stats_of(node).datagrams_sent;
         let charged = self.publish_without_advancing(index);
         let copies = (self.net.stats_of(node).datagrams_sent - before) as usize;
-        self.net
-            .run_for(charged.saturating_add(SimDuration::from_millis(1)));
+        self.run_net(charged.saturating_add(SimDuration::from_millis(1)));
         copies
     }
 

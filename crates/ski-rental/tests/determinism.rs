@@ -24,6 +24,8 @@
 //! `cargo run -p detlint -- --workspace`.
 
 use jxta::peer::CostModel;
+use jxta::telemetry::series::RecorderConfig;
+use jxta::telemetry::slo::{AlertKind, SloRule};
 use simnet::SimDuration;
 use ski_rental::{DisseminationConfig, Flavor, Scenario};
 
@@ -36,10 +38,21 @@ const PUBLISHERS: usize = 8;
 const SUBSCRIBERS: usize = if cfg!(debug_assertions) { 64 } else { 1020 };
 const TRACE_CAPACITY: usize = 1 << 19;
 
-/// One full run: build the sharded mesh, trace everything, publish a first
-/// wave, kill a deterministic set of subscribers mid-run (churn), publish a
-/// second wave into the degraded mesh, then capture the observable state.
-fn churn_run(seed: u64) -> (Vec<jxta::telemetry::trace::TraceSpan>, String) {
+/// Everything a run exposes to a byte-compare: the span trace, the rendered
+/// metrics snapshot, the flight-recorder series export, and the watchdog's
+/// alert log.
+struct RunCapture {
+    spans: Vec<jxta::telemetry::trace::TraceSpan>,
+    metrics: String,
+    series_jsonl: String,
+    alert_log: String,
+}
+
+/// One full run: build the sharded mesh, trace everything, record metric
+/// series on a 500 ms cadence, publish a first wave, kill a deterministic
+/// set of subscribers mid-run (churn), publish a second wave into the
+/// degraded mesh, then capture the observable state.
+fn churn_run(seed: u64) -> RunCapture {
     let mut scenario = Scenario::build_sharded(
         Flavor::SrTps,
         DisseminationConfig::rendezvous_mesh(RENDEZVOUS),
@@ -50,6 +63,16 @@ fn churn_run(seed: u64) -> (Vec<jxta::telemetry::trace::TraceSpan>, String) {
         CostModel::free(),
     );
     scenario.enable_tracing(TRACE_CAPACITY);
+    scenario.enable_recorder(RecorderConfig::with_cadence_us(500_000));
+    scenario.add_standard_slo_rules();
+    // The churn wave only removes ~1% of subscribers, which is healthy by
+    // the stock 0.95 delivery floor; a test-tightened floor makes the churn
+    // trip the watchdog so the alert-log byte-compare below is not vacuous.
+    scenario.add_slo_rule(SloRule::floor(
+        AlertKind::DeliveryRatioLow,
+        "harness.delivery_ratio",
+        0.999,
+    ));
     scenario.warm_up();
     for publisher in 0..PUBLISHERS {
         scenario.publish_one(publisher);
@@ -74,13 +97,22 @@ fn churn_run(seed: u64) -> (Vec<jxta::telemetry::trace::TraceSpan>, String) {
         .copied()
         .collect();
     let metrics = scenario.metrics_registry().snapshot().render_text();
-    (spans, metrics)
+    let series_jsonl = scenario.export_series_jsonl();
+    let alert_log = scenario.export_alert_log();
+    RunCapture {
+        spans,
+        metrics,
+        series_jsonl,
+        alert_log,
+    }
 }
 
 #[test]
 fn sharded_churn_is_bit_identical_across_same_seed_runs() {
-    let (spans_a, metrics_a) = churn_run(4242);
-    let (spans_b, metrics_b) = churn_run(4242);
+    let a = churn_run(4242);
+    let b = churn_run(4242);
+    let (spans_a, metrics_a) = (&a.spans, &a.metrics);
+    let (spans_b, metrics_b) = (&b.spans, &b.metrics);
 
     // The comparison must not be vacuous: the run is big, traced, and the
     // churn actually removed deliveries.
@@ -107,9 +139,9 @@ fn sharded_churn_is_bit_identical_across_same_seed_runs() {
         spans_b.len(),
         "same seed, same span count — a mismatch here means event order leaked from a hashed container"
     );
-    for (i, (a, b)) in spans_a.iter().zip(&spans_b).enumerate() {
+    for (i, (span_a, span_b)) in spans_a.iter().zip(spans_b.iter()).enumerate() {
         assert_eq!(
-            a, b,
+            span_a, span_b,
             "first trace divergence at span {i} — see crates/ski-rental/tests/determinism.rs"
         );
     }
@@ -117,6 +149,38 @@ fn sharded_churn_is_bit_identical_across_same_seed_runs() {
         metrics_a.as_bytes(),
         metrics_b.as_bytes(),
         "metrics snapshots must render byte-identically:\n--- run A ---\n{metrics_a}\n--- run B ---\n{metrics_b}"
+    );
+
+    // The flight recorder rides the same contract: the sampled series export
+    // and the watchdog's alert log must replay byte for byte. Guard against
+    // vacuity first — a 15-virtual-second run on a 500 ms cadence records
+    // dozens of samples, and the churn wave drives the delivery ratio below
+    // the stock SLO floor, so the alert log is never the empty placeholder.
+    assert!(
+        a.series_jsonl.lines().count() > 100,
+        "the recorder export must cover the run, got {} lines",
+        a.series_jsonl.lines().count()
+    );
+    assert!(
+        a.series_jsonl.contains("\"series\":\"harness.delivery_ratio\""),
+        "derived harness series missing from the export:\n{}",
+        a.series_jsonl
+    );
+    assert_ne!(
+        a.alert_log, "(no alerts)\n",
+        "churn must trip at least one stock SLO rule, or this compare is vacuous"
+    );
+    assert_eq!(
+        a.series_jsonl.as_bytes(),
+        b.series_jsonl.as_bytes(),
+        "recorder JSONL must replay byte-identically across same-seed runs"
+    );
+    assert_eq!(
+        a.alert_log.as_bytes(),
+        b.alert_log.as_bytes(),
+        "watchdog alert log must replay byte-identically:\n--- run A ---\n{}\n--- run B ---\n{}",
+        a.alert_log,
+        b.alert_log
     );
 }
 

@@ -22,6 +22,14 @@
 //!   typed hop spans collected into a bounded [`trace::TraceCollector`], path
 //!   reconstruction (`trace_of`), latency accounting and drop forensics
 //!   (`why_missing`). Off by default; zero-cost when disabled.
+//! * [`series`] — the flight recorder: [`series::SeriesRecorder`] samples
+//!   snapshots on a virtual-time cadence into bounded per-metric rings and
+//!   exports them as deterministic JSONL / Prometheus-style text.
+//! * [`slo`] — declarative SLO rules ([`slo::SloRule`]) evaluated by an
+//!   [`slo::SloWatchdog`] against the recorded series, emitting typed,
+//!   virtually-timestamped [`slo::HealthAlert`]s.
+//! * [`export`] — the canonical metric iteration order and the shared
+//!   text/JSON encoding helpers every exporter goes through.
 //!
 //! Everything here is plain owned state — no interior mutability, no
 //! threads, no clocks — so the simulator's determinism guarantees carry
@@ -32,6 +40,9 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+pub mod export;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 /// Default number of samples a [`WindowedHistogram`] retains.
@@ -261,22 +272,27 @@ impl MetricsSnapshot {
     pub fn render_text(&self) -> String {
         self.to_string()
     }
+
+    /// Iterates the snapshot in the canonical export order (counters, then
+    /// gauges, then histograms, each name-sorted). Delegates to
+    /// [`export::canonical_entries`]; every exporter walks this.
+    pub fn canonical_entries(&self) -> impl Iterator<Item = export::MetricEntry<'_>> {
+        export::canonical_entries(self)
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (name, value) in &self.counters {
-            writeln!(f, "counter {name} = {value}")?;
-        }
-        for (name, value) in &self.gauges {
-            writeln!(f, "gauge   {name} = {value}")?;
-        }
-        for (name, summary) in &self.histograms {
-            writeln!(
-                f,
-                "histo   {name} = mean {:.2} p50 {:.2} p99 {:.2} max {:.2} (n={})",
-                summary.mean, summary.p50, summary.p99, summary.max, summary.count
-            )?;
+        for entry in export::canonical_entries(self) {
+            match entry {
+                export::MetricEntry::Counter(name, value) => writeln!(f, "counter {name} = {value}")?,
+                export::MetricEntry::Gauge(name, value) => writeln!(f, "gauge   {name} = {value}")?,
+                export::MetricEntry::Histogram(name, summary) => writeln!(
+                    f,
+                    "histo   {name} = mean {:.2} p50 {:.2} p99 {:.2} max {:.2} (n={})",
+                    summary.mean, summary.p50, summary.p99, summary.max, summary.count
+                )?,
+            }
         }
         Ok(())
     }

@@ -1,0 +1,370 @@
+//! Declarative SLO rules and the watchdog that turns series into alerts.
+//!
+//! A rule names a series in the flight recorder, a direction, and a
+//! threshold: "`harness.delivery_ratio` must stay at or above 0.95",
+//! "`trace.latency_p99_ms` must stay at or below 750". The
+//! [`SloWatchdog`] evaluates every rule against the newest point of its
+//! series each time the owning harness ticks it, and maintains an
+//! edge-triggered alert log: one [`HealthAlert`] is opened when a rule
+//! first fails and closed (timestamped, kept in the log) when it recovers.
+//! Alerts carry virtual timestamps only, so the log is byte-identical
+//! across same-seed runs and joins the determinism replay next to the
+//! span trace and the series export.
+//!
+//! # Determinism contract for [`AlertKind`]
+//!
+//! `AlertKind` follows the same data-encoded exhaustiveness discipline as
+//! `DropReason` and `SpanKind` (detlint rule D004): [`AlertKind::ALL`],
+//! [`AlertKind::label`], and [`AlertKind::index`] each enumerate every
+//! variant, and `detlint` textually cross-checks the enum against those
+//! three regions. Adding a variant without extending all three tables is a
+//! lint finding, not a silent gap.
+
+use crate::export::{format_f64, push_json_string};
+use crate::series::{MetricSeries, SeriesRecorder};
+use std::fmt;
+
+/// The typed condition a [`HealthAlert`] reports. Each variant corresponds
+/// to one class of SLO rule; the mapping from rule to kind is fixed at rule
+/// construction so alert logs stay stable as rules are reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertKind {
+    /// Delivery ratio fell below its floor.
+    DeliveryRatioLow,
+    /// Windowed p99 delivery latency exceeded its ceiling.
+    LatencyP99High,
+    /// An engine mailbox grew beyond its depth bound.
+    MailboxDepthHigh,
+    /// Shard load imbalance exceeded its bound.
+    ShardImbalance,
+    /// Live edges remained leased to a dead rendezvous.
+    StaleLeases,
+    /// The rebalancer's hot-shard detector flagged one or more shards.
+    HotShard,
+}
+
+impl AlertKind {
+    /// Every variant, in declaration order. detlint D004 anchors here.
+    pub const ALL: [AlertKind; 6] = [
+        AlertKind::DeliveryRatioLow,
+        AlertKind::LatencyP99High,
+        AlertKind::MailboxDepthHigh,
+        AlertKind::ShardImbalance,
+        AlertKind::StaleLeases,
+        AlertKind::HotShard,
+    ];
+
+    /// A stable snake_case label for logs and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::DeliveryRatioLow => "delivery_ratio_low",
+            AlertKind::LatencyP99High => "latency_p99_high",
+            AlertKind::MailboxDepthHigh => "mailbox_depth_high",
+            AlertKind::ShardImbalance => "shard_imbalance",
+            AlertKind::StaleLeases => "stale_leases",
+            AlertKind::HotShard => "hot_shard",
+        }
+    }
+
+    /// A stable dense index (position in [`AlertKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            AlertKind::DeliveryRatioLow => 0,
+            AlertKind::LatencyP99High => 1,
+            AlertKind::MailboxDepthHigh => 2,
+            AlertKind::ShardImbalance => 3,
+            AlertKind::StaleLeases => 4,
+            AlertKind::HotShard => 5,
+        }
+    }
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which direction violates a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloOp {
+    /// The rule fires when the observed value drops below the threshold.
+    Below,
+    /// The rule fires when the observed value rises above the threshold.
+    Above,
+}
+
+/// One declarative SLO rule: watch `series`, fire `kind` when the newest
+/// value crosses `threshold` in the `op` direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// The alert kind emitted when this rule fails.
+    pub kind: AlertKind,
+    /// The recorder series the rule watches.
+    pub series: String,
+    /// The violating direction.
+    pub op: SloOp,
+    /// The threshold value.
+    pub threshold: f64,
+}
+
+impl SloRule {
+    /// A floor rule: fire `kind` when `series` drops below `threshold`.
+    pub fn floor(kind: AlertKind, series: impl Into<String>, threshold: f64) -> Self {
+        SloRule {
+            kind,
+            series: series.into(),
+            op: SloOp::Below,
+            threshold,
+        }
+    }
+
+    /// A ceiling rule: fire `kind` when `series` rises above `threshold`.
+    pub fn ceiling(kind: AlertKind, series: impl Into<String>, threshold: f64) -> Self {
+        SloRule {
+            kind,
+            series: series.into(),
+            op: SloOp::Above,
+            threshold,
+        }
+    }
+
+    fn violated_by(&self, value: f64) -> bool {
+        match self.op {
+            SloOp::Below => value < self.threshold,
+            SloOp::Above => value > self.threshold,
+        }
+    }
+}
+
+/// One alert in the watchdog log. Open while `cleared_at_us` is `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthAlert {
+    /// Virtual time the rule first failed.
+    pub at_us: u64,
+    /// The rule's alert kind.
+    pub kind: AlertKind,
+    /// The watched series.
+    pub series: String,
+    /// The observed value that opened the alert.
+    pub value: f64,
+    /// The rule threshold at open time.
+    pub threshold: f64,
+    /// Virtual time the rule recovered, if it has.
+    pub cleared_at_us: Option<u64>,
+}
+
+impl fmt::Display for HealthAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}us] {:<18} {} = {} (threshold {})",
+            self.at_us,
+            self.kind.label(),
+            self.series,
+            format_f64(self.value),
+            format_f64(self.threshold),
+        )?;
+        match self.cleared_at_us {
+            Some(at) => write!(f, " cleared at {at}us"),
+            None => write!(f, " ACTIVE"),
+        }
+    }
+}
+
+/// Evaluates [`SloRule`]s against a [`SeriesRecorder`] and keeps the
+/// edge-triggered alert log. See the module docs for the contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloWatchdog {
+    rules: Vec<SloRule>,
+    // Parallel to `rules`: index into `alerts` of the open alert, if any.
+    open: Vec<Option<usize>>,
+    alerts: Vec<HealthAlert>,
+}
+
+impl SloWatchdog {
+    /// An empty watchdog with no rules.
+    pub fn new() -> Self {
+        SloWatchdog::default()
+    }
+
+    /// Installs a rule. Rules are evaluated in installation order.
+    pub fn add_rule(&mut self, rule: SloRule) {
+        self.rules.push(rule);
+        self.open.push(None);
+    }
+
+    /// The installed rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule against the newest point of its series at
+    /// virtual time `at_us`. A rule with no series (nothing recorded yet)
+    /// is skipped: absence of data is not a violation. Returns how many
+    /// alerts this evaluation opened.
+    pub fn evaluate(&mut self, at_us: u64, recorder: &SeriesRecorder) -> usize {
+        let mut opened = 0;
+        for (i, rule) in self.rules.iter().enumerate() {
+            let Some(point) = recorder.series(&rule.series).and_then(MetricSeries::last) else {
+                continue;
+            };
+            let violated = rule.violated_by(point.value);
+            match (violated, self.open[i]) {
+                (true, None) => {
+                    self.open[i] = Some(self.alerts.len());
+                    self.alerts.push(HealthAlert {
+                        at_us,
+                        kind: rule.kind,
+                        series: rule.series.clone(),
+                        value: point.value,
+                        threshold: rule.threshold,
+                        cleared_at_us: None,
+                    });
+                    opened += 1;
+                }
+                (false, Some(idx)) => {
+                    self.alerts[idx].cleared_at_us = Some(at_us);
+                    self.open[i] = None;
+                }
+                _ => {}
+            }
+        }
+        opened
+    }
+
+    /// Every alert ever opened, in open order (cleared ones included).
+    pub fn alerts(&self) -> &[HealthAlert] {
+        &self.alerts
+    }
+
+    /// The alerts currently open.
+    pub fn active_alerts(&self) -> impl Iterator<Item = &HealthAlert> {
+        self.alerts.iter().filter(|a| a.cleared_at_us.is_none())
+    }
+
+    /// Renders the full alert log as deterministic text, one line per
+    /// alert, or `(no alerts)` when the log is empty. Byte-identical
+    /// across same-seed runs; the determinism replay compares this.
+    pub fn render_log(&self) -> String {
+        if self.alerts.is_empty() {
+            return "(no alerts)\n".to_owned();
+        }
+        let mut out = String::new();
+        for alert in &self.alerts {
+            out.push_str(&alert.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the alert log as JSON Lines, one object per alert, in open
+    /// order. `cleared_at_us` is `null` while the alert is active.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for alert in &self.alerts {
+            out.push_str("{\"at_us\":");
+            out.push_str(&alert.at_us.to_string());
+            out.push_str(",\"kind\":");
+            push_json_string(&mut out, alert.kind.label());
+            out.push_str(",\"series\":");
+            push_json_string(&mut out, &alert.series);
+            out.push_str(",\"value\":");
+            out.push_str(&format_f64(alert.value));
+            out.push_str(",\"threshold\":");
+            out.push_str(&format_f64(alert.threshold));
+            out.push_str(",\"cleared_at_us\":");
+            match alert.cleared_at_us {
+                Some(at) => out.push_str(&at.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{RecorderConfig, SeriesRecorder};
+
+    fn recorder_with(name: &str, points: &[(u64, f64)]) -> SeriesRecorder {
+        let mut recorder = SeriesRecorder::new(RecorderConfig::default_cadence());
+        for &(at, v) in points {
+            recorder.record_value(at, name, v);
+        }
+        recorder
+    }
+
+    #[test]
+    fn alert_kind_tables_agree_with_the_enum() {
+        for (i, kind) in AlertKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "ALL order matches index()");
+        }
+        let mut labels: Vec<&str> = AlertKind::ALL.iter().map(|k| k.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), AlertKind::ALL.len(), "labels are distinct");
+    }
+
+    #[test]
+    fn a_floor_rule_opens_and_clears_edge_triggered() {
+        let mut dog = SloWatchdog::new();
+        dog.add_rule(SloRule::floor(AlertKind::DeliveryRatioLow, "ratio", 0.95));
+
+        let mut rec = recorder_with("ratio", &[(1, 1.0)]);
+        assert_eq!(dog.evaluate(1, &rec), 0, "healthy value opens nothing");
+
+        rec.record_value(2, "ratio", 0.5);
+        assert_eq!(dog.evaluate(2, &rec), 1);
+        rec.record_value(3, "ratio", 0.4);
+        assert_eq!(dog.evaluate(3, &rec), 0, "still failing: no duplicate alert");
+        assert_eq!(dog.active_alerts().count(), 1);
+
+        rec.record_value(4, "ratio", 0.99);
+        dog.evaluate(4, &rec);
+        assert_eq!(dog.active_alerts().count(), 0);
+        let log = dog.alerts();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].at_us, 2);
+        assert_eq!(log[0].cleared_at_us, Some(4));
+
+        rec.record_value(5, "ratio", 0.1);
+        dog.evaluate(5, &rec);
+        assert_eq!(dog.alerts().len(), 2, "a relapse opens a fresh alert");
+    }
+
+    #[test]
+    fn a_ceiling_rule_fires_above_and_missing_series_are_skipped() {
+        let mut dog = SloWatchdog::new();
+        dog.add_rule(SloRule::ceiling(AlertKind::LatencyP99High, "p99", 750.0));
+        dog.add_rule(SloRule::ceiling(AlertKind::MailboxDepthHigh, "absent", 10.0));
+
+        let rec = recorder_with("p99", &[(1, 750.0)]);
+        let mut dog2 = dog.clone();
+        assert_eq!(dog2.evaluate(1, &rec), 0, "at the threshold is not above it");
+
+        let rec = recorder_with("p99", &[(1, 751.0)]);
+        assert_eq!(dog.evaluate(1, &rec), 1);
+        assert_eq!(dog.alerts()[0].kind, AlertKind::LatencyP99High);
+        assert_eq!(dog.active_alerts().count(), 1, "the absent series opened nothing");
+    }
+
+    #[test]
+    fn the_logs_are_deterministic_text() {
+        let mut dog = SloWatchdog::new();
+        assert_eq!(dog.render_log(), "(no alerts)\n");
+        dog.add_rule(SloRule::floor(AlertKind::StaleLeases, "stale", 1.0));
+        let rec = recorder_with("stale", &[(1_000_000, 0.0)]);
+        dog.evaluate(1_000_000, &rec);
+        let text = dog.render_log();
+        assert!(text.contains("stale_leases"), "log: {text}");
+        assert!(text.contains("ACTIVE"));
+        let json = dog.export_jsonl();
+        assert_eq!(
+            json,
+            "{\"at_us\":1000000,\"kind\":\"stale_leases\",\"series\":\"stale\",\"value\":0,\
+             \"threshold\":1,\"cleared_at_us\":null}\n"
+        );
+    }
+}

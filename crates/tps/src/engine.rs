@@ -301,6 +301,13 @@ impl TpsEngine {
         self.publishers_seen.len()
     }
 
+    /// Commands currently waiting in the session mailbox — the figure the
+    /// flight recorder samples for its mailbox-depth SLO without paying for
+    /// a full metrics export.
+    pub fn mailbox_depth(&self) -> usize {
+        self.session.pending()
+    }
+
     /// Registers an event type (and its supertype edges) without subscribing
     /// or publishing. Publishing/subscribing registers types implicitly.
     pub fn register_type<T: TpsEvent>(&mut self) {
